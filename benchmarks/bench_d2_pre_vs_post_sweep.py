@@ -1,0 +1,140 @@
+"""D2/T5 -- demo phase 2: Pre- vs Post-filtering across selectivities.
+
+The demo GUI "allows the comparison of the relative performance of
+Pre-filtering and Post-filtering strategies in terms of RAM consumption
+and processing time".  This bench sweeps the visible Vis.Date predicate's
+selectivity against a fixed selective hidden anchor on Prescription (so
+Cross-filtering cannot rescue the PRE side -- the tables differ) and
+reports both strategies per point.
+
+Expected shape (Section 4): PRE wins when the visible predicate is
+selective; "if the selectivity of a visible selection is low, traversing
+the climbing indexes may be a poor choice" -- POST overtakes as the date
+range widens, because converting a long VisID list costs a directory
+probe per ID plus multi-pass merges, while the Bloom filter stays one
+pass over the hidden-join output.
+"""
+
+import datetime
+
+from benchmarks.conftest import print_series
+from repro.optimizer.space import Strategy
+from repro.reference import evaluate_reference, same_rows
+
+#: (label, date cutoff) by rising fraction of qualifying visits.
+SWEEP = [
+    ("~1%", datetime.date(2007, 6, 20)),
+    ("~10%", datetime.date(2007, 4, 1)),
+    ("~30%", datetime.date(2006, 10, 1)),
+    ("~55%", datetime.date(2006, 3, 1)),
+    ("~80%", datetime.date(2005, 7, 1)),
+]
+
+
+def sweep_sql(cutoff: datetime.date) -> str:
+    return f"""
+        SELECT Pre.Quantity FROM Prescription Pre, Visit Vis
+        WHERE Vis.Date > DATE '{cutoff.isoformat()}'
+        AND Pre.Quantity = 7
+        AND Pre.WhenWritten > DATE '2007-04-01'
+        AND Vis.VisID = Pre.VisID
+    """
+
+
+def test_d2_pre_vs_post_selectivity_sweep(bench_session, bench_data, benchmark):
+    session = bench_session
+
+    def full_sweep():
+        rows = []
+        series = []
+        for label, cutoff in SWEEP:
+            sql = sweep_sql(cutoff)
+            bound = session.bind(sql)
+            expected = evaluate_reference(session.tree, bench_data, bound)
+            session.reset_measurements()
+            pre = session.query_with_strategy(sql, Strategy(("pre",)))
+            session.reset_measurements()
+            post = session.query_with_strategy(sql, Strategy(("post",)))
+            assert same_rows(pre.rows, expected)
+            assert same_rows(post.rows, expected)
+            rows.append(
+                (
+                    label,
+                    f"{pre.metrics.elapsed_seconds * 1e3:.2f}",
+                    f"{post.metrics.elapsed_seconds * 1e3:.2f}",
+                    pre.metrics.flash_page_writes,
+                    post.metrics.flash_page_writes,
+                    pre.row_count,
+                )
+            )
+            series.append(
+                (
+                    pre.metrics.elapsed_seconds,
+                    post.metrics.elapsed_seconds,
+                )
+            )
+        return rows, series
+
+    rows, series = benchmark.pedantic(full_sweep, rounds=1, iterations=1)
+    print_series(
+        "Demo phase 2: Pre vs Post filtering across Vis.Date selectivity",
+        [
+            "date matches", "pre (ms)", "post (ms)",
+            "pre spills (pages)", "post spills", "rows",
+        ],
+        rows,
+    )
+    # The crossover: PRE wins at the selective end, POST at the other.
+    assert series[0][0] < series[0][1], "PRE should win at ~1%"
+    assert series[-1][1] < series[-1][0], "POST should win at ~80%"
+    # PRE's cost climbs steeply with the list size; POST stays flat-ish.
+    pre_growth = series[-1][0] / series[0][0]
+    post_growth = series[-1][1] / series[0][1]
+    assert pre_growth > 3 * post_growth
+
+
+def test_t5_cross_filtering(bench_session, bench_data, benchmark):
+    """Cross-filtering: when the unselective visible predicate *shares*
+    its table with a selective hidden one, intersecting at that table
+    before one conversion keeps PRE competitive -- the combination plain
+    PRE loses (see the sweep above)."""
+    session = bench_session
+    cutoff = datetime.date(2005, 7, 1)  # ~80% of visits
+    sql = f"""
+        SELECT Pre.Quantity, Vis.Date
+        FROM Prescription Pre, Visit Vis
+        WHERE Vis.Date > DATE '{cutoff.isoformat()}'
+        AND Vis.Purpose = 'Sclerosis'
+        AND Vis.VisID = Pre.VisID
+    """
+    bound = session.bind(sql)
+    expected = evaluate_reference(session.tree, bench_data, bound)
+
+    def run_all():
+        session.reset_measurements()
+        cross = session.query_with_strategy(sql, Strategy(("pre",)))
+        session.reset_measurements()
+        post = session.query_with_strategy(sql, Strategy(("post",)))
+        return cross, post
+
+    cross, post = benchmark.pedantic(run_all, rounds=3, iterations=1)
+    assert same_rows(cross.rows, expected)
+    assert same_rows(post.rows, expected)
+    print_series(
+        "T5: Cross-filtering (hidden+visible on Visit) vs Post-filtering",
+        ["strategy", "simulated ms", "ram peak"],
+        [
+            ("cross-pre (intersect at Visit, convert once)",
+             f"{cross.metrics.elapsed_seconds * 1e3:.2f}",
+             cross.metrics.ram_high_water),
+            ("post (Bloom on the SKT output)",
+             f"{post.metrics.elapsed_seconds * 1e3:.2f}",
+             post.metrics.ram_high_water),
+        ],
+    )
+    # With cross-filtering the same ~80% visible predicate that sank
+    # plain PRE stays competitive with POST.
+    assert (
+        cross.metrics.elapsed_seconds
+        < 2.0 * post.metrics.elapsed_seconds
+    )

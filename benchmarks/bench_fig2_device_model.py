@@ -1,0 +1,80 @@
+"""F2 -- Figure 2: the smart USB device's hardware constraints.
+
+Microbenchmarks of the simulated device confirming the paper's numbers:
+flash writes 3-10x slower than reads (partial reads cheaper than full),
+USB 2.0 full speed at 12 Mb/s, and tens-of-KB RAM that genuinely rejects
+larger working sets.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.hardware.device import SmartUsbDevice
+from repro.hardware.profiles import DEMO_DEVICE, HARSH_FLASH_DEVICE
+from repro.hardware.ram import RamExhaustedError
+from repro.hardware.usb import Direction
+
+
+def test_fig2_flash_asymmetry(benchmark):
+    device = SmartUsbDevice(DEMO_DEVICE)
+
+    def one_cycle():
+        page = device.ftl.allocate()
+        device.ftl.write(page, b"x" * DEMO_DEVICE.page_size)
+        device.ftl.read(page)
+        device.ftl.read(page, 0, 8)
+        device.ftl.free(page)
+
+    benchmark.pedantic(one_cycle, rounds=5, iterations=20)
+
+    rows = []
+    for profile in (DEMO_DEVICE, HARSH_FLASH_DEVICE):
+        rows.append(
+            (
+                profile.name,
+                f"{profile.flash_read_full_s * 1e6:.0f} us",
+                f"{profile.flash_read_partial_s * 1e6:.0f} us",
+                f"{profile.flash_write_s * 1e6:.0f} us",
+                f"{profile.write_read_ratio:.1f}x",
+                f"{profile.flash_erase_s * 1e3:.1f} ms",
+            )
+        )
+    print_series(
+        "Figure 2: flash timing model (write/read asymmetry 3-10x)",
+        ["profile", "read full", "read word", "write", "w/r ratio", "erase"],
+        rows,
+    )
+    assert 3.0 <= DEMO_DEVICE.write_read_ratio <= 10.0
+    assert HARSH_FLASH_DEVICE.write_read_ratio == pytest.approx(10.0)
+
+
+def test_fig2_usb_throughput(benchmark):
+    device = SmartUsbDevice(DEMO_DEVICE)
+    payload = b"x" * 150_000  # 1.2 Mb
+
+    def transfer():
+        device.usb.transfer(Direction.TO_DEVICE, "ids", payload)
+
+    benchmark.pedantic(transfer, rounds=3, iterations=1)
+    elapsed = device.clock.breakdown().usb / 3
+    effective_mbps = len(payload) * 8 / elapsed / 1e6
+    print_series(
+        "Figure 2: USB 2.0 full-speed link",
+        ["payload", "simulated time", "effective throughput"],
+        [(f"{len(payload)} B", f"{elapsed * 1e3:.1f} ms",
+          f"{effective_mbps:.1f} Mb/s")],
+    )
+    assert 10.0 <= effective_mbps <= 12.0
+
+
+def test_fig2_ram_is_tens_of_kb(benchmark):
+    device = SmartUsbDevice(DEMO_DEVICE)
+    benchmark.pedantic(lambda: device.ram.allocate(1024, "probe").release(),
+                       rounds=3, iterations=1)
+    assert device.ram.capacity == 64 * 1024
+    with pytest.raises(RamExhaustedError):
+        device.ram.allocate(device.ram.capacity + 1, "too big")
+    # A classic hash table for the demo dataset would not fit.
+    hash_table_bytes = 20_000 * 12
+    with pytest.raises(RamExhaustedError):
+        device.ram.allocate(hash_table_bytes, "hash join table")

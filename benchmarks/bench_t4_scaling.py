@@ -1,0 +1,57 @@
+"""T4 -- the 1M-tuple scale claim (Section 5).
+
+The demo's root table holds one million prescriptions.  This bench sweeps
+the root cardinality and reports the demo query's cost per scale for
+GhostDB and the hash-join baseline.  Expected shape: GhostDB's cost grows
+with the *result* (selection sizes), the baseline's with the *data*
+(scans), so the gap widens with scale -- the property that makes 1M rows
+tractable on the device at all.
+
+The sweep tops out at a laptop-friendly scale by default; set
+GHOSTDB_BENCH_SCALE=1000000 to reproduce the paper's headline number.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, load_session, print_series
+from repro.baselines import run_hash_join_query
+from repro.workload.queries import demo_query
+
+SCALES = sorted({BENCH_SCALE // 16, BENCH_SCALE // 4, BENCH_SCALE})
+
+
+def test_t4_scaling_sweep(benchmark):
+    sql = demo_query()
+
+    def sweep():
+        rows = []
+        gaps = []
+        for scale in SCALES:
+            session, _ = load_session(scale=scale)
+            session.reset_measurements()
+            ghost = session.query(sql)
+            session.reset_measurements()
+            baseline = run_hash_join_query(session, sql)
+            assert sorted(ghost.rows) == sorted(baseline.rows)
+            gap = (
+                baseline.metrics.elapsed_seconds
+                / ghost.metrics.elapsed_seconds
+            )
+            gaps.append(gap)
+            rows.append(
+                (
+                    scale,
+                    ghost.row_count,
+                    f"{ghost.metrics.elapsed_seconds * 1e3:.2f}",
+                    f"{baseline.metrics.elapsed_seconds * 1e3:.2f}",
+                    f"{gap:.1f}x",
+                )
+            )
+        return rows, gaps
+
+    rows, gaps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "T4: demo query vs root-table cardinality",
+        ["prescriptions", "rows", "ghostdb (ms)", "hash join (ms)", "gap"],
+        rows,
+    )
+    # The gap must widen with scale (selection-bound vs scan-bound).
+    assert gaps[-1] > gaps[0]

@@ -1,0 +1,70 @@
+"""T6 (extension) -- incremental maintenance cost.
+
+The paper loads the device once in a secure setting; its successor
+system made re-synchronisation routine.  This bench measures what an
+append batch costs on our storage model (out-of-place rebuild of the
+affected heap, SKTs and indexes) across batch sizes: the per-row cost
+must fall with batch size (rebuilds amortise), which is why appends are
+batched in practice.
+"""
+
+import datetime
+
+from benchmarks.conftest import BENCH_SCALE, load_session, print_series
+
+BATCHES = (1, 10, 100, 1000)
+
+
+def _new_prescriptions(start_id, count):
+    return [
+        (
+            start_id + i,
+            (i % 10) + 1,
+            "once daily",
+            datetime.date(2007, 7, 2),
+            1 + (i % 50),
+            1 + (i % 100),
+        )
+        for i in range(count)
+    ]
+
+
+def test_t6_append_cost_vs_batch_size(benchmark):
+    def sweep():
+        rows = []
+        per_row_costs = []
+        for batch in BATCHES:
+            session, data = load_session(scale=max(4000, BENCH_SCALE // 5))
+            next_pre = len(data["prescription"]) + 1
+            session.reset_measurements()
+            report = session.append(
+                "prescription", _new_prescriptions(next_pre, batch)
+            )
+            counters = session.device.counters()
+            per_row = counters.time.total / batch
+            per_row_costs.append(per_row)
+            rows.append(
+                (
+                    batch,
+                    f"{counters.time.total * 1e3:.1f}",
+                    f"{per_row * 1e3:.2f}",
+                    counters.flash.page_writes,
+                    counters.flash.block_erases,
+                    len(report.rebuilt_indexes) + len(report.rebuilt_skts),
+                )
+            )
+        return rows, per_row_costs
+
+    rows, per_row = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "T6: maintenance cost vs append batch size (prescription table)",
+        [
+            "batch rows", "total (ms)", "per row (ms)",
+            "flash writes", "erases", "structures rebuilt",
+        ],
+        rows,
+    )
+    # Amortisation: per-row cost falls monotonically with batch size.
+    assert all(a > b for a, b in zip(per_row, per_row[1:]))
+    # A single-row append still rebuilds whole structures: expensive.
+    assert per_row[0] > 50 * per_row[-1]

@@ -1,0 +1,101 @@
+"""T8 (extension) -- device-side aggregation.
+
+Aggregates over hidden columns are the workload the paper's motivation
+implies (hospital statistics over sensitive fields).  Two measurements:
+
+* the **privacy dividend**: computing on-device means only the final
+  group rows' worth of information exists anywhere -- versus the bytes a
+  ship-the-columns design would expose on the bus;
+* the **hash -> spill crossover**: group state is RAM-budgeted, so the
+  aggregation strategy flips to an external sort when groups outgrow the
+  chip, with a visible cost step.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, load_session, print_series
+from repro.hardware.profiles import DEMO_DEVICE, TINY_DEVICE
+from repro.privacy.leakcheck import LeakChecker
+
+STUDY_SQL = """
+    SELECT Vis.Purpose, count(*), avg(Pre.Quantity)
+    FROM Prescription Pre, Visit Vis
+    WHERE Vis.VisID = Pre.VisID
+    GROUP BY Vis.Purpose
+"""
+
+MANY_GROUPS_SQL = """
+    SELECT Pre.WhenWritten, count(*)
+    FROM Prescription Pre
+    GROUP BY Pre.WhenWritten
+"""
+
+
+def test_t8_privacy_dividend(bench_session, bench_data, benchmark):
+    session = bench_session
+    checker = LeakChecker(session.schema, bench_data)
+
+    def run():
+        session.reset_measurements()
+        return session.query(STUDY_SQL)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    report = checker.check(session.usb_log)
+    boundary_bytes = sum(r.size for r in session.usb_log)
+    # What a ship-the-columns design would move: one (purpose, quantity)
+    # pair per joined row -- and the purposes are hidden.
+    shipped_bytes = len(bench_data["prescription"]) * (100 + 8)
+    print_series(
+        "T8: on-device aggregation vs shipping columns",
+        ["groups", "boundary bytes (GhostDB)", "bytes a shipper would move",
+         "leak check"],
+        [(
+            result.row_count,
+            boundary_bytes,
+            shipped_bytes,
+            "CLEAN" if report.ok else "LEAK",
+        )],
+    )
+    assert report.ok
+    assert boundary_bytes < shipped_bytes / 100
+
+
+def test_t8_hash_vs_spill_crossover(benchmark):
+    """The same many-group query on a roomy vs a starved chip."""
+
+    def run_both():
+        results = {}
+        for profile in (DEMO_DEVICE, TINY_DEVICE):
+            session, _ = load_session(
+                scale=max(4000, BENCH_SCALE // 5), profile=profile
+            )
+            session.reset_measurements()
+            result = session.query(MANY_GROUPS_SQL)
+            results[profile.name] = result
+        return results
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = []
+    for name, result in results.items():
+        m = result.metrics
+        rows.append(
+            (
+                name,
+                result.row_count,
+                f"{m.elapsed_seconds * 1e3:.2f}",
+                m.flash_page_writes,
+                m.ram_high_water,
+            )
+        )
+    print_series(
+        "T8: grouping strategy under RAM pressure (many groups)",
+        ["device", "groups", "sim time (ms)", "spill writes", "ram peak"],
+        rows,
+    )
+    roomy = results[DEMO_DEVICE.name]
+    starved = results[TINY_DEVICE.name]
+    assert sorted(roomy.rows) == sorted(starved.rows)
+    # The starved chip spilled (flash writes) and paid for it in time.
+    assert starved.metrics.flash_page_writes > roomy.metrics.flash_page_writes
+    assert (
+        starved.metrics.elapsed_seconds > roomy.metrics.elapsed_seconds
+    )
+    assert starved.metrics.ram_high_water <= TINY_DEVICE.ram_bytes

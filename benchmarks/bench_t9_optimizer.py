@@ -1,0 +1,77 @@
+"""T9 (extension) -- optimizer quality: estimated vs measured.
+
+DESIGN.md §5 claims the cost model prices plans "from the same constants
+the simulator charges".  This bench quantifies that claim across the
+integration query battery: per-candidate estimate/measurement ratios and
+the ranking accuracy the plan game depends on.
+"""
+
+from benchmarks.conftest import print_series
+from repro.optimizer.space import enumerate_strategies
+from tests.test_integration_queries import QUERIES
+
+
+def test_t9_estimate_accuracy_and_ranking(bench_session, benchmark):
+    session = bench_session
+
+    def evaluate():
+        per_query = []
+        ratios = []
+        top_picked = 0
+        near_picked = 0
+        total = 0
+        for name in sorted(QUERIES):
+            sql = QUERIES[name]
+            bound = session.bind(sql)
+            measured = []
+            estimated = []
+            for strategy in enumerate_strategies(bound):
+                session.reset_measurements()
+                result = session.query_with_strategy(sql, strategy)
+                seconds = result.metrics.elapsed_seconds
+                estimate = session.optimizer.cost_model.estimate(
+                    result.plan
+                ).seconds
+                measured.append(seconds)
+                estimated.append(estimate)
+                if seconds > 1e-4:
+                    ratios.append(estimate / seconds)
+            best_measured = min(measured)
+            chosen = estimated.index(min(estimated))
+            total += 1
+            if measured[chosen] == best_measured:
+                top_picked += 1
+            if measured[chosen] <= best_measured * 1.5:
+                near_picked += 1
+            per_query.append(
+                (
+                    name,
+                    len(measured),
+                    f"{min(ratios[-len(measured):] or [1]):.2f}-"
+                    f"{max(ratios[-len(measured):] or [1]):.2f}",
+                    f"{measured[chosen] / best_measured:.2f}x",
+                )
+            )
+        return per_query, ratios, top_picked, near_picked, total
+
+    per_query, ratios, top, near, total = benchmark.pedantic(
+        evaluate, rounds=1, iterations=1
+    )
+    print_series(
+        "T9: optimizer estimate quality per query",
+        ["query", "candidates", "est/meas ratio range", "chosen vs best"],
+        per_query,
+    )
+    geometric_mean = 1.0
+    for ratio in ratios:
+        geometric_mean *= ratio
+    geometric_mean **= 1 / max(1, len(ratios))
+    print(
+        f"  {len(ratios)} candidate plans | est/meas geometric mean "
+        f"{geometric_mean:.2f} | optimizer exactly right {top}/{total}, "
+        f"within 1.5x of best {near}/{total}"
+    )
+    # Estimates are centred (no systematic many-fold bias) ...
+    assert 0.3 < geometric_mean < 3.0
+    # ... and the pick is near-best almost always.
+    assert near >= total - 1

@@ -1,0 +1,69 @@
+"""Shared benchmark fixtures.
+
+Benchmarks report two kinds of numbers:
+
+* **simulated device time** -- the metric the paper's figures plot; it is
+  deterministic, so benches print it as the reproduced series;
+* **host wall time** via pytest-benchmark -- how fast the simulator
+  itself runs, useful for regression tracking.
+
+``GHOSTDB_BENCH_SCALE`` (default 20000 prescriptions) scales the dataset;
+set it to 1000000 to reproduce the paper's headline cardinality (slow on
+a laptop, identical in shape).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.ghostdb import GhostDB
+from repro.workload.datagen import DatasetConfig, MedicalDataGenerator
+from repro.workload.queries import DEMO_SCHEMA_DDL
+
+BENCH_SCALE = int(os.environ.get("GHOSTDB_BENCH_SCALE", "20000"))
+
+
+def load_session(scale: int = BENCH_SCALE, profile=None) -> tuple:
+    """A loaded session plus its raw dataset."""
+    from repro.hardware.profiles import DEMO_DEVICE
+
+    db = GhostDB(profile=profile or DEMO_DEVICE)
+    for ddl in DEMO_SCHEMA_DDL:
+        db.execute(ddl)
+    data = MedicalDataGenerator(
+        DatasetConfig(n_prescriptions=scale)
+    ).generate()
+    db.load(data)
+    return db, data
+
+
+@pytest.fixture(scope="session")
+def bench_data():
+    return MedicalDataGenerator(
+        DatasetConfig(n_prescriptions=BENCH_SCALE)
+    ).generate()
+
+
+@pytest.fixture(scope="session")
+def bench_session(bench_data):
+    db = GhostDB()
+    for ddl in DEMO_SCHEMA_DDL:
+        db.execute(ddl)
+    db.load(bench_data)
+    return db
+
+
+def print_series(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Print one reproduced figure/table as an aligned text table."""
+    print(f"\n=== {title} (scale={BENCH_SCALE}) ===")
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print(
+            "  " + "  ".join(str(v).ljust(w) for v, w in zip(row, widths))
+        )

@@ -1,0 +1,47 @@
+"""GhostDB reproduction: hiding data from prying eyes.
+
+A faithful, simulator-backed reimplementation of GhostDB (Salperwyck,
+Anciaux, Benzine, Bouganim, Pucheral, Shasha -- VLDB 2007): a relational
+database split between an untrusted visible side and a tamper-resistant
+smart USB device holding the hidden columns, with Subtree Key Tables,
+climbing indexes, Bloom-filter post-filtering and a Pre/Post/Cross-
+filtering optimizer.
+
+Quickstart::
+
+    from repro import GhostDB
+    from repro.workload import DEMO_SCHEMA_DDL, MedicalDataGenerator, demo_query
+
+    db = GhostDB()
+    for ddl in DEMO_SCHEMA_DDL:
+        db.execute(ddl)
+    db.load(MedicalDataGenerator().generate())
+    result = db.query(demo_query())
+    print(result.rows)
+    print(result.metrics.report())
+"""
+
+from repro.core.ghostdb import GhostDB, SessionConfig
+from repro.engine.executor import ExecConfig, QueryResult
+from repro.hardware.profiles import (
+    DEMO_DEVICE,
+    HARSH_FLASH_DEVICE,
+    HIGH_SPEED_DEVICE,
+    TINY_DEVICE,
+    HardwareProfile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEMO_DEVICE",
+    "ExecConfig",
+    "GhostDB",
+    "HARSH_FLASH_DEVICE",
+    "HIGH_SPEED_DEVICE",
+    "HardwareProfile",
+    "QueryResult",
+    "SessionConfig",
+    "TINY_DEVICE",
+    "__version__",
+]

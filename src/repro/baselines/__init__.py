@@ -1,0 +1,22 @@
+"""Baseline algorithms the paper argues against (Section 4).
+
+"We show that the first part of the problem leads to unacceptable
+performance with last resort join algorithms (like hash joins) as well as
+with known indexing techniques like join indices."
+
+* :mod:`repro.baselines.hashjoin` -- a grace hash join that genuinely
+  collides with the RAM budget and spills partitions to flash.
+* :mod:`repro.baselines.joinindex` -- classical *binary* join indices:
+  one precomputed edge at a time instead of the climbing index's direct
+  jump to the root.
+"""
+
+from repro.baselines.hashjoin import HashJoinBaseline, run_hash_join_query
+from repro.baselines.joinindex import StepwisePlanBuilder, run_join_index_query
+
+__all__ = [
+    "HashJoinBaseline",
+    "StepwisePlanBuilder",
+    "run_hash_join_query",
+    "run_join_index_query",
+]

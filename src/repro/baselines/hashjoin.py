@@ -1,0 +1,523 @@
+"""Grace hash join: the "last resort" baseline (paper, Section 4).
+
+Joins on the device without SKTs or climbing indexes: each joined table
+contributes a qualifying-ID set (from a device scan for hidden
+predicates, from the PC for visible ones); the root table is scanned and
+filtered by hash-set membership on its foreign keys.
+
+The tiny RAM is the whole story.  A membership set that fits the budget
+is built in RAM like any hash join would; one that does not triggers
+grace partitioning -- both sides are hashed into partitions *written to
+flash* and joined partition by partition.  Flash writes are 3-10x reads,
+so this is precisely the behaviour the paper calls unacceptable, and the
+benchmarks show it.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass, field
+
+from repro.engine.executor import QueryResult
+from repro.engine.metrics import ExecutionMetrics, OperatorStats
+from repro.engine.plan import PlanNode
+from repro.hardware.ram import RamExhaustedError
+from repro.sql.binder import BoundQuery, NEQ, Predicate
+from repro.storage.intlist import ID_WIDTH
+from repro.storage.runs import Run, RunReader, RunWriter
+
+_PACK = struct.Struct(">I")
+
+#: Modeled bytes of device RAM per entry of an in-RAM hash set
+#: (4 B key + bucket pointer overhead on a 32-bit chip).
+HASH_SET_ENTRY_BYTES = 12
+
+
+@dataclass
+class _HashJoinPlanStub(PlanNode):
+    """Placeholder so QueryResult.plan renders something meaningful."""
+
+    description: str = "grace hash join baseline"
+
+    def label(self) -> str:
+        return self.description
+
+
+@dataclass
+class HashJoinBaseline:
+    """Executes one bound query with hash joins on a GhostDB session."""
+
+    session: "GhostDB"  # noqa: F821
+    stats: list[OperatorStats] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+
+    def execute(self, query: BoundQuery) -> QueryResult:
+        session = self.session
+        device = session.device
+        tree = session.tree
+        root = query.root
+
+        for table, _column in query.projections:
+            if table != root and tree.parent_of(table)[0] != root:
+                raise ValueError(
+                    "the hash-join baseline projects root and depth-1 "
+                    f"tables only; {table!r} is deeper"
+                )
+
+        before = device.counters()
+
+        # 1. Qualifying-ID sets per non-root table, computed bottom-up so
+        #    deep predicates propagate through their parents.
+        id_lists = self._qualifying_ids(query)
+
+        # 2. Scan the root, apply root predicates, keep FK tuples.
+        root_tuples, tables = self._filtered_root_tuples(query)
+
+        # 3. Membership-join against each child's ID list.
+        for child_table, ids in id_lists.items():
+            if child_table == root:
+                continue
+            if child_table not in tables:
+                continue
+            position = tables.index(child_table)
+            root_tuples = self._membership_join(
+                root_tuples, position, ids, label=child_table
+            )
+
+        # 4. Project.
+        rows = self._project(query, root_tuples, tables)
+        after = device.counters()
+        metrics = ExecutionMetrics.from_counters(
+            before, after, self.stats, len(rows)
+        )
+        columns = [f"{t}.{c.name}" for t, c in query.projections]
+        return QueryResult(
+            rows=rows,
+            columns=columns,
+            metrics=metrics,
+            plan=_HashJoinPlanStub(),
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 1: per-table qualifying IDs
+    # ------------------------------------------------------------------
+
+    def _qualifying_ids(self, query: BoundQuery) -> dict[str, Run | None]:
+        """table -> Run of sorted qualifying IDs (None = unconstrained).
+
+        Constraints from descendant tables are folded into their parents
+        (a visit qualifies only if its doctor qualifies), so the final
+        root scan only needs depth-1 membership tests.
+        """
+        session = self.session
+        tree = session.tree
+        device = session.device
+        preds_by_table: dict[str, list[Predicate]] = {}
+        for predicate in query.predicates:
+            preds_by_table.setdefault(predicate.table, []).append(predicate)
+
+        runs: dict[str, Run | None] = {}
+        # Bottom-up: deepest tables first.
+        order = sorted(
+            (t for t in query.tables if t != query.root),
+            key=lambda t: -len(tree.path_to_root(t)),
+        )
+        for table in order:
+            hidden = [
+                p for p in preds_by_table.get(table, []) if p.hidden
+            ]
+            visible = [
+                p for p in preds_by_table.get(table, []) if not p.hidden
+            ]
+            child_constraints = [
+                (child, runs[child])
+                for _fk, child in tree.children_of(table)
+                if runs.get(child) is not None
+            ]
+            if not hidden and not visible and not child_constraints:
+                runs[table] = None
+                continue
+            runs[table] = self._table_ids(
+                table, hidden, visible, child_constraints
+            )
+        return runs
+
+    def _table_ids(
+        self,
+        table: str,
+        hidden: list[Predicate],
+        visible: list[Predicate],
+        child_constraints,
+    ) -> Run:
+        """Scan ``table`` (and ask the PC) for qualifying IDs."""
+        session = self.session
+        device = session.device
+        op = OperatorStats(
+            name="hj-select", detail=f"qualify {table}"
+        )
+        self.stats.append(op)
+        heap = session.hidden.heaps[table]
+        table_def = session.tree.table(table)
+
+        # Visible side first: one sorted ID run from the PC.
+        visible_run: Run | None = None
+        if visible:
+            writer = RunWriter(device, ID_WIDTH, f"hj-vis:{table}")
+            stream = None
+            for predicate in visible:
+                if stream is None:
+                    stream = set(
+                        session.link.select_ids(table, predicate)
+                    )
+                else:
+                    stream &= set(
+                        session.link.select_ids(table, predicate)
+                    )
+            for pk in sorted(stream):
+                writer.append(_PACK.pack(pk))
+            visible_run = writer.finish()
+
+        # Device scan applying hidden predicates and child memberships.
+        child_sets = [
+            (self._fk_index(table, child), run)
+            for child, run in child_constraints
+        ]
+        writer = RunWriter(device, ID_WIDTH, f"hj-ids:{table}")
+        scan_tuples = self._scan_with_predicates(
+            heap, table_def, hidden,
+            extra_fields=[idx for idx, _run in child_sets],
+        )
+        if child_sets:
+            arity = 1 + len(child_sets)
+            run = self._materialise(scan_tuples, arity)
+            for i, (_idx, child_run) in enumerate(child_sets):
+                run = self._membership_join(
+                    run, 1 + i, child_run, label=f"{table}-child"
+                )
+            for tup in self._replay(run, arity):
+                writer.append(_PACK.pack(tup[0]))
+                op.tuples_out += 1
+        else:
+            for tup in scan_tuples:
+                writer.append(_PACK.pack(tup[0]))
+                op.tuples_out += 1
+        scanned = writer.finish()
+
+        if visible_run is None:
+            return scanned
+        # Intersect the scanned run with the visible run (sorted merge).
+        merged = self._intersect_runs(scanned, visible_run, table)
+        scanned.free(device)
+        visible_run.free(device)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Root scan
+    # ------------------------------------------------------------------
+
+    def _filtered_root_tuples(self, query: BoundQuery):
+        session = self.session
+        tree = session.tree
+        root = query.root
+        heap = session.hidden.heaps[root]
+        table_def = tree.table(root)
+        hidden = [
+            p for p in query.predicates if p.table == root and p.hidden
+        ]
+        visible = [
+            p for p in query.predicates if p.table == root and not p.hidden
+        ]
+        fk_children = [
+            (table_def.device_column_index(fk), child)
+            for fk, child in tree.children_of(root)
+            if child in query.tables
+        ]
+        tables = [root] + [child for _idx, child in fk_children]
+        op = OperatorStats(name="hj-root-scan", detail=root)
+        self.stats.append(op)
+
+        tuples = self._scan_with_predicates(
+            heap, table_def, hidden,
+            extra_fields=[idx for idx, _child in fk_children],
+        )
+        run = self._materialise(tuples, len(tables), count_into=op)
+        if visible:
+            # Root visible predicates: intersect with the PC's ID run.
+            ids = None
+            for predicate in visible:
+                got = set(session.link.select_ids(root, predicate))
+                ids = got if ids is None else ids & got
+            writer = RunWriter(
+                session.device, ID_WIDTH, f"hj-vis:{root}"
+            )
+            for pk in sorted(ids):
+                writer.append(_PACK.pack(pk))
+            vis_run = writer.finish()
+            run = self._membership_join(run, 0, vis_run, label=root)
+            vis_run.free(session.device)
+        return run, tables
+
+    # ------------------------------------------------------------------
+    # Membership join with grace spilling
+    # ------------------------------------------------------------------
+
+    def _membership_join(
+        self, tuples_run: Run, key_position: int, ids_run: Run | None,
+        label: str,
+    ) -> Run:
+        """Filter a tuple run by membership of one field in an ID run."""
+        device = self.session.device
+        if ids_run is None:
+            return tuples_run
+        op = OperatorStats(name="hj-membership", detail=label)
+        self.stats.append(op)
+        needed = ids_run.count * HASH_SET_ENTRY_BYTES
+        try:
+            alloc = device.ram.allocate(needed, f"hj-set:{label}")
+        except RamExhaustedError:
+            op.detail += " [grace spill]"
+            return self._grace_join(
+                tuples_run, key_position, ids_run, label, op
+            )
+        try:
+            op.ram_bytes = needed
+            members = set()
+            with RunReader(device, ids_run, f"hj-ids:{label}") as reader:
+                for raw in reader:
+                    device.chip.charge("hash")
+                    members.add(_PACK.unpack(raw)[0])
+            out = RunWriter(device, tuples_run.record_width, f"hj-out:{label}")
+            arity = tuples_run.record_width // ID_WIDTH
+            with RunReader(device, tuples_run, f"hj-in:{label}") as reader:
+                for raw in reader:
+                    device.chip.charge("hash")
+                    key = _PACK.unpack_from(
+                        raw, key_position * ID_WIDTH
+                    )[0]
+                    if key in members:
+                        out.append(raw)
+                        op.tuples_out += 1
+            result = out.finish()
+        finally:
+            alloc.release()
+        tuples_run.free(device)
+        return result
+
+    def _grace_join(
+        self, tuples_run: Run, key_position: int, ids_run: Run | None,
+        label: str, op: OperatorStats,
+    ) -> Run:
+        """Partition both sides to flash, join partition by partition."""
+        device = self.session.device
+        budget = max(ID_WIDTH * 64, device.ram.available // 2)
+        partitions = max(
+            2,
+            math.ceil(ids_run.count * HASH_SET_ENTRY_BYTES / budget),
+        )
+        # One page buffer per open partition writer: the fan-out itself
+        # is RAM-limited, so huge inputs recurse instead (multi-level
+        # grace partitioning, as on real hardware).
+        page = device.profile.page_size
+        max_fanout = max(2, device.ram.available // (2 * page) - 1)
+        partitions = min(partitions, max_fanout)
+        op.ram_bytes = budget
+
+        def partition_run(run: Run, pos: int, tag: str) -> list[Run]:
+            writers = [
+                RunWriter(device, run.record_width, f"hj-part:{tag}:{p}")
+                for p in range(partitions)
+            ]
+            with RunReader(device, run, f"hj-split:{tag}") as reader:
+                for raw in reader:
+                    device.chip.charge("hash")
+                    key = _PACK.unpack_from(raw, pos * ID_WIDTH)[0]
+                    writers[key % partitions].append(raw)
+            return [w.finish() for w in writers]
+
+        id_parts = partition_run(ids_run, 0, f"{label}-ids")
+        tuple_parts = partition_run(tuples_run, key_position, f"{label}-tup")
+        tuples_run.free(device)
+        out = RunWriter(device, tuple_parts[0].record_width, f"hj-out:{label}")
+        for id_part, tuple_part in zip(id_parts, tuple_parts):
+            needed = max(1, id_part.count) * HASH_SET_ENTRY_BYTES
+            try:
+                alloc = device.ram.allocate(needed, f"hj-set:{label}")
+            except RamExhaustedError:
+                # Partition still too big for RAM: recurse (multi-level
+                # grace partitioning).
+                sub = self._grace_join(
+                    tuple_part, key_position, id_part, f"{label}*", op
+                )
+                with RunReader(device, sub, "hj-cat") as reader:
+                    for raw in reader:
+                        out.append(raw)
+                sub.free(device)
+                id_part.free(device)
+                continue
+            try:
+                members = set()
+                with RunReader(device, id_part, "hj-p-ids") as reader:
+                    for raw in reader:
+                        device.chip.charge("hash")
+                        members.add(_PACK.unpack(raw)[0])
+                with RunReader(device, tuple_part, "hj-p-tup") as reader:
+                    for raw in reader:
+                        device.chip.charge("hash")
+                        key = _PACK.unpack_from(
+                            raw, key_position * ID_WIDTH
+                        )[0]
+                        if key in members:
+                            out.append(raw)
+                            op.tuples_out += 1
+            finally:
+                alloc.release()
+            id_part.free(device)
+            tuple_part.free(device)
+        return out.finish()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _fk_index(self, table: str, child: str) -> int:
+        table_def = self.session.tree.table(table)
+        for fk, ch in self.session.tree.children_of(table):
+            if ch == child:
+                return table_def.device_column_index(fk)
+        raise KeyError(f"{table} has no FK to {child}")
+
+    def _scan_with_predicates(self, heap, table_def, predicates, extra_fields):
+        device = self.session.device
+        field_of = {
+            p.column: table_def.device_column_index(p.column)
+            for p in predicates
+        }
+        with heap.reader(f"hj-scan:{heap.name}") as reader:
+            for raw in reader.scan():
+                ok = True
+                for predicate in predicates:
+                    value = heap.codec.decode_field(
+                        raw, field_of[predicate.column]
+                    )
+                    device.chip.charge("decode_field")
+                    device.chip.charge("compare")
+                    if not predicate.matches(value):
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                pk = heap.codec.decode_field(raw, heap.pk_field)
+                extras = tuple(
+                    heap.codec.decode_field(raw, idx) for idx in extra_fields
+                )
+                device.chip.charge("decode_field", 1 + len(extra_fields))
+                yield (pk,) + extras
+
+    def _materialise(self, tuples, arity: int, count_into=None) -> Run:
+        device = self.session.device
+        writer = RunWriter(device, arity * ID_WIDTH, "hj-materialise")
+        for tup in tuples:
+            writer.append(b"".join(_PACK.pack(v) for v in tup))
+            if count_into is not None:
+                count_into.tuples_out += 1
+        return writer.finish()
+
+    def _replay(self, run: Run, arity: int):
+        device = self.session.device
+        with RunReader(device, run, "hj-replay") as reader:
+            for raw in reader:
+                yield tuple(
+                    _PACK.unpack_from(raw, i * ID_WIDTH)[0]
+                    for i in range(arity)
+                )
+        run.free(device)
+
+    def _intersect_runs(self, a: Run, b: Run, label: str) -> Run:
+        device = self.session.device
+        out = RunWriter(device, ID_WIDTH, f"hj-intersect:{label}")
+        with RunReader(device, a, "hj-a") as ra, RunReader(
+            device, b, "hj-b"
+        ) as rb:
+            ia, ib = iter(ra), iter(rb)
+            va, vb = next(ia, None), next(ib, None)
+            while va is not None and vb is not None:
+                device.chip.charge("compare")
+                if va == vb:
+                    out.append(va)
+                    va, vb = next(ia, None), next(ib, None)
+                elif va < vb:
+                    va = next(ia, None)
+                else:
+                    vb = next(ib, None)
+        return out.finish()
+
+    def _project(self, query: BoundQuery, tuples_run: Run, tables) -> list:
+        session = self.session
+        device = session.device
+        op = OperatorStats(name="hj-project")
+        self.stats.append(op)
+        arity = len(tables)
+        visible_cols: dict[str, list[str]] = {}
+        for table, column in query.projections:
+            if not column.hidden and not column.primary_key:
+                visible_cols.setdefault(table, []).append(column.name.lower())
+        readers = {}
+        rows = []
+        try:
+            batch = []
+            for tup in self._replay(tuples_run, arity):
+                batch.append(tup)
+            fetched: dict[str, dict[int, tuple]] = {}
+            for table, cols in visible_cols.items():
+                position = tables.index(table)
+                ids = sorted({t[position] for t in batch})
+                fetched[table] = session.link.fetch_values(table, ids, cols)
+            for tup in batch:
+                out = []
+                usable = True
+                for table, column in query.projections:
+                    position = tables.index(table)
+                    key = tup[position]
+                    if column.primary_key:
+                        out.append(key)
+                    elif column.hidden:
+                        heap = session.hidden.heaps[table]
+                        if table not in readers:
+                            readers[table] = heap.reader(f"hj-proj:{table}")
+                        field_idx = session.tree.table(
+                            table
+                        ).device_column_index(column.name)
+                        off, width = heap.codec.field_slice(field_idx)
+                        rowid = heap.rowid_for_pk(key)
+                        raw = readers[table].field(rowid, off, width)
+                        device.chip.charge("decode_field")
+                        out.append(heap.codec.types[field_idx].decode(raw))
+                    else:
+                        values = fetched[table].get(key)
+                        if values is None:
+                            usable = False
+                            break
+                        col_pos = visible_cols[table].index(
+                            column.name.lower()
+                        )
+                        out.append(values[col_pos])
+                if usable:
+                    rows.append(tuple(out))
+                    op.tuples_out += 1
+        finally:
+            for reader in readers.values():
+                reader.close()
+        return rows
+
+
+def run_hash_join_query(session, sql: str) -> QueryResult:
+    """Execute ``sql`` on a loaded GhostDB session via the baseline."""
+    bound = session.bind(sql)
+    for predicate in bound.predicates:
+        if predicate.kind == NEQ:
+            raise ValueError(
+                "the hash-join baseline does not evaluate <> predicates"
+            )
+    return HashJoinBaseline(session).execute(bound)

@@ -1,0 +1,32 @@
+"""Schema catalog: tables, HIDDEN columns, tree-schema analysis, stats.
+
+GhostDB changes the schema language in exactly one way -- the ``HIDDEN``
+keyword on column definitions -- and derives everything else from the
+foreign-key structure: the join tree, where each column lives (device vs
+public), which Subtree Key Tables exist, and which climbing indexes make
+sense.  This package holds that derived knowledge plus the per-column
+statistics the optimizer's cost model consumes.
+"""
+
+from repro.catalog.schema import (
+    ColumnDef,
+    ForeignKey,
+    Schema,
+    SchemaError,
+    TableDef,
+)
+from repro.catalog.tree import SchemaTree, TreeSchemaError
+from repro.catalog.statistics import ColumnStats, StatisticsCollector, TableStats
+
+__all__ = [
+    "ColumnDef",
+    "ColumnStats",
+    "ForeignKey",
+    "Schema",
+    "SchemaError",
+    "SchemaTree",
+    "StatisticsCollector",
+    "TableDef",
+    "TableStats",
+    "TreeSchemaError",
+]

@@ -1,0 +1,170 @@
+"""Tree-schema analysis.
+
+The paper's indexing model assumes a *tree schema*: foreign keys form a
+tree whose root is the fact table (Prescription in Figure 3).  We say a
+table ``P`` is the **parent** of ``C`` when ``P`` has a foreign key to
+``C`` -- so the root references its children, and "climbing" from a table
+toward the root follows referencing tables (Doctor -> Visit ->
+Prescription, the path a climbing index on Doctor.Country precomputes).
+
+:class:`SchemaTree` validates the shape (single root; every non-root table
+referenced by exactly one table; no cycles) and answers the structural
+questions the index builders and the optimizer ask: parent/children,
+path-to-root, subtree membership, and which Subtree Key Tables exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import Schema, SchemaError, TableDef
+
+
+class TreeSchemaError(SchemaError):
+    """The foreign keys do not form a tree."""
+
+
+@dataclass
+class SchemaTree:
+    """The join tree derived from a validated :class:`Schema`."""
+
+    schema: Schema
+    root: str = field(init=False)
+    #: child table -> (parent table, parent's FK column name)
+    _parent: dict[str, tuple[str, str]] = field(init=False)
+    #: parent table -> list of (fk column name, child table)
+    _children: dict[str, list[tuple[str, str]]] = field(init=False)
+
+    def __post_init__(self):
+        self.schema.validate()
+        parent: dict[str, tuple[str, str]] = {}
+        children: dict[str, list[tuple[str, str]]] = {
+            t.name.lower(): [] for t in self.schema
+        }
+        for table in self.schema:
+            for col in table.foreign_keys:
+                child = col.references.table.lower()
+                if child == table.name.lower():
+                    raise TreeSchemaError(
+                        f"{table.name} references itself; tree schemas "
+                        f"cannot contain self-joins"
+                    )
+                if child in parent:
+                    raise TreeSchemaError(
+                        f"table {col.references.table!r} is referenced by "
+                        f"both {parent[child][0]!r} and {table.name!r}; "
+                        f"a tree schema allows one referencing table"
+                    )
+                parent[child] = (table.name.lower(), col.name)
+                children[table.name.lower()].append((col.name, child))
+        roots = [
+            t.name.lower() for t in self.schema if t.name.lower() not in parent
+        ]
+        if len(self.schema) == 0:
+            raise TreeSchemaError("empty schema")
+        if len(roots) != 1:
+            raise TreeSchemaError(
+                f"a tree schema needs exactly one root table (not "
+                f"referenced by any other); found {sorted(roots)!r}"
+            )
+        # Reachability check: every table must hang off the root.
+        reachable = set()
+        stack = [roots[0]]
+        while stack:
+            node = stack.pop()
+            if node in reachable:
+                raise TreeSchemaError(f"cycle through table {node!r}")
+            reachable.add(node)
+            stack.extend(child for _fk, child in children[node])
+        missing = {t.name.lower() for t in self.schema} - reachable
+        if missing:
+            raise TreeSchemaError(
+                f"tables {sorted(missing)!r} are not connected to the "
+                f"root {roots[0]!r}"
+            )
+        self.root = roots[0]
+        self._parent = parent
+        self._children = children
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    def table(self, name: str) -> TableDef:
+        return self.schema.table(name)
+
+    def parent_of(self, name: str) -> tuple[str, str] | None:
+        """(parent table, parent's FK column) or None for the root."""
+        return self._parent.get(name.lower())
+
+    def children_of(self, name: str) -> list[tuple[str, str]]:
+        """[(fk column on ``name``, child table), ...]."""
+        return list(self._children[name.lower()])
+
+    def path_to_root(self, name: str) -> list[str]:
+        """Tables from ``name`` (inclusive) up to the root (inclusive)."""
+        name = name.lower()
+        if name not in self._children:
+            raise SchemaError(f"unknown table {name!r}")
+        path = [name]
+        while path[-1] in self._parent:
+            path.append(self._parent[path[-1]][0])
+        return path
+
+    def ancestors_of(self, name: str) -> list[str]:
+        """Tables strictly above ``name`` on the way to the root."""
+        return self.path_to_root(name)[1:]
+
+    def subtree_of(self, name: str) -> list[str]:
+        """``name`` plus every table it (transitively) references.
+
+        The order is a pre-order walk, so the subtree root comes first --
+        the column order of its Subtree Key Table.
+        """
+        result = []
+        stack = [name.lower()]
+        while stack:
+            node = stack.pop(0)
+            result.append(node)
+            stack = [child for _fk, child in self._children[node]] + stack
+        return result
+
+    def skt_roots(self) -> list[str]:
+        """Tables that get a Subtree Key Table: every internal node."""
+        return [
+            name for name, kids in self._children.items() if kids
+        ]
+
+    def is_ancestor(self, ancestor: str, descendant: str) -> bool:
+        """True when ``ancestor`` lies on ``descendant``'s path to root.
+
+        A table counts as its own ancestor, matching the climbing index's
+        level set (T itself plus each table above it).
+        """
+        return ancestor.lower() in self.path_to_root(descendant)
+
+    def query_root(self, tables: list[str]) -> str:
+        """The member of ``tables`` that is an ancestor of all the others.
+
+        SPJ queries in GhostDB address a connected subtree; its top table
+        anchors the plan (its IDs are what all predicates convert into).
+        """
+        candidates = [t.lower() for t in tables]
+        for cand in candidates:
+            if all(self.is_ancestor(cand, other) for other in candidates):
+                return cand
+        raise SchemaError(
+            f"tables {sorted(candidates)!r} have no common subtree root "
+            f"among themselves; GhostDB queries must cover a connected "
+            f"subtree of the schema tree"
+        )
+
+    def steps_between(self, ancestor: str, descendant: str) -> int:
+        """Number of edges from ``descendant`` up to ``ancestor``."""
+        path = self.path_to_root(descendant)
+        try:
+            return path.index(ancestor.lower())
+        except ValueError:
+            raise SchemaError(
+                f"{ancestor!r} is not an ancestor of {descendant!r}"
+            ) from None

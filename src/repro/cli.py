@@ -1,0 +1,229 @@
+"""Interactive GhostDB shell.
+
+``python -m repro`` builds a demo-schema session over the synthetic
+medical dataset and drops into a small REPL: type SQL to run it, or a
+dot-command for the demo-style views.
+
+Commands::
+
+    <sql>;              run a statement (SELECT / INSERT before load)
+    .explain <sql>      show the chosen plan with cost estimates
+    .analyze <sql>      run and show estimated-vs-measured per node
+    .plans <sql>        rank every Pre/Post strategy by estimate
+    .spy [n]            the last n captured boundary messages (default 20)
+    .leaks              leak-check the captured traffic
+    .schema             table definitions with hidden markers
+    .storage            the device's flash footprint report
+    .game [sql]         play the find-the-fastest-plan game
+    .reset              clear measurements and the traffic log
+    .help               this text
+    .quit               leave
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.ghostdb import GhostDB
+from repro.engine.executor import QueryResult
+from repro.hardware import profiles
+from repro.privacy.leakcheck import LeakChecker
+from repro.privacy.spy import SpyView
+from repro.workload.datagen import DatasetConfig, MedicalDataGenerator
+from repro.workload.queries import DEMO_SCHEMA_DDL, demo_query
+
+PROFILES = {
+    "demo": profiles.DEMO_DEVICE,
+    "harsh-flash": profiles.HARSH_FLASH_DEVICE,
+    "high-speed": profiles.HIGH_SPEED_DEVICE,
+    "tiny": profiles.TINY_DEVICE,
+}
+
+
+class Shell:
+    """One interactive session over a loaded GhostDB."""
+
+    def __init__(self, scale: int = 10_000, profile: str = "demo",
+                 out=None):
+        self.out = out or sys.stdout
+        self.db = GhostDB(profile=PROFILES[profile])
+        for ddl in DEMO_SCHEMA_DDL:
+            self.db.execute(ddl)
+        self.data = MedicalDataGenerator(
+            DatasetConfig(n_prescriptions=scale)
+        ).generate()
+        self.db.load(self.data)
+        self.checker = LeakChecker(self.db.schema, self.data)
+        self._print(
+            f"GhostDB shell -- {scale} prescriptions on "
+            f"{PROFILES[profile].name}.  .help for commands."
+        )
+
+    # ------------------------------------------------------------------
+
+    def _print(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    def handle(self, line: str) -> bool:
+        """Process one input line; returns False when the shell quits."""
+        line = line.strip().rstrip(";").strip()
+        if not line:
+            return True
+        try:
+            if line.startswith("."):
+                return self._command(line)
+            self._run_sql(line)
+        except Exception as exc:  # surface, keep the shell alive
+            self._print(f"error: {exc}")
+        return True
+
+    def _command(self, line: str) -> bool:
+        parts = line.split(None, 1)
+        name = parts[0].lower()
+        argument = parts[1] if len(parts) > 1 else ""
+        if name in (".quit", ".exit"):
+            return False
+        if name == ".help":
+            self._print(__doc__)
+        elif name == ".explain":
+            self._print(self.db.explain(argument or demo_query()))
+        elif name == ".analyze":
+            report, result = self.db.explain_analyze(
+                argument or demo_query()
+            )
+            self._print(report)
+            self._print(f"({result.row_count} rows)")
+        elif name == ".plans":
+            sql = argument or demo_query()
+            bound = self.db.bind(sql)
+            for ranked in self.db.rank_plans(sql):
+                self._print(
+                    f"  {ranked.estimate.seconds * 1e3:9.3f} ms est  "
+                    f"{ranked.strategy.label(bound)}"
+                )
+        elif name == ".spy":
+            count = int(argument) if argument else 20
+            spy = SpyView(self.db.usb_log[-count:])
+            self._print(spy.transcript())
+        elif name == ".leaks":
+            self._print(self.checker.check(self.db.usb_log).summary())
+        elif name == ".schema":
+            self._show_schema()
+        elif name == ".storage":
+            self._show_storage()
+        elif name == ".game":
+            self._play_game(argument or demo_query())
+        elif name == ".reset":
+            self.db.reset_measurements()
+            self._print("measurements and traffic log cleared")
+        else:
+            self._print(f"unknown command {name!r}; .help lists commands")
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _run_sql(self, sql: str) -> None:
+        result = self.db.execute(sql)
+        if not isinstance(result, QueryResult):
+            self._print("ok")
+            return
+        self._print("  ".join(result.columns))
+        for row in result.rows[:50]:
+            self._print("  ".join(str(v) for v in row))
+        if result.row_count > 50:
+            self._print(f"... ({result.row_count} rows total)")
+        m = result.metrics
+        self._print(
+            f"-- {result.row_count} rows | {m.elapsed_seconds * 1e3:.2f} ms "
+            f"simulated | ram {m.ram_high_water} B | "
+            f"flash {m.flash_page_reads}r/{m.flash_page_writes}w | "
+            f"usb {m.usb_messages} msgs"
+        )
+
+    def _show_schema(self) -> None:
+        for table in self.db.schema:
+            self._print(table.name)
+            for column in table.columns:
+                marks = []
+                if column.primary_key:
+                    marks.append("PRIMARY KEY")
+                if column.references:
+                    marks.append(
+                        f"REFERENCES {column.references.table}"
+                        f"({column.references.column})"
+                    )
+                if column.hidden:
+                    marks.append("HIDDEN")
+                suffix = (" " + " ".join(marks)) if marks else ""
+                self._print(
+                    f"  {column.name} {column.dtype.sql_name()}{suffix}"
+                )
+
+    def _show_storage(self) -> None:
+        report = self.db.hidden.storage_report()
+        self._print("device flash footprint:")
+        for name, size in sorted(report.heap_bytes.items()):
+            self._print(f"  heap {name:24s} {size / 1024:8.0f} KiB")
+        for name, size in sorted(report.skt_bytes.items()):
+            self._print(f"  {name:29s} {size / 1024:8.0f} KiB")
+        for name, size in sorted(report.index_bytes.items()):
+            self._print(f"  {name:29s} {size / 1024:8.0f} KiB")
+        self._print(
+            f"  total base {report.base_total / 1024:.0f} KiB, "
+            f"indexes {report.index_total / 1024:.0f} KiB"
+        )
+
+    def _play_game(self, sql: str) -> None:
+        from repro.demo.game import PlanGame
+
+        game = PlanGame(self.db, sql)
+        for i, label in enumerate(game.candidates()):
+            self._print(f"  [{i}] {label}")
+        outcome = game.play()
+        self._print(outcome.leaderboard())
+
+    # ------------------------------------------------------------------
+
+    def repl(self, stdin=None) -> None:
+        stdin = stdin or sys.stdin
+        prompt = "ghostdb> "
+        while True:
+            self.out.write(prompt)
+            self.out.flush()
+            line = stdin.readline()
+            if not line:
+                break
+            if not self.handle(line):
+                break
+        self._print("bye")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="GhostDB interactive shell"
+    )
+    parser.add_argument(
+        "--scale", type=int, default=10_000,
+        help="prescriptions in the synthetic dataset (default 10000)",
+    )
+    parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default="demo",
+        help="hardware profile of the simulated device",
+    )
+    parser.add_argument(
+        "--query", action="append", default=None,
+        help="run this statement and exit (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    shell = Shell(scale=args.scale, profile=args.profile)
+    if args.query:
+        for sql in args.query:
+            shell.handle(sql)
+        return 0
+    shell.repl()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

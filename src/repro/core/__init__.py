@@ -1,0 +1,5 @@
+"""Public facade: the GhostDB session."""
+
+from repro.core.ghostdb import GhostDB
+
+__all__ = ["GhostDB"]

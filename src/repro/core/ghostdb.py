@@ -1,0 +1,329 @@
+"""The GhostDB session: one object spanning both sides of the boundary.
+
+A session owns the simulated smart USB device (hidden side), the visible
+site (PC / public server), the USB link between them, the catalog, the
+optimizer and the executor.  The API mirrors how the paper describes use:
+
+* declare the schema with standard ``CREATE TABLE`` statements carrying
+  the ``HIDDEN`` keyword,
+* load data once, in a secure setting (the loader splits each row into
+  its public and device parts),
+* issue unchanged SQL; the optimizer picks a Pre/Post/Cross-filtering
+  plan, and the result comes back via the secure rendering path, never
+  over the observable link.
+
+Example::
+
+    db = GhostDB()
+    for ddl in DEMO_SCHEMA_DDL:
+        db.execute(ddl)
+    db.load(MedicalDataGenerator().generate())
+    result = db.query(demo_query())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.schema import Schema, SchemaError
+from repro.catalog.tree import SchemaTree
+from repro.engine.database import HiddenDatabase
+from repro.engine.executor import ExecConfig, Executor, QueryResult
+from repro.engine.plan import Project
+from repro.hardware.device import SmartUsbDevice
+from repro.hardware.profiles import DEMO_DEVICE, HardwareProfile
+from repro.optimizer.explain import explain_plan
+from repro.optimizer.optimizer import Optimizer, RankedPlan
+from repro.optimizer.space import PlanBuilder, Strategy
+from repro.sql import ast
+from repro.sql.binder import Binder, BoundQuery
+from repro.sql.ddl import create_table
+from repro.sql.parser import parse_statement
+from repro.visible.link import DeviceLink
+from repro.visible.site import VisibleSite
+
+
+class SessionError(RuntimeError):
+    """The session was used out of order (e.g. query before load)."""
+
+
+@dataclass
+class SessionConfig:
+    """Session-wide tunables."""
+
+    exec_config: ExecConfig = None
+    id_batch: int = 256
+    index_columns: list | None = None
+
+    def __post_init__(self):
+        if self.exec_config is None:
+            self.exec_config = ExecConfig()
+
+
+class GhostDB:
+    """A complete GhostDB instance over a simulated device."""
+
+    def __init__(
+        self,
+        profile: HardwareProfile = DEMO_DEVICE,
+        config: SessionConfig | None = None,
+    ):
+        self.profile = profile
+        self.config = config or SessionConfig()
+        self.device = SmartUsbDevice(profile)
+        self.schema = Schema()
+        self.tree: SchemaTree | None = None
+        self.site: VisibleSite | None = None
+        self.hidden: HiddenDatabase | None = None
+        self.link: DeviceLink | None = None
+        self.executor: Executor | None = None
+        self.optimizer: Optimizer | None = None
+        self._pending_inserts: dict[str, list[tuple]] = {}
+
+    # ------------------------------------------------------------------
+    # DDL / DML
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str):
+        """Execute one statement: CREATE TABLE, INSERT, or SELECT."""
+        statement = parse_statement(sql)
+        if isinstance(statement, ast.CreateTable):
+            if self.tree is not None:
+                raise SessionError(
+                    "schema is frozen once data is loaded"
+                )
+            return create_table(self.schema, statement)
+        if isinstance(statement, ast.Insert):
+            return self._buffer_insert(statement)
+        if isinstance(statement, ast.Select):
+            return self._run_select(statement, sql)
+        raise SessionError(f"unsupported statement {type(statement).__name__}")
+
+    def _buffer_insert(self, statement: ast.Insert) -> int:
+        """INSERTs are buffered; :meth:`load` flushes them.
+
+        The device is loaded once in a secure setting (Section 2), so the
+        session collects inserts and loads them together.
+        """
+        if self.tree is not None:
+            raise SessionError(
+                "data is loaded; GhostDB devices are loaded once, in a "
+                "secure setting"
+            )
+        table = self.schema.table(statement.table)
+        for row in statement.values:
+            if len(row) != len(table.columns):
+                raise SchemaError(
+                    f"{table.name}: INSERT arity {len(row)} != "
+                    f"{len(table.columns)} columns"
+                )
+            normalised = tuple(
+                col.dtype.validate(value)
+                for col, value in zip(table.columns, row)
+            )
+            self._pending_inserts.setdefault(
+                table.name.lower(), []
+            ).append(normalised)
+        return len(statement.values)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def load(self, rows_by_table: dict[str, list] | None = None) -> None:
+        """Split and load the database onto both sides; build indexes.
+
+        ``rows_by_table`` maps table name -> full rows in schema column
+        order, sorted by primary key.  Buffered INSERTs are merged in.
+        """
+        if self.tree is not None:
+            raise SessionError("data is already loaded")
+        rows_by_table = {
+            name.lower(): list(rows)
+            for name, rows in (rows_by_table or {}).items()
+        }
+        for name, rows in self._pending_inserts.items():
+            rows_by_table.setdefault(name, []).extend(rows)
+            rows_by_table[name].sort(
+                key=lambda r, t=self.schema.table(name): r[
+                    t.column_index(t.pk.name)
+                ]
+            )
+        self._pending_inserts.clear()
+        for table in self.schema:
+            rows_by_table.setdefault(table.name.lower(), [])
+
+        self.tree = SchemaTree(self.schema)
+        self.site = VisibleSite(self.schema)
+        for name, rows in rows_by_table.items():
+            self.site.load(name, rows)
+        self.hidden = HiddenDatabase.load(
+            self.device,
+            self.tree,
+            rows_by_table,
+            index_columns=self.config.index_columns,
+        )
+        # Batch sizes scale with the chip's RAM: receive buffers are real
+        # allocations, so a 16 KB device cannot afford 64 KB-class batches.
+        id_batch = min(self.config.id_batch, max(32, self.profile.ram_bytes // 256))
+        exec_config = self.config.exec_config
+        fetch_batch = min(
+            exec_config.fetch_batch, max(8, self.profile.ram_bytes // 512)
+        )
+        exec_config = ExecConfig(
+            max_fan_in=exec_config.max_fan_in,
+            bloom_fp_target=exec_config.bloom_fp_target,
+            fetch_batch=fetch_batch,
+        )
+        self.link = DeviceLink(
+            self.device, self.site, id_batch=id_batch, fetch_batch=fetch_batch
+        )
+        self.executor = Executor(
+            self.device, self.link, self.hidden, exec_config
+        )
+        self.optimizer = Optimizer(
+            self.hidden,
+            self.site,
+            self.profile,
+            fan_in=self.config.exec_config.max_fan_in,
+            bloom_fp_target=self.config.exec_config.bloom_fp_target,
+        )
+        # Loading is not part of any query measurement.
+        self.device.reset_measurements()
+
+    def _require_loaded(self) -> None:
+        if self.tree is None:
+            raise SessionError("load data before querying")
+
+    def append(self, table: str, rows: list[tuple]):
+        """Append rows after the initial load (a re-synchronisation
+        session over the secure channel).
+
+        Splits each full row like the loader does, rebuilds the affected
+        device structures (an out-of-place, GC-feeding operation whose
+        cost shows up in the device counters), and updates the visible
+        site.  Returns the maintenance report.
+        """
+        from repro.engine.maintenance import append_rows
+
+        self._require_loaded()
+        table_def = self.schema.table(table)
+        validated = [
+            tuple(
+                col.dtype.validate(value)
+                for col, value in zip(table_def.columns, row)
+            )
+            for row in rows
+        ]
+        report = append_rows(self.hidden, table, validated)
+        self.site.append(table, validated)
+        return report
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def bind(self, sql: str) -> BoundQuery:
+        """Parse and bind a SELECT without running it."""
+        self._require_loaded()
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.Select):
+            raise SessionError("bind() expects a SELECT")
+        return Binder(self.tree).bind(statement)
+
+    def _announce_query(self, sql: str) -> None:
+        """Ship the query text to the device, as the terminal would.
+
+        The paper accepts that the spy learns "the queries he poses";
+        this makes that observable in the captured traffic.
+        """
+        from repro.hardware.usb import Direction
+
+        self.device.usb.transfer(
+            Direction.TO_DEVICE, "query", sql.strip().encode("utf-8"),
+            description="query text from the terminal",
+        )
+
+    def _run_select(self, statement: ast.Select, sql: str = "") -> QueryResult:
+        self._require_loaded()
+        if sql:
+            self._announce_query(sql)
+        bound = Binder(self.tree).bind(statement)
+        ranked = self.optimizer.optimize(bound)
+        return self.executor.execute(ranked.plan)
+
+    def query(self, sql: str) -> QueryResult:
+        """Optimize and execute a SELECT; returns rows plus metrics."""
+        result = self.execute(sql)
+        if not isinstance(result, QueryResult):
+            raise SessionError("query() expects a SELECT statement")
+        return result
+
+    def query_with_strategy(self, sql: str, strategy: Strategy) -> QueryResult:
+        """Execute with an explicit PRE/POST assignment (the demo GUI's
+        ad-hoc plan building)."""
+        self._announce_query(sql)
+        bound = self.bind(sql)
+        builder = PlanBuilder(self.hidden, bound)
+        plan = builder.build(strategy)
+        self.optimizer.annotate(plan)
+        return self.executor.execute(plan)
+
+    def execute_plan(self, plan: Project) -> QueryResult:
+        """Execute a hand-built plan (demo phase 2/3)."""
+        self._require_loaded()
+        return self.executor.execute(plan)
+
+    def rank_plans(self, sql: str) -> list[RankedPlan]:
+        """All candidate plans, cheapest estimate first."""
+        bound = self.bind(sql)
+        return self.optimizer.rank(bound)
+
+    def explain(self, sql: str) -> str:
+        """The chosen plan with per-node estimates."""
+        bound = self.bind(sql)
+        best = self.optimizer.optimize(bound)
+        return explain_plan(best.plan, self.optimizer.cost_model)
+
+    def explain_analyze(self, sql: str) -> tuple[str, QueryResult]:
+        """Execute the chosen plan and report estimated vs measured
+        statistics per node (plus the result itself)."""
+        from repro.optimizer.explain import explain_analyze
+
+        self._announce_query(sql)
+        bound = self.bind(sql)
+        best = self.optimizer.optimize(bound)
+        result = self.executor.execute(best.plan)
+        report = explain_analyze(best.plan, self.optimizer.cost_model)
+        return report, result
+
+    # ------------------------------------------------------------------
+    # Persistence (unplug / replug the key)
+    # ------------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Persist the whole session -- flash image, indexes, wear
+        counters, visible store -- to ``path``."""
+        from repro.core.persistence import save_session
+
+        save_session(self, path)
+
+    @classmethod
+    def restore(cls, path: str) -> "GhostDB":
+        """Reopen a session saved with :meth:`save`."""
+        from repro.core.persistence import load_session
+
+        return load_session(path)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def reset_measurements(self) -> None:
+        """Zero clock/traffic/counters between measured queries."""
+        self.device.reset_measurements()
+
+    @property
+    def usb_log(self):
+        """The captured trust-boundary traffic (what a spy sees)."""
+        return self.device.usb.records()

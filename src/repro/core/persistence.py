@@ -1,0 +1,59 @@
+"""Session persistence: unplug the key, plug it back in later.
+
+A GhostDB session is a pair of state machines -- the device's flash
+image (plus its FTL map and wear counters) and the visible site's store.
+Persisting both lets a program close and reopen the "key" with every
+byte, index and erase-count intact, which is how the physical artifact
+behaves.
+
+The on-disk format is a version-tagged pickle of the session object.
+That is appropriate here because the file *is* the device: on real
+hardware the flash image lives inside the tamper-resistant chip and
+never leaves it; in the simulation, the file inherits whatever
+protection the host gives it.  Do not load session files from untrusted
+sources (standard pickle caveat).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+MAGIC = b"GHOSTDB-SESSION"
+VERSION = 1
+
+
+class PersistenceError(RuntimeError):
+    """The file is not a loadable GhostDB session."""
+
+
+def save_session(session, path: str) -> None:
+    """Write the whole session (device + visible site) to ``path``."""
+    from repro.core.ghostdb import GhostDB
+
+    if not isinstance(session, GhostDB):
+        raise PersistenceError("only GhostDB sessions can be saved")
+    with open(path, "wb") as f:
+        f.write(MAGIC)
+        f.write(VERSION.to_bytes(2, "big"))
+        pickle.dump(session, f, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_session(path: str):
+    """Reopen a session saved by :func:`save_session`."""
+    from repro.core.ghostdb import GhostDB
+
+    with open(path, "rb") as f:
+        magic = f.read(len(MAGIC))
+        if magic != MAGIC:
+            raise PersistenceError(
+                f"{path!r} is not a GhostDB session file"
+            )
+        version = int.from_bytes(f.read(2), "big")
+        if version != VERSION:
+            raise PersistenceError(
+                f"unsupported session format version {version}"
+            )
+        session = pickle.load(f)
+    if not isinstance(session, GhostDB):
+        raise PersistenceError("file did not contain a GhostDB session")
+    return session

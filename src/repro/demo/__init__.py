@@ -1,0 +1,22 @@
+"""The VLDB'07 demonstration scenario (paper, Section 5).
+
+Three phases: checking security (the spy's view plus the leak checker),
+testing the query engine (Pre- vs Post-filtering, per-operator stats,
+the Figure 5/6 plans), and the find-the-fastest-plan game.
+"""
+
+from repro.demo.plans import (
+    figure5_postfilter_plan,
+    named_demo_plans,
+    prefilter_plan,
+)
+from repro.demo.scenario import DemoScenario
+from repro.demo.game import PlanGame
+
+__all__ = [
+    "DemoScenario",
+    "PlanGame",
+    "figure5_postfilter_plan",
+    "named_demo_plans",
+    "prefilter_plan",
+]

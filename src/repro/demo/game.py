@@ -1,0 +1,101 @@
+"""The find-the-fastest-plan game (demo phase 3).
+
+"The last phase of the demo invites the visitors to assess their ability
+to select the best plan for a simple query.  The rather unusual query
+execution strategies implemented in GhostDB may generate unexpected
+results for newcomers."
+
+A :class:`PlanGame` presents every PRE/POST strategy for a query, lets
+the player guess which will be fastest, then measures them all and
+scores the guess (and, for reference, the optimizer's pick).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ghostdb import GhostDB
+from repro.optimizer.space import Strategy, enumerate_strategies
+
+
+@dataclass
+class GameOutcome:
+    """Measured leaderboard for one game round."""
+
+    labels: list[str]
+    measured_ms: list[float]
+    winner_index: int
+    guess_index: int | None
+    optimizer_index: int
+
+    @property
+    def guess_was_right(self) -> bool:
+        return self.guess_index == self.winner_index
+
+    @property
+    def optimizer_was_right(self) -> bool:
+        return self.optimizer_index == self.winner_index
+
+    def leaderboard(self) -> str:
+        order = sorted(
+            range(len(self.labels)), key=lambda i: self.measured_ms[i]
+        )
+        lines = ["measured leaderboard:"]
+        for rank, i in enumerate(order, start=1):
+            marks = []
+            if i == self.guess_index:
+                marks.append("your guess")
+            if i == self.optimizer_index:
+                marks.append("optimizer")
+            suffix = f"   <- {', '.join(marks)}" if marks else ""
+            lines.append(
+                f"  {rank}. {self.labels[i]:55s} "
+                f"{self.measured_ms[i]:9.3f} ms{suffix}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class PlanGame:
+    """One round of the game over one query."""
+
+    db: GhostDB
+    sql: str
+    strategies: list[Strategy] = field(init=False)
+    labels: list[str] = field(init=False)
+
+    def __post_init__(self):
+        bound = self.db.bind(self.sql)
+        self.strategies = enumerate_strategies(bound)
+        self.labels = [s.label(bound) for s in self.strategies]
+
+    def candidates(self) -> list[str]:
+        """The strategies on offer, as human-readable labels."""
+        return list(self.labels)
+
+    def play(self, guess_index: int | None = None) -> GameOutcome:
+        """Measure every candidate and score the guess."""
+        if guess_index is not None and not (
+            0 <= guess_index < len(self.strategies)
+        ):
+            raise IndexError(
+                f"guess {guess_index} out of range "
+                f"[0, {len(self.strategies)})"
+            )
+        bound = self.db.bind(self.sql)
+        ranked = self.db.optimizer.rank(bound)
+        optimizer_strategy = ranked[0].strategy
+        optimizer_index = self.strategies.index(optimizer_strategy)
+        measured: list[float] = []
+        for strategy in self.strategies:
+            self.db.reset_measurements()
+            result = self.db.query_with_strategy(self.sql, strategy)
+            measured.append(result.metrics.elapsed_seconds * 1000)
+        winner = min(range(len(measured)), key=measured.__getitem__)
+        return GameOutcome(
+            labels=list(self.labels),
+            measured_ms=measured,
+            winner_index=winner,
+            guess_index=guess_index,
+            optimizer_index=optimizer_index,
+        )

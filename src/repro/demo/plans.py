@@ -1,0 +1,70 @@
+"""Named ad-hoc plans for the demo query (Figures 5 and 6).
+
+``P1`` is the intuitive Pre-filtering plan of Section 4 (all selections
+pushed through climbing indexes before the SKT access).  ``P2`` is the
+Post-filtering plan drawn in Figure 5: the hidden selection drives the
+SKT access, the intermediate (PreID, MedID, VisID, ...) tuples are
+Stored, and the two visible selections apply afterwards through Bloom
+filters.
+"""
+
+from __future__ import annotations
+
+from repro.engine import plan as lp
+from repro.engine.database import HiddenDatabase
+from repro.optimizer.space import PlanBuilder, Strategy
+from repro.sql.binder import BoundQuery
+
+
+def prefilter_plan(db: HiddenDatabase, query: BoundQuery) -> lp.Project:
+    """P1: every predicate pre-filters (climbing indexes + conversions)."""
+    return PlanBuilder(db, query).build(Strategy.all_pre(query))
+
+
+def figure5_postfilter_plan(db: HiddenDatabase, query: BoundQuery) -> lp.Project:
+    """P2: the exact Figure 5 QEP.
+
+    Index on Vis (hidden purpose) -> Access SKT -> Store -> Bloom filter
+    on Vis.Date -> Bloom filter on Med.Type -> Projections.  Hidden
+    predicates feed the SKT access; every visible predicate becomes a
+    Bloom probe over the stored intermediate result.
+    """
+    builder = PlanBuilder(db, query)
+    plan = builder.build(Strategy.all_post(query))
+    if not isinstance(plan, lp.Project):
+        raise ValueError(
+            "the Figure 5 plan shape applies to plain SPJ queries "
+            "(no GROUP BY / ORDER BY / LIMIT)"
+        )
+    # The builder produces Project(BloomProbe*(SktAccess)); Figure 5 adds
+    # a Store between the SKT access and the Bloom filters.
+    return _insert_store_below_blooms(plan)
+
+
+def _insert_store_below_blooms(plan: lp.Project) -> lp.Project:
+    node = plan.child
+    blooms: list[lp.BloomProbe] = []
+    while isinstance(node, lp.BloomProbe):
+        blooms.append(node)
+        node = node.child
+    stored = lp.Store(node)
+    for bloom in reversed(blooms):
+        stored = lp.BloomProbe(
+            stored, bloom.predicate, expected_ids=bloom.expected_ids
+        )
+    return lp.Project(
+        child=stored,
+        projections=plan.projections,
+        visible_recheck=plan.visible_recheck,
+        residual_hidden=plan.residual_hidden,
+    )
+
+
+def named_demo_plans(
+    db: HiddenDatabase, query: BoundQuery
+) -> dict[str, lp.Project]:
+    """The Figure 6 bar chart's competitors."""
+    return {
+        "P1 (pre-filtering)": prefilter_plan(db, query),
+        "P2 (post-filtering, Fig. 5)": figure5_postfilter_plan(db, query),
+    }

@@ -1,0 +1,96 @@
+"""The three-phase demonstration driver (paper, Section 5).
+
+Builds the demo platform (device + visible site + dataset) and runs:
+
+1. **Checking security** -- execute the demo query, render what a spy on
+   the USB bus observes, and run the leak checker.
+2. **Testing the query engine** -- execute P1 (Pre-filtering) and P2
+   (Post-filtering, Figure 5) and compare processing time and RAM
+   consumption, with per-operator popup statistics.
+3. **The game** -- rank all candidate plans by measured time and see
+   whether the optimizer (or the visitor) picked the winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ghostdb import GhostDB, SessionConfig
+from repro.demo.plans import named_demo_plans
+from repro.engine.executor import QueryResult
+from repro.privacy.leakcheck import LeakChecker, LeakReport
+from repro.privacy.spy import SpyView
+from repro.workload.datagen import DatasetConfig, MedicalDataGenerator
+from repro.workload.queries import DEMO_SCHEMA_DDL, demo_query
+
+
+@dataclass
+class PhaseOneResult:
+    result: QueryResult
+    spy: SpyView
+    leak_report: LeakReport
+
+
+@dataclass
+class PhaseTwoResult:
+    runs: dict[str, QueryResult]
+
+    def comparison(self) -> str:
+        lines = ["plan comparison (the Figure 6 bar chart):"]
+        for name, result in self.runs.items():
+            m = result.metrics
+            lines.append(
+                f"  {name:32s} time={m.elapsed_seconds * 1000:9.3f} ms  "
+                f"ram={m.ram_high_water:6d} B  rows={m.result_rows}"
+            )
+        return "\n".join(lines)
+
+
+class DemoScenario:
+    """One self-contained demo platform instance."""
+
+    def __init__(
+        self,
+        n_prescriptions: int = 20_000,
+        seed: int = 2007,
+        session_config: SessionConfig | None = None,
+    ):
+        self.dataset_config = DatasetConfig(
+            n_prescriptions=n_prescriptions, seed=seed
+        )
+        self.db = GhostDB(config=session_config)
+        for ddl in DEMO_SCHEMA_DDL:
+            self.db.execute(ddl)
+        self.data = MedicalDataGenerator(self.dataset_config).generate()
+        self.db.load(self.data)
+        self.leak_checker = LeakChecker(self.db.schema, self.data)
+        self.sql = demo_query()
+
+    # ------------------------------------------------------------------
+
+    def phase_security(self) -> PhaseOneResult:
+        """Phase 1: run the query, show the spy view, check for leaks."""
+        self.db.reset_measurements()
+        result = self.db.query(self.sql)
+        records = self.db.usb_log
+        return PhaseOneResult(
+            result=result,
+            spy=SpyView(records),
+            leak_report=self.leak_checker.check(records),
+        )
+
+    def phase_engine(self) -> PhaseTwoResult:
+        """Phase 2: P1 vs P2, measured on identical state."""
+        bound = self.db.bind(self.sql)
+        runs: dict[str, QueryResult] = {}
+        for name, plan in named_demo_plans(self.db.hidden, bound).items():
+            self.db.optimizer.annotate(plan)
+            self.db.reset_measurements()
+            runs[name] = self.db.execute_plan(plan)
+        return PhaseTwoResult(runs=runs)
+
+    def phase_game(self, sql: str | None = None):
+        """Phase 3: the find-the-fastest-plan game."""
+        from repro.demo.game import PlanGame
+
+        return PlanGame(self.db, sql or self.sql)

@@ -1,0 +1,26 @@
+"""Device-side query engine.
+
+Logical plans (:mod:`repro.engine.plan`) are trees of the paper's
+high-level operators -- climbing-index selections, visible selections
+received over USB, ID conversions, sorted-list merges, SKT access, Bloom
+probes, store and project.  The executor lowers them onto pull-based
+physical operators that charge every flash read, USB byte, RAM byte and
+CPU cycle to the simulated device, and reports the per-operator
+statistics the demo GUI shows in its popups (tuples processed, RAM
+consumption, processing time).
+"""
+
+from repro.engine.database import HiddenDatabase
+from repro.engine.executor import ExecConfig, Executor, QueryResult
+from repro.engine.metrics import ExecutionMetrics, OperatorStats
+from repro.engine import plan
+
+__all__ = [
+    "ExecConfig",
+    "ExecutionMetrics",
+    "Executor",
+    "HiddenDatabase",
+    "OperatorStats",
+    "QueryResult",
+    "plan",
+]

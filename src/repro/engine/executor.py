@@ -1,0 +1,236 @@
+"""Plan lowering and execution.
+
+The executor turns a logical plan into physical operators bound to one
+device, runs it to completion, and returns the result rows together with
+the full measurement picture (hardware counter diffs plus per-operator
+stats).  Results are handed back in host memory -- this models the secure
+rendering path (device display / secure socket), *not* the untrusted USB
+link, which the result never crosses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine import plan as lp
+from repro.engine.database import HiddenDatabase
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.operators import (
+    BloomProbeOp,
+    ClimbingSelectOp,
+    ConvertIdsOp,
+    DeviceScanSelectOp,
+    ExecContext,
+    MergeIntersectOp,
+    MergeUnionOp,
+    Operator,
+    PlanExecutionError,
+    ProjectOp,
+    SktAccessOp,
+    SktScanOp,
+    StoreOp,
+    VisibleSelectOp,
+)
+from repro.engine.operators.adapt import IdsToTuplesOp
+from repro.hardware.device import SmartUsbDevice
+from repro.visible.link import DeviceLink
+
+
+@dataclass
+class ExecConfig:
+    """Tunables for one execution."""
+
+    max_fan_in: int = 16
+    bloom_fp_target: float = 0.01
+    fetch_batch: int = 128
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the full measurement record of one plan execution."""
+
+    rows: list[tuple]
+    columns: list[str]
+    metrics: ExecutionMetrics
+    plan: lp.PlanNode
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+
+class Executor:
+    """Lowers and runs logical plans on one device."""
+
+    def __init__(
+        self,
+        device: SmartUsbDevice,
+        link: DeviceLink,
+        db: HiddenDatabase,
+        config: ExecConfig | None = None,
+    ):
+        self.device = device
+        self.link = link
+        self.db = db
+        self.config = config or ExecConfig()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def execute(self, root: lp.PlanNode) -> QueryResult:
+        """Run a plan to completion and collect measurements."""
+        if not isinstance(root, (lp.Project, lp.RowNode)):
+            raise PlanExecutionError(
+                "plan root must be a Project (or a row node above one)"
+            )
+        ctx = ExecContext(
+            device=self.device,
+            link=self.link,
+            db=self.db,
+            max_fan_in=self.config.max_fan_in,
+            bloom_fp_target=self.config.bloom_fp_target,
+            fetch_batch=self.config.fetch_batch,
+        )
+        before = self.device.counters()
+        operator = self.lower(root, ctx)
+        rows = list(operator.rows())
+        after = self.device.counters()
+        metrics = ExecutionMetrics.from_counters(
+            before, after, ctx.operators, len(rows)
+        )
+        return QueryResult(
+            rows=rows,
+            columns=root.output_labels(),
+            metrics=metrics,
+            plan=root,
+        )
+
+    # ------------------------------------------------------------------
+    # Lowering
+    # ------------------------------------------------------------------
+
+    def lower(self, node: lp.PlanNode, ctx: ExecContext) -> Operator:
+        operator = self._lower(node, ctx)
+        # Remember the physical stats on the logical node so EXPLAIN
+        # ANALYZE can show estimated-vs-measured side by side.
+        node._measured = operator.stats
+        return operator
+
+    def _lower(self, node: lp.PlanNode, ctx: ExecContext) -> Operator:
+        if isinstance(node, lp.ClimbingSelect):
+            index = self.db.climbing_index(
+                node.predicate.table, node.predicate.column
+            )
+            if index is None:
+                raise PlanExecutionError(
+                    f"no climbing index on "
+                    f"{node.predicate.table}.{node.predicate.column}"
+                )
+            return ClimbingSelectOp(ctx, index, node.predicate, node.target_table)
+
+        if isinstance(node, lp.VisibleSelect):
+            return VisibleSelectOp(ctx, node.predicate)
+
+        if isinstance(node, lp.DeviceScanSelect):
+            return DeviceScanSelectOp(ctx, node.table, node.predicates)
+
+        if isinstance(node, lp.ConvertIds):
+            child = self.lower(node.child, ctx)
+            from_table = node.child.output_table
+            if from_table == node.target_table.lower():
+                return child
+            key_index = self.db.key_index(from_table)
+            if key_index is None:
+                raise PlanExecutionError(
+                    f"no key climbing index on {from_table!r}"
+                )
+            return ConvertIdsOp(ctx, child, key_index, node.target_table)
+
+        if isinstance(node, lp.MergeIntersect):
+            children = [self.lower(c, ctx) for c in node.inputs]
+            return MergeIntersectOp(ctx, children)
+
+        if isinstance(node, lp.MergeUnion):
+            children = [self.lower(c, ctx) for c in node.inputs]
+            return MergeUnionOp(ctx, children)
+
+        if isinstance(node, lp.SktAccess):
+            skt = self.db.skt_for_root(node.skt_root)
+            if skt is None:
+                raise PlanExecutionError(
+                    f"no SKT rooted at {node.skt_root!r}"
+                )
+            node._tables = skt.tables
+            if node.child is None:
+                return SktScanOp(ctx, skt)
+            child = self.lower(node.child, ctx)
+            if node.child.output_table != skt.root:
+                raise PlanExecutionError(
+                    f"SKT_{skt.root} needs {skt.root} ids, got "
+                    f"{node.child.output_table!r}"
+                )
+            return SktAccessOp(ctx, skt, child, node.expected_count)
+
+        if isinstance(node, lp.IdsToTuples):
+            child = self.lower(node.child, ctx)
+            return IdsToTuplesOp(ctx, child, node.child.output_table)
+
+        if isinstance(node, lp.BloomProbe):
+            child = self.lower(node.child, ctx)
+            tables = node.child.output_tables
+            try:
+                position = tables.index(node.predicate.table)
+            except ValueError:
+                raise PlanExecutionError(
+                    f"BloomProbe on {node.predicate.table!r} but tuples "
+                    f"cover {tables}"
+                ) from None
+            return BloomProbeOp(
+                ctx, child, node.predicate, position, node.expected_ids
+            )
+
+        if isinstance(node, lp.Store):
+            child = self.lower(node.child, ctx)
+            return StoreOp(ctx, child, arity=len(node.child.output_tables))
+
+        if isinstance(node, lp.Project):
+            child = self.lower(node.child, ctx)
+            return ProjectOp(
+                ctx,
+                child,
+                tables=node.child.output_tables,
+                projections=node.projections,
+                visible_recheck=node.visible_recheck,
+                residual_hidden=node.residual_hidden,
+            )
+
+        if isinstance(node, lp.Aggregate):
+            from repro.engine.operators.rows import AggregateOp
+
+            child = self.lower(node.child, ctx)
+            return AggregateOp(
+                ctx,
+                child,
+                group_indexes=node.group_indexes,
+                aggregates=node.aggregates,
+                output_items=node.output_items,
+                input_dtypes=node.input_dtypes,
+                having=node.having,
+            )
+
+        if isinstance(node, lp.OrderBy):
+            from repro.engine.operators.rows import OrderByOp
+
+            child = self.lower(node.child, ctx)
+            return OrderByOp(
+                ctx, child, keys=node.keys, row_dtypes=node.row_dtypes
+            )
+
+        if isinstance(node, lp.Limit):
+            from repro.engine.operators.rows import LimitOp
+
+            child = self.lower(node.child, ctx)
+            return LimitOp(ctx, child, count=node.count)
+
+        raise PlanExecutionError(f"unknown plan node {type(node).__name__}")

@@ -1,0 +1,155 @@
+"""Incremental maintenance: appending rows after the secure load.
+
+The paper loads the device once "in a secure setting"; real deployments
+need re-synchronisation sessions (the authors' follow-up system, PlugDB,
+made this a first-class feature).  This module implements batch appends
+with the storage model we have: NAND flash forbids in-place writes, so
+an append *rebuilds* each affected structure -- reading the old extents,
+writing merged ones, and freeing the old pages, which feeds the FTL's
+garbage collector and the wear counters.  All of that cost is charged to
+the device, making maintenance measurable (the T6 extension bench).
+
+Rebuild scope is minimal per table: its heap, every SKT whose subtree
+contains it, and every climbing/key index with the table among its
+levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.statistics import StatisticsCollector
+from repro.engine.database import HiddenDatabase
+from repro.index.climbing import ClimbingIndex
+from repro.index.skt import SubtreeKeyTable
+from repro.storage.heap import HeapTable
+
+
+class MaintenanceError(ValueError):
+    """An append violated the storage invariants."""
+
+
+@dataclass
+class MaintenanceReport:
+    """What one append batch rebuilt."""
+
+    table: str
+    appended_rows: int
+    rebuilt_skts: list[str]
+    rebuilt_indexes: list[str]
+
+    def summary(self) -> str:
+        return (
+            f"appended {self.appended_rows} rows to {self.table}; "
+            f"rebuilt SKTs {self.rebuilt_skts or '[]'} and "
+            f"{len(self.rebuilt_indexes)} indexes"
+        )
+
+
+def append_rows(
+    db: HiddenDatabase, table: str, new_rows: list[tuple]
+) -> MaintenanceReport:
+    """Append full rows (schema column order) to one table's hidden part.
+
+    New primary keys must exceed every existing key (appends model new
+    entities -- visits that happened, prescriptions written; updates to
+    historical rows are out of scope, as in the paper).
+    """
+    table = table.lower()
+    if table not in db.heaps:
+        raise MaintenanceError(f"unknown table {table!r}")
+    if not new_rows:
+        return MaintenanceReport(table, 0, [], [])
+    table_def = db.tree.table(table)
+    device_cols = table_def.device_columns()
+    source_idx = [table_def.column_index(c.name) for c in device_cols]
+    reduced = [tuple(row[i] for i in source_idx) for row in new_rows]
+    reduced.sort(key=lambda r: r[0])
+
+    old_heap = db.heaps[table]
+    if old_heap.count and reduced[0][0] <= old_heap.pk_of_rowid(
+        old_heap.count - 1
+    ):
+        raise MaintenanceError(
+            f"{table}: appended keys must exceed the current maximum "
+            f"({old_heap.pk_of_rowid(old_heap.count - 1)})"
+        )
+
+    # 1. Rebuild the heap: stream old rows + new rows into a new extent,
+    #    then free the old one (stale pages -> future GC work).
+    device = db.device
+    collector = StatisticsCollector(
+        table=table,
+        column_names=[c.name for c in device_cols],
+        dtypes=[c.dtype for c in device_cols],
+    )
+
+    def merged_rows():
+        for row in old_heap.scan():
+            collector.add(row)
+            yield row
+        for row in reduced:
+            validated = tuple(
+                c.dtype.validate(v) for c, v in zip(device_cols, row)
+            )
+            collector.add(validated)
+            yield validated
+
+    new_heap = HeapTable(
+        device, table, table_def.device_codec(), pk_field=0
+    )
+    new_heap.load(merged_rows())
+    _free_heap(db, old_heap)
+    db.heaps[table] = new_heap
+    db.stats[table] = collector.finish()
+
+    # 2. Rebuild affected SKTs and indexes from the updated heaps.
+    rebuilt_skts = []
+    for root, skt in list(db.skts.items()):
+        if table in skt.tables:
+            _free_pages(db, skt.pages)
+            db.skts[root] = SubtreeKeyTable.build(
+                device, db.tree, root, db.heaps
+            )
+            rebuilt_skts.append(f"SKT_{root}")
+
+    rebuilt_indexes = []
+    edge_cache: dict = {}
+    for key, index in list(db.climbing.items()):
+        if table in index.levels:
+            _free_index(db, index)
+            db.climbing[key] = ClimbingIndex.build(
+                device, db.tree, db.heaps, key[0], key[1], edge_cache
+            )
+            rebuilt_indexes.append(f"cidx:{key[0]}.{key[1]}")
+    for name, index in list(db.key_indexes.items()):
+        if table in index.levels:
+            _free_index(db, index)
+            db.key_indexes[name] = ClimbingIndex.build(
+                device, db.tree, db.heaps, name,
+                db.tree.table(name).pk.name, edge_cache,
+            )
+            rebuilt_indexes.append(f"kidx:{name}")
+
+    return MaintenanceReport(
+        table=table,
+        appended_rows=len(reduced),
+        rebuilt_skts=rebuilt_skts,
+        rebuilt_indexes=rebuilt_indexes,
+    )
+
+
+def _free_pages(db: HiddenDatabase, pages: list[int]) -> None:
+    for lpage in pages:
+        db.device.ftl.free(lpage)
+
+
+def _free_heap(db: HiddenDatabase, heap: HeapTable) -> None:
+    _free_pages(db, heap.pages)
+    _free_pages(db, heap._pk_pages)
+
+
+def _free_index(db: HiddenDatabase, index: ClimbingIndex) -> None:
+    for file in index._files:
+        if file is not None:
+            _free_pages(db, file.pages)

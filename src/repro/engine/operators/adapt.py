@@ -1,0 +1,19 @@
+"""Small adapter operators."""
+
+from __future__ import annotations
+
+from repro.engine.operators.base import ExecContext, Operator
+
+
+class IdsToTuplesOp(Operator):
+    """Wrap a sorted ID stream as 1-tuples (single-table plans)."""
+
+    name = "ids-to-tuples"
+
+    def __init__(self, ctx: ExecContext, child: Operator, table: str):
+        super().__init__(ctx, detail=table)
+        self.child = child
+
+    def _produce(self):
+        for value in self.child.rows():
+            yield (value,)

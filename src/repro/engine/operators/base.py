@@ -1,0 +1,116 @@
+"""Operator base class, execution context and time attribution.
+
+Physical operators are pull-based generators.  All their costs land on
+the device's single simulated clock; to produce the per-operator "popup"
+statistics the demo shows, the executor attributes clock advances to
+whichever operator is currently on top of the execution stack -- a parent
+iterating its child is off the top while the child runs, so each operator
+accumulates only its *own* time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.metrics import OperatorStats
+from repro.hardware.device import SmartUsbDevice
+from repro.visible.link import DeviceLink
+
+
+class PlanExecutionError(RuntimeError):
+    """A plan could not be executed (bad shape, missing index, ...)."""
+
+
+class TimeAttribution:
+    """Attributes simulated-clock advances to the active operator."""
+
+    def __init__(self, device: SmartUsbDevice):
+        self.device = device
+        self._stack: list[OperatorStats] = []
+        self._last = device.clock.now
+
+    def _mark(self) -> None:
+        now = self.device.clock.now
+        if self._stack:
+            self._stack[-1].self_seconds += now - self._last
+        self._last = now
+
+    def enter(self, stats: OperatorStats) -> None:
+        self._mark()
+        self._stack.append(stats)
+
+    def exit(self, stats: OperatorStats) -> None:
+        self._mark()
+        if not self._stack or self._stack[-1] is not stats:
+            raise PlanExecutionError(
+                f"time-attribution stack corrupted around {stats.name!r}"
+            )
+        self._stack.pop()
+
+
+@dataclass
+class ExecContext:
+    """Everything an operator needs to run on the hidden side."""
+
+    device: SmartUsbDevice
+    link: DeviceLink
+    db: "HiddenDatabase"  # noqa: F821 - circular import avoided
+    attribution: TimeAttribution = None
+    operators: list[OperatorStats] = field(default_factory=list)
+    #: Hard cap on merge fan-in regardless of free RAM.
+    max_fan_in: int = 16
+    #: Target false-positive rate when sizing Bloom filters.
+    bloom_fp_target: float = 0.01
+    #: Rows per visible-value fetch batch during projection.
+    fetch_batch: int = 128
+
+    def __post_init__(self):
+        if self.attribution is None:
+            self.attribution = TimeAttribution(self.device)
+
+    def fan_in(self) -> int:
+        """Merge fan-in affordable right now: one page buffer per input
+        stream plus one output buffer, inside the free RAM."""
+        page = self.device.profile.page_size
+        affordable = self.device.ram.available // page - 2
+        return max(2, min(self.max_fan_in, affordable))
+
+    def register(self, stats: OperatorStats) -> None:
+        self.operators.append(stats)
+
+
+class Operator:
+    """Base class: subclasses implement ``_produce()`` as a generator."""
+
+    name = "operator"
+
+    def __init__(self, ctx: ExecContext, detail: str = ""):
+        self.ctx = ctx
+        self.stats = OperatorStats(name=self.name, detail=detail)
+        ctx.register(self.stats)
+
+    def _produce(self):
+        raise NotImplementedError
+
+    def rows(self):
+        """Iterate this operator's output with time attribution."""
+        inner = self._produce()
+        attribution = self.ctx.attribution
+        while True:
+            attribution.enter(self.stats)
+            try:
+                item = next(inner)
+            except StopIteration:
+                attribution.exit(self.stats)
+                self.stats.finished = True
+                return
+            except BaseException:
+                attribution.exit(self.stats)
+                raise
+            attribution.exit(self.stats)
+            self.stats.tuples_out += 1
+            yield item
+
+    def note_ram(self, size: int) -> None:
+        """Record this operator's own peak RAM usage."""
+        self.stats.ram_bytes = max(self.stats.ram_bytes, size)

@@ -1,0 +1,77 @@
+"""Bloom-filter post-filtering (paper, Figure 5).
+
+On first pull the operator asks the PC to evaluate the visible predicate
+and folds the returned ID stream into a RAM-resident Bloom filter (sized
+for the expected cardinality at the context's target false-positive
+rate).  It then streams its child's subtree key tuples through the
+filter, keeping tuples whose key for the filtered table *may* match.
+
+False positives survive here by design; projection removes them when the
+PC re-checks the predicate while serving visible values.  False negatives
+are impossible, so results stay complete.
+"""
+
+from __future__ import annotations
+
+from repro.engine.operators.base import ExecContext, Operator, PlanExecutionError
+from repro.index.bloom import BloomFilter
+from repro.sql.binder import Predicate
+
+
+class BloomProbeOp(Operator):
+    name = "bloom-filter"
+
+    def __init__(
+        self,
+        ctx: ExecContext,
+        child: Operator,
+        predicate: Predicate,
+        key_position: int,
+        expected_ids: int | None = None,
+    ):
+        super().__init__(ctx, detail=predicate.describe())
+        if predicate.hidden:
+            raise PlanExecutionError(
+                f"{predicate.describe()} is hidden; Bloom filters are "
+                f"built from *visible* selections only"
+            )
+        self.child = child
+        self.predicate = predicate
+        self.key_position = key_position
+        self.expected_ids = expected_ids
+        #: Exposed after execution for the demo popups.
+        self.bloom_stats: dict | None = None
+
+    def _build_filter(self) -> BloomFilter:
+        link = self.ctx.link
+        expected = self.expected_ids
+        if expected is None:
+            # Ask the host for the exact cardinality: one tiny round trip
+            # that lets the device size the filter correctly.
+            expected = link.count_ids(self.predicate.table, self.predicate)
+        bloom = BloomFilter.for_expected(
+            self.ctx.device,
+            max(1, expected),
+            target_fp=self.ctx.bloom_fp_target,
+            label=f"bloom:{self.predicate.table}.{self.predicate.column}",
+        )
+        self.note_ram(bloom.ram_bytes + link.id_batch * 4)
+        for pk in link.select_ids(self.predicate.table, self.predicate):
+            bloom.insert(pk)
+        self.bloom_stats = {
+            "bits": bloom.bits,
+            "hashes": bloom.hashes,
+            "inserted": bloom.inserted,
+            "expected_fp_rate": bloom.expected_fp_rate(),
+            "ram_bytes": bloom.ram_bytes,
+        }
+        return bloom
+
+    def _produce(self):
+        bloom = self._build_filter()
+        try:
+            for row in self.child.rows():
+                if bloom.may_contain(row[self.key_position]):
+                    yield row
+        finally:
+            bloom.close()

@@ -1,0 +1,87 @@
+"""Sorted-ID merge operators: streaming intersection and union.
+
+The core RAM trick of the paper: every predicate arm yields IDs of the
+same table in sorted order, so a conjunction is a multi-way merge that
+holds one cursor per arm -- "merging all these PreID lists" costs O(1)
+working memory per input regardless of list length.
+"""
+
+from __future__ import annotations
+
+from repro.engine.operators.base import ExecContext, Operator, PlanExecutionError
+
+_SENTINEL = object()
+
+
+class MergeIntersectOp(Operator):
+    """Intersection of k sorted duplicate-free ID streams."""
+
+    name = "merge-intersect"
+
+    def __init__(self, ctx: ExecContext, children: list[Operator]):
+        super().__init__(ctx, detail=f"{len(children)} inputs")
+        if len(children) < 2:
+            raise PlanExecutionError("intersection needs at least 2 inputs")
+        self.children = children
+
+    def _produce(self):
+        streams = [child.rows() for child in self.children]
+        currents = []
+        for stream in streams:
+            value = next(stream, _SENTINEL)
+            if value is _SENTINEL:
+                return  # an empty input empties the intersection
+            currents.append(value)
+        chip = self.ctx.device.chip
+        while True:
+            high = max(currents)
+            chip.charge("compare", len(currents))
+            if all(c == high for c in currents):
+                yield high
+                for i, stream in enumerate(streams):
+                    value = next(stream, _SENTINEL)
+                    if value is _SENTINEL:
+                        return
+                    currents[i] = value
+                continue
+            for i, stream in enumerate(streams):
+                while currents[i] < high:
+                    chip.charge("merge_step")
+                    value = next(stream, _SENTINEL)
+                    if value is _SENTINEL:
+                        return
+                    currents[i] = value
+
+
+class MergeUnionOp(Operator):
+    """Deduplicating union of k sorted ID streams."""
+
+    name = "merge-union"
+
+    def __init__(self, ctx: ExecContext, children: list[Operator]):
+        super().__init__(ctx, detail=f"{len(children)} inputs")
+        if not children:
+            raise PlanExecutionError("union needs at least 1 input")
+        self.children = children
+
+    def _produce(self):
+        import heapq
+
+        streams = [child.rows() for child in self.children]
+        heap = []
+        for idx, stream in enumerate(streams):
+            value = next(stream, _SENTINEL)
+            if value is not _SENTINEL:
+                heap.append((value, idx))
+        heapq.heapify(heap)
+        chip = self.ctx.device.chip
+        last = _SENTINEL
+        while heap:
+            value, idx = heapq.heappop(heap)
+            chip.charge("merge_step")
+            if value != last:
+                yield value
+                last = value
+            nxt = next(streams[idx], _SENTINEL)
+            if nxt is not _SENTINEL:
+                heapq.heappush(heap, (nxt, idx))

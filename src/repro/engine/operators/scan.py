@@ -1,0 +1,55 @@
+"""Device-side table scan with predicate: the indexless fallback.
+
+A hidden predicate whose column has no climbing index can still be
+answered by scanning the table's device heap and filtering -- paying a
+full sequential read of the extent.  The operator exists both as a
+correctness fallback and as a baseline the benchmarks compare climbing
+indexes against.
+"""
+
+from __future__ import annotations
+
+from repro.engine.operators.base import ExecContext, Operator
+from repro.sql.binder import Predicate
+
+
+class DeviceScanSelectOp(Operator):
+    """Scan one device heap, yield PKs of rows matching all predicates."""
+
+    name = "device-scan"
+
+    def __init__(self, ctx: ExecContext, table: str, predicates: list[Predicate]):
+        detail = f"{table}: " + (
+            " AND ".join(p.describe() for p in predicates)
+            if predicates
+            else "all rows"
+        )
+        super().__init__(ctx, detail=detail)
+        self.table = table.lower()
+        self.predicates = predicates
+
+    def _produce(self):
+        heap = self.ctx.db.heaps[self.table]
+        table_def = self.ctx.db.tree.table(self.table)
+        field_of = {
+            p.column: table_def.device_column_index(p.column)
+            for p in self.predicates
+        }
+        chip = self.ctx.device.chip
+        self.note_ram(self.ctx.device.profile.page_size)
+        with heap.reader(f"scan:{self.table}") as reader:
+            for raw in reader.scan():
+                ok = True
+                for predicate in self.predicates:
+                    value = heap.codec.decode_field(
+                        raw, field_of[predicate.column]
+                    )
+                    chip.charge("decode_field")
+                    chip.charge("compare")
+                    if not predicate.matches(value):
+                        ok = False
+                        break
+                if ok:
+                    pk = heap.codec.decode_field(raw, heap.pk_field)
+                    chip.charge("decode_field")
+                    yield pk

@@ -1,0 +1,84 @@
+"""SKT access: turn qualifying root IDs into full subtree key tuples.
+
+"...finally accessing the SKT_Prescription to get the resulting tuples."
+The incoming root IDs are sorted, so SKT rows are fetched in storage
+order; dense hit patterns amortise full-page reads across many hits,
+sparse ones use cheap partial reads.  The operator picks per page.
+"""
+
+from __future__ import annotations
+
+from repro.engine.operators.base import ExecContext, Operator
+from repro.index.skt import SubtreeKeyTable
+from repro.storage.heap import KeyNotFoundError
+
+
+class SktAccessOp(Operator):
+    """Fetch SKT rows for a sorted stream of root IDs."""
+
+    name = "access-skt"
+
+    def __init__(
+        self,
+        ctx: ExecContext,
+        skt: SubtreeKeyTable,
+        child: Operator,
+        expected_count: int | None = None,
+    ):
+        super().__init__(ctx, detail=f"SKT_{skt.root}")
+        self.skt = skt
+        self.child = child
+        self.expected_count = expected_count
+
+    def _produce(self):
+        skt = self.skt
+        root_heap = self.ctx.db.heaps[skt.root]
+        page = self.ctx.device.profile.page_size
+        rows_per_page = page // skt.record_width
+        # Dense enough that >=2 hits land on each page?  Then cached
+        # full-page reads win over per-row partial reads.
+        expected = self.expected_count
+        use_cache = (
+            expected is not None
+            and skt.count > 0
+            and expected / skt.count >= 2 / rows_per_page
+        )
+        self.note_ram(page)
+        with skt.reader("skt-access") as reader:
+            for root_id in self.child.rows():
+                try:
+                    rowid = root_heap.rowid_for_pk(root_id)
+                except KeyNotFoundError:
+                    continue
+                if use_cache:
+                    raw = reader.record_cached(rowid)
+                else:
+                    raw = reader.record(rowid)
+                self.ctx.device.chip.charge(
+                    "decode_field", len(skt.tables)
+                )
+                yield skt.decode(raw)
+
+
+class SktScanOp(Operator):
+    """Full SKT scan: the root of a pure Post-filtering plan.
+
+    When no predicate produces a root ID list cheaply, the plan streams
+    every subtree key tuple and lets Bloom probes do the filtering.
+    """
+
+    name = "scan-skt"
+
+    def __init__(self, ctx: ExecContext, skt: SubtreeKeyTable):
+        super().__init__(ctx, detail=f"SKT_{skt.root} (full scan)")
+        self.skt = skt
+
+    def _produce(self):
+        skt = self.skt
+        self.note_ram(self.ctx.device.profile.page_size)
+        with skt.reader("skt-scan") as reader:
+            for raw in reader.scan():
+                self.ctx.device.chip.charge(
+                    "decode_field", len(skt.tables)
+                )
+                yield skt.decode(raw)

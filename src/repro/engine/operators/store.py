@@ -1,0 +1,54 @@
+"""Store: materialise an intermediate result on flash (Figure 5's Store).
+
+The Post-filtering QEP of Figure 5 stores the (PreID, MedID, VisID)
+stream coming out of the SKT access before running it through the Bloom
+filters.  Materialising costs flash writes now and reads later, but frees
+the plan to build each Bloom filter with the whole remaining RAM -- the
+kind of trade the demo invites visitors to experiment with.
+
+Tuples are packed as fixed-width 32-bit ID records; the extent is freed
+once the consumer exhausts the replay.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.engine.operators.base import ExecContext, Operator
+from repro.storage.intlist import ID_WIDTH
+from repro.storage.runs import Run, RunReader, RunWriter
+
+_PACK = struct.Struct(">I")
+
+
+class StoreOp(Operator):
+    name = "store"
+
+    def __init__(self, ctx: ExecContext, child: Operator, arity: int):
+        super().__init__(ctx, detail=f"materialise {arity}-id tuples")
+        self.child = child
+        self.arity = arity
+
+    def _produce(self):
+        width = self.arity * ID_WIDTH
+        page = self.ctx.device.profile.page_size
+        self.note_ram(page)
+        writer = RunWriter(self.ctx.device, width, "store")
+        stored = 0
+        for row in self.child.rows():
+            if len(row) != self.arity:
+                raise ValueError(
+                    f"store expected {self.arity}-id tuples, got {row!r}"
+                )
+            writer.append(b"".join(_PACK.pack(v) for v in row))
+            stored += 1
+        run: Run = writer.finish()
+        try:
+            with RunReader(self.ctx.device, run, "store-replay") as reader:
+                for raw in reader:
+                    yield tuple(
+                        _PACK.unpack_from(raw, i * ID_WIDTH)[0]
+                        for i in range(self.arity)
+                    )
+        finally:
+            run.free(self.ctx.device)

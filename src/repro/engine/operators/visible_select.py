@@ -1,0 +1,25 @@
+"""Visible selection: delegate a predicate to the PC, receive IDs.
+
+The paper "delegates as much work as possible to the PC and the server as
+long as this processing does not compromise hidden data": the predicate
+itself is visible (the spy learns the query anyway) and the matching IDs
+stream back over USB in sorted order, ready for merging.
+"""
+
+from __future__ import annotations
+
+from repro.engine.operators.base import ExecContext, Operator
+from repro.sql.binder import Predicate
+
+
+class VisibleSelectOp(Operator):
+    name = "visible-select"
+
+    def __init__(self, ctx: ExecContext, predicate: Predicate):
+        super().__init__(ctx, detail=predicate.describe())
+        self.predicate = predicate
+
+    def _produce(self):
+        link = self.ctx.link
+        self.note_ram(link.id_batch * 4)
+        yield from link.select_ids(self.predicate.table, self.predicate)

@@ -1,0 +1,67 @@
+"""Smart USB device simulator.
+
+The paper's device (Figure 2) is a secure chip -- 32-bit RISC CPU, tens of
+KB of RAM -- attached to a gigabyte-scale external NAND flash and a USB 2.0
+full-speed link.  GhostDB's whole design exists because of three hardware
+facts, and this package simulates exactly those three:
+
+* RAM is tiny: :class:`~repro.hardware.ram.RamBudget` enforces a hard byte
+  budget and raises :class:`~repro.hardware.ram.RamExhaustedError` when a
+  query operator tries to exceed it.
+* NAND flash is asymmetric: :class:`~repro.hardware.flash.NandFlash` charges
+  reads, writes (3-10x slower) and block erases separately, and forbids
+  in-place writes; :class:`~repro.hardware.ftl.FlashTranslationLayer` hides
+  that behind logical pages, log-structured writes and garbage collection.
+* The link is slow and observable: :class:`~repro.hardware.usb.UsbChannel`
+  charges 12 Mb/s transfer time and records every byte that crosses the
+  trust boundary so a "spy" (and the leak checker) can inspect it.
+
+All components charge their simulated time into one
+:class:`~repro.hardware.clock.SimClock`, so an execution produces a single
+coherent simulated duration with a per-category breakdown.
+"""
+
+from repro.hardware.clock import SimClock, TimeBreakdown
+from repro.hardware.profiles import (
+    DEMO_DEVICE,
+    HARSH_FLASH_DEVICE,
+    HIGH_SPEED_DEVICE,
+    TINY_DEVICE,
+    HardwareProfile,
+)
+from repro.hardware.ram import Allocation, RamBudget, RamExhaustedError
+from repro.hardware.flash import (
+    FlashError,
+    NandFlash,
+    PageProgrammedError,
+    WearOutError,
+)
+from repro.hardware.ftl import FlashFullError, FlashTranslationLayer
+from repro.hardware.usb import Direction, TrafficRecord, UsbChannel, UsbError
+from repro.hardware.chip import SecureChip
+from repro.hardware.device import SmartUsbDevice
+
+__all__ = [
+    "Allocation",
+    "DEMO_DEVICE",
+    "Direction",
+    "FlashError",
+    "FlashFullError",
+    "FlashTranslationLayer",
+    "HARSH_FLASH_DEVICE",
+    "HIGH_SPEED_DEVICE",
+    "HardwareProfile",
+    "NandFlash",
+    "PageProgrammedError",
+    "RamBudget",
+    "RamExhaustedError",
+    "SecureChip",
+    "SimClock",
+    "SmartUsbDevice",
+    "TINY_DEVICE",
+    "TimeBreakdown",
+    "TrafficRecord",
+    "UsbChannel",
+    "UsbError",
+    "WearOutError",
+]

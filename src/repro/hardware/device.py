@@ -1,0 +1,76 @@
+"""The assembled smart USB device (Figure 2 of the paper).
+
+A :class:`SmartUsbDevice` wires together one clock, the RAM budget, the
+NAND flash behind its FTL, the secure chip's CPU model, and the USB channel
+to the untrusted host.  Everything the hidden side of GhostDB does --
+storage, indexing, query execution -- happens through this object, so its
+counters and clock are the single source of truth for all benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.chip import SecureChip
+from repro.hardware.clock import SimClock, TimeBreakdown
+from repro.hardware.flash import FlashStats, NandFlash
+from repro.hardware.ftl import FlashTranslationLayer
+from repro.hardware.profiles import DEMO_DEVICE, HardwareProfile
+from repro.hardware.ram import RamBudget
+from repro.hardware.usb import UsbChannel
+
+
+@dataclass
+class DeviceCounters:
+    """A consistent snapshot of all device counters at one instant."""
+
+    time: TimeBreakdown
+    flash: FlashStats
+    ram_high_water: int
+    usb_messages: int
+    usb_bytes_to_device: int
+    usb_bytes_to_host: int
+
+
+class SmartUsbDevice:
+    """A simulated tamper-resistant smart USB device."""
+
+    def __init__(self, profile: HardwareProfile = DEMO_DEVICE):
+        self.profile = profile
+        self.clock = SimClock()
+        self.ram = RamBudget(capacity=profile.ram_bytes)
+        self.flash = NandFlash(profile=profile, clock=self.clock)
+        self.ftl = FlashTranslationLayer(flash=self.flash)
+        self.chip = SecureChip(profile=profile, clock=self.clock)
+        self.usb = UsbChannel(profile=profile, clock=self.clock)
+
+    def counters(self) -> DeviceCounters:
+        """Snapshot every counter (cheap; used to diff around a query)."""
+        return DeviceCounters(
+            time=self.clock.breakdown(),
+            flash=self.flash.stats.snapshot(),
+            ram_high_water=self.ram.high_water,
+            usb_messages=self.usb.message_count,
+            usb_bytes_to_device=self.usb.bytes_to_device,
+            usb_bytes_to_host=self.usb.bytes_to_host,
+        )
+
+    def reset_measurements(self) -> None:
+        """Zero the clock, traffic log and high-water mark.
+
+        Storage contents and FTL state are preserved: this separates the
+        (expensive, simulated) database load from the measured query, like
+        unplugging and re-plugging the key.
+        """
+        self.clock.reset()
+        self.usb.clear_log()
+        self.ram.reset_high_water()
+        self.flash.stats = FlashStats()
+        self.chip.stats.cycles_by_op.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"SmartUsbDevice(profile={self.profile.name!r}, "
+            f"ram={self.profile.ram_bytes}B, "
+            f"flash={self.profile.flash_bytes // (1024 * 1024)}MiB)"
+        )

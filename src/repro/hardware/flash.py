@@ -1,0 +1,180 @@
+"""Physical NAND flash model: pages, blocks, asymmetric timing, no
+in-place writes.
+
+The paper (Section 3): "The Flash memory itself exhibits asymmetric costs
+for reads and writes.  Writes are between 3 to 10 times slower than reads
+depending on the portion of the page to be read (full page vs. single word)
+and writes in place are precluded."
+
+This module models exactly that physical layer:
+
+* the flash is an array of erase blocks, each holding ``pages_per_block``
+  pages of ``page_size`` bytes;
+* a page can be *programmed* (written) only once after its block was
+  erased; re-programming raises :class:`PageProgrammedError`;
+* a read of a small slice of a page is charged the cheaper partial-read
+  time, a full-page read the full time;
+* erases happen at block granularity, are the slowest operation, and count
+  toward optional wear-out.
+
+The :class:`~repro.hardware.ftl.FlashTranslationLayer` built on top turns
+this into an ordinary "write any logical page" interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.clock import SimClock
+from repro.hardware.profiles import HardwareProfile
+
+
+class FlashError(Exception):
+    """Base class for physical flash errors."""
+
+
+class PageProgrammedError(FlashError):
+    """Attempted to program a page that is already programmed.
+
+    NAND flash precludes writes in place; the FTL must relocate instead.
+    """
+
+
+class WearOutError(FlashError):
+    """A block exceeded its program/erase cycle endurance."""
+
+
+@dataclass
+class FlashStats:
+    """Operation counters, for benchmarks and cost-model validation."""
+
+    page_reads_full: int = 0
+    page_reads_partial: int = 0
+    page_writes: int = 0
+    block_erases: int = 0
+
+    @property
+    def page_reads(self) -> int:
+        return self.page_reads_full + self.page_reads_partial
+
+    def snapshot(self) -> "FlashStats":
+        return FlashStats(
+            page_reads_full=self.page_reads_full,
+            page_reads_partial=self.page_reads_partial,
+            page_writes=self.page_writes,
+            block_erases=self.block_erases,
+        )
+
+
+#: A partial read is charged the cheap rate when it touches at most this
+#: fraction of a page.  Reads larger than that cost a full-page read.
+PARTIAL_READ_FRACTION = 0.25
+
+
+@dataclass
+class NandFlash:
+    """A raw NAND flash array with simulated timing.
+
+    Page contents are stored sparsely (dict keyed by physical page number)
+    so simulating a 1 GiB device does not allocate 1 GiB of host memory.
+    """
+
+    profile: HardwareProfile
+    clock: SimClock
+    stats: FlashStats = field(default_factory=FlashStats)
+    _pages: dict[int, bytes] = field(default_factory=dict)
+    _erase_counts: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_pages(self) -> int:
+        return self.profile.num_blocks * self.profile.pages_per_block
+
+    def _check_page(self, page: int) -> None:
+        if not 0 <= page < self.num_pages:
+            raise FlashError(f"physical page {page} out of range")
+
+    def block_of(self, page: int) -> int:
+        return page // self.profile.pages_per_block
+
+    def is_programmed(self, page: int) -> bool:
+        self._check_page(page)
+        return page in self._pages
+
+    def read(self, page: int, offset: int = 0, length: int | None = None) -> bytes:
+        """Read ``length`` bytes of ``page`` starting at ``offset``.
+
+        Reading a small slice is charged the partial-read time (the paper's
+        "single word" case); anything larger costs a full-page read.
+        Reading an erased page returns 0xFF filler, as real NAND does.
+        """
+        self._check_page(page)
+        page_size = self.profile.page_size
+        if length is None:
+            length = page_size - offset
+        if offset < 0 or length < 0 or offset + length > page_size:
+            raise FlashError(
+                f"read of [{offset}, {offset + length}) exceeds page size"
+            )
+        if length <= page_size * PARTIAL_READ_FRACTION:
+            self.stats.page_reads_partial += 1
+            self.clock.advance(self.profile.flash_read_partial_s, "flash_read")
+        else:
+            self.stats.page_reads_full += 1
+            self.clock.advance(self.profile.flash_read_full_s, "flash_read")
+        data = self._pages.get(page, b"\xff" * page_size)
+        return data[offset : offset + length]
+
+    def program(self, page: int, data: bytes) -> None:
+        """Program (write) a whole page.  The page must be erased."""
+        self._check_page(page)
+        if len(data) > self.profile.page_size:
+            raise FlashError(
+                f"page data of {len(data)} B exceeds page size "
+                f"{self.profile.page_size}"
+            )
+        if page in self._pages:
+            raise PageProgrammedError(
+                f"page {page} is already programmed; erase block "
+                f"{self.block_of(page)} first (no in-place writes)"
+            )
+        padded = data + b"\xff" * (self.profile.page_size - len(data))
+        self._pages[page] = padded
+        self.stats.page_writes += 1
+        self.clock.advance(self.profile.flash_write_s, "flash_write")
+
+    def erase_block(self, block: int) -> None:
+        """Erase every page of ``block``; counts toward wear."""
+        if not 0 <= block < self.profile.num_blocks:
+            raise FlashError(f"block {block} out of range")
+        count = self._erase_counts.get(block, 0) + 1
+        limit = self.profile.max_erase_cycles
+        if limit is not None and count > limit:
+            raise WearOutError(
+                f"block {block} exceeded its {limit} erase-cycle endurance"
+            )
+        self._erase_counts[block] = count
+        first = block * self.profile.pages_per_block
+        for page in range(first, first + self.profile.pages_per_block):
+            self._pages.pop(page, None)
+        self.stats.block_erases += 1
+        self.clock.advance(self.profile.flash_erase_s, "flash_erase")
+
+    def charge_partial_reads(self, count: int) -> None:
+        """Charge ``count`` modeled partial reads without moving data.
+
+        Used for metadata structures whose content the simulator keeps in
+        host memory but whose I/O cost must still be paid -- e.g. the
+        climbing-index directory (a B-tree on a real device).
+        """
+        if count < 0:
+            raise FlashError("negative read count")
+        self.stats.page_reads_partial += count
+        self.clock.advance(count * self.profile.flash_read_partial_s, "flash_read")
+
+    def erase_count(self, block: int) -> int:
+        return self._erase_counts.get(block, 0)
+
+    @property
+    def max_wear(self) -> int:
+        """Highest erase count over all blocks (wear-levelling metric)."""
+        return max(self._erase_counts.values(), default=0)

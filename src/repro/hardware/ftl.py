@@ -1,0 +1,228 @@
+"""Log-structured flash translation layer (FTL).
+
+NAND flash precludes in-place writes, so updating a logical page means
+programming its new content somewhere else and remembering the new
+location.  This FTL does what the firmware of a real smart USB device
+does:
+
+* maintains a logical-page -> physical-page map;
+* serves writes out of place, appending to the currently open block
+  (log-structured), marking the previous physical page *stale*;
+* garbage-collects when free blocks run low: it picks the block with the
+  most stale pages, relocates its still-valid pages, and erases it;
+* spreads erases across blocks (round-robin free-list) as a simple form of
+  wear levelling.
+
+Query-engine code above this layer sees stable logical page numbers and
+never worries about erases -- but it *pays* for them in simulated time,
+which is exactly the write-amplification effect the paper's RAM/flash-aware
+algorithms are designed around.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.hardware.flash import FlashError, NandFlash
+
+
+class FlashFullError(FlashError):
+    """No free flash space remains even after garbage collection."""
+
+
+@dataclass
+class FtlStats:
+    """FTL-level counters (physical effects of logical writes)."""
+
+    logical_writes: int = 0
+    gc_runs: int = 0
+    gc_relocations: int = 0
+
+
+@dataclass
+class FlashTranslationLayer:
+    """Logical page store over a raw :class:`NandFlash`."""
+
+    flash: NandFlash
+    #: Blocks kept in reserve so GC always has somewhere to relocate to.
+    spare_blocks: int = 2
+    stats: FtlStats = field(default_factory=FtlStats)
+    _map: dict[int, int] = field(default_factory=dict)  # logical -> physical
+    _reverse: dict[int, int] = field(default_factory=dict)  # physical -> logical
+    _stale: set[int] = field(default_factory=set)  # physical pages
+    _free_blocks: deque[int] = field(default_factory=deque)
+    _open_block: int | None = None
+    _next_in_open: int = 0
+    _next_logical: int = 0
+    _free_logical: list[int] = field(default_factory=list)
+    _in_gc: bool = False
+
+    def __post_init__(self) -> None:
+        if not self._free_blocks:
+            self._free_blocks = deque(range(self.flash.profile.num_blocks))
+
+    # ------------------------------------------------------------------
+    # Logical page lifecycle
+    # ------------------------------------------------------------------
+
+    def allocate(self) -> int:
+        """Allocate a fresh logical page number (no flash I/O yet)."""
+        if self._free_logical:
+            return self._free_logical.pop()
+        lpage = self._next_logical
+        self._next_logical += 1
+        return lpage
+
+    def free(self, lpage: int) -> None:
+        """Release a logical page; its physical copy becomes garbage."""
+        phys = self._map.pop(lpage, None)
+        if phys is not None:
+            self._reverse.pop(phys, None)
+            self._stale.add(phys)
+        self._free_logical.append(lpage)
+
+    def is_mapped(self, lpage: int) -> bool:
+        return lpage in self._map
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+
+    def read(self, lpage: int, offset: int = 0, length: int | None = None) -> bytes:
+        """Read from a logical page previously written."""
+        phys = self._map.get(lpage)
+        if phys is None:
+            raise FlashError(f"logical page {lpage} has never been written")
+        return self.flash.read(phys, offset, length)
+
+    def write(self, lpage: int, data: bytes) -> None:
+        """Write (or overwrite) a logical page, out of place."""
+        phys = self._claim_physical_page()
+        self.flash.program(phys, data)
+        old = self._map.get(lpage)
+        if old is not None:
+            self._reverse.pop(old, None)
+            self._stale.add(old)
+        self._map[lpage] = phys
+        self._reverse[phys] = lpage
+        self.stats.logical_writes += 1
+
+    # ------------------------------------------------------------------
+    # Space management
+    # ------------------------------------------------------------------
+
+    def _claim_physical_page(self) -> int:
+        per_block = self.flash.profile.pages_per_block
+        if self._open_block is None or self._next_in_open >= per_block:
+            self._open_next_block()
+        page = self._open_block * per_block + self._next_in_open
+        self._next_in_open += 1
+        return page
+
+    def _open_next_block(self) -> None:
+        if len(self._free_blocks) <= self.spare_blocks and not self._in_gc:
+            self._collect_garbage()
+            # GC relocations may themselves have opened a fresh block;
+            # abandoning it here would leak its unwritten tail forever.
+            if (
+                self._open_block is not None
+                and self._next_in_open < self.flash.profile.pages_per_block
+            ):
+                return
+        if not self._free_blocks:
+            raise FlashFullError("flash is full and GC reclaimed nothing")
+        self._open_block = self._free_blocks.popleft()
+        self._next_in_open = 0
+
+    def _collect_garbage(self) -> None:
+        """Erase stale-heavy blocks until the spare threshold is restored.
+
+        A single victim can cost more blocks than it frees (its live
+        pages need somewhere to go), so GC keeps going until free space
+        is comfortably above the spare watermark or nothing reclaimable
+        remains.
+        """
+        self._in_gc = True
+        try:
+            while len(self._free_blocks) <= self.spare_blocks:
+                victim = self._pick_victim_block()
+                if victim is None:
+                    if not self._free_blocks:
+                        raise FlashFullError(
+                            "flash is full: no block has any stale page "
+                            "to reclaim"
+                        )
+                    return
+                self._reclaim_block(victim)
+        finally:
+            self._in_gc = False
+
+    def _reclaim_block(self, victim: int) -> None:
+        """Relocate a victim block's live pages and erase it."""
+        self.stats.gc_runs += 1
+        per_block = self.flash.profile.pages_per_block
+        first = victim * per_block
+        for phys in range(first, first + per_block):
+            lpage = self._reverse.get(phys)
+            if lpage is None:
+                self._stale.discard(phys)
+                continue
+            # Relocate a still-valid page: read it and append elsewhere.
+            data = self.flash.read(phys)
+            new_phys = self._claim_physical_page()
+            self.flash.program(new_phys, data)
+            self._map[lpage] = new_phys
+            self._reverse[new_phys] = lpage
+            del self._reverse[phys]
+            self.stats.gc_relocations += 1
+        self.flash.erase_block(victim)
+        self._free_blocks.append(victim)
+
+    def _pick_victim_block(self) -> int | None:
+        """The most-stale closed block whose live pages fit the GC
+        workspace.
+
+        Relocations consume free pages; choosing a victim with more live
+        pages than the remaining workspace would deadlock the collector
+        mid-move, so such blocks only become eligible once earlier
+        erases have widened the workspace.
+        """
+        per_block = self.flash.profile.pages_per_block
+        stale_per_block: dict[int, int] = {}
+        for phys in self._stale:
+            block = phys // per_block
+            if block == self._open_block:
+                continue
+            stale_per_block[block] = stale_per_block.get(block, 0) + 1
+        if not stale_per_block:
+            return None
+        live_per_block: dict[int, int] = {}
+        for phys in self._reverse:
+            block = phys // per_block
+            if block in stale_per_block:
+                live_per_block[block] = live_per_block.get(block, 0) + 1
+        open_room = 0
+        if self._open_block is not None:
+            open_room = per_block - self._next_in_open
+        workspace = len(self._free_blocks) * per_block + open_room
+        candidates = [
+            block
+            for block, stale in stale_per_block.items()
+            if live_per_block.get(block, 0) + 1 <= workspace
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=stale_per_block.get)
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._map)
+
+    @property
+    def free_pages_estimate(self) -> int:
+        per_block = self.flash.profile.pages_per_block
+        in_open = 0
+        if self._open_block is not None:
+            in_open = per_block - self._next_in_open
+        return len(self._free_blocks) * per_block + in_open + len(self._stale)

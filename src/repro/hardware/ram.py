@@ -1,0 +1,121 @@
+"""A hard-budget RAM allocator for the secure chip.
+
+"Security factors imply that the RAM must be small" (paper, Section 3): the
+demo device has tens of KB.  Every device-side query operator must acquire
+its working memory from a :class:`RamBudget`; an allocation that would
+exceed the budget raises :class:`RamExhaustedError`.  This is what makes
+the paper's design pressure *real* in the simulation -- e.g. the hash-join
+baseline genuinely cannot build its table in RAM and must spill to flash.
+
+Allocations are labelled so RAM-exhaustion errors and high-water-mark
+reports say *which operator* was responsible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class RamExhaustedError(MemoryError):
+    """An allocation would exceed the secure chip's RAM budget."""
+
+    def __init__(self, requested: int, available: int, label: str):
+        self.requested = requested
+        self.available = available
+        self.label = label
+        super().__init__(
+            f"RAM exhausted: {label!r} requested {requested} B "
+            f"but only {available} B of budget remain"
+        )
+
+
+@dataclass
+class Allocation:
+    """A live reservation of device RAM.
+
+    Use as a context manager (``with budget.allocate(...) as a:``) or call
+    :meth:`release` explicitly.  :meth:`resize` supports operators whose
+    working-set size evolves (e.g. a growing merge buffer).
+    """
+
+    budget: "RamBudget"
+    size: int
+    label: str
+    released: bool = False
+
+    def resize(self, new_size: int) -> None:
+        """Grow or shrink this allocation in place."""
+        if self.released:
+            raise ValueError(f"allocation {self.label!r} already released")
+        if new_size < 0:
+            raise ValueError("allocation size cannot be negative")
+        delta = new_size - self.size
+        if delta > 0:
+            self.budget._reserve(delta, self.label)
+        else:
+            self.budget._unreserve(-delta)
+        self.budget.by_label[self.label] = (
+            self.budget.by_label.get(self.label, 0) + delta
+        )
+        self.size = new_size
+
+    def release(self) -> None:
+        if not self.released:
+            self.budget._unreserve(self.size)
+            self.budget.by_label[self.label] = (
+                self.budget.by_label.get(self.label, 0) - self.size
+            )
+            self.released = True
+
+    def __enter__(self) -> "Allocation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+@dataclass
+class RamBudget:
+    """Tracks RAM reservations against a fixed byte budget."""
+
+    capacity: int
+    used: int = 0
+    high_water: int = 0
+    #: Count of allocations ever made, for diagnostics.
+    allocation_count: int = 0
+    #: label -> currently reserved bytes, for per-operator reporting.
+    by_label: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.used
+
+    def allocate(self, size: int, label: str) -> Allocation:
+        """Reserve ``size`` bytes, or raise :class:`RamExhaustedError`."""
+        if size < 0:
+            raise ValueError("allocation size cannot be negative")
+        self._reserve(size, label)
+        self.allocation_count += 1
+        alloc = Allocation(budget=self, size=size, label=label)
+        self.by_label[label] = self.by_label.get(label, 0) + size
+        return alloc
+
+    def _reserve(self, size: int, label: str) -> None:
+        if self.used + size > self.capacity:
+            raise RamExhaustedError(size, self.available, label)
+        self.used += size
+        self.high_water = max(self.high_water, self.used)
+
+    def _unreserve(self, size: int) -> None:
+        if size > self.used:
+            raise ValueError(
+                f"releasing {size} B but only {self.used} B are reserved"
+            )
+        self.used -= size
+
+    def reset_high_water(self) -> None:
+        """Restart high-water tracking (e.g. between benchmarked queries)."""
+        self.high_water = self.used
+        self.by_label = {
+            label: size for label, size in self.by_label.items() if size > 0
+        }

@@ -1,0 +1,126 @@
+"""The USB link between the untrusted terminal and the smart USB device.
+
+This is the trust boundary of GhostDB.  Everything that crosses it is, by
+assumption, visible to a spy (a Trojan horse on the terminal, a sniffer on
+the bus).  The channel therefore does two jobs:
+
+* **timing** -- USB 2.0 full speed moves 12 Mb/s, plus a fixed per-message
+  cost, charged to the shared :class:`~repro.hardware.clock.SimClock`; and
+* **observability** -- every message is recorded as a
+  :class:`TrafficRecord` with its raw payload, so
+  :mod:`repro.privacy` can show the demo's "what a pirate would observe"
+  view and mechanically verify that no hidden data ever crossed.
+
+The channel itself enforces no policy; policy lives in
+:mod:`repro.visible.link`, which simply has no verbs for exporting hidden
+data ("data flows in only one direction: from public to private").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.hardware.clock import SimClock
+from repro.hardware.profiles import HardwareProfile
+
+
+class UsbError(Exception):
+    """Malformed use of the USB channel."""
+
+
+class Direction(enum.Enum):
+    """Which way a message crossed the trust boundary."""
+
+    TO_DEVICE = "host->device"
+    TO_HOST = "device->host"
+
+
+@dataclass(frozen=True)
+class TrafficRecord:
+    """One observed message on the bus: what the spy gets to see."""
+
+    seq: int
+    direction: Direction
+    kind: str
+    payload: bytes
+    #: Simulated time at which the transfer completed.
+    completed_at: float
+    description: str = ""
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+
+@dataclass
+class UsbChannel:
+    """A half-duplex message channel with timing and full capture."""
+
+    profile: HardwareProfile
+    clock: SimClock
+    log: list[TrafficRecord] = field(default_factory=list)
+    bytes_to_device: int = 0
+    bytes_to_host: int = 0
+    #: Optional fault injection: corrupt every Nth message (tests only).
+    corrupt_every: int | None = None
+
+    def transfer(
+        self,
+        direction: Direction,
+        kind: str,
+        payload: bytes,
+        description: str = "",
+    ) -> bytes:
+        """Move ``payload`` across the bus; returns the delivered bytes.
+
+        The delivered bytes normally equal the payload; with fault
+        injection enabled they may be corrupted, which upper layers must
+        detect via their own checksums.
+        """
+        if not isinstance(payload, (bytes, bytearray)):
+            raise UsbError(
+                f"USB payloads must be bytes, got {type(payload).__name__}"
+            )
+        payload = bytes(payload)
+        seconds = self.profile.usb_setup_s + (
+            len(payload) * 8 / self.profile.usb_bits_per_s
+        )
+        self.clock.advance(seconds, "usb")
+        if direction is Direction.TO_DEVICE:
+            self.bytes_to_device += len(payload)
+        else:
+            self.bytes_to_host += len(payload)
+        delivered = payload
+        seq = len(self.log)
+        if self.corrupt_every and (seq + 1) % self.corrupt_every == 0 and payload:
+            corrupted = bytearray(payload)
+            corrupted[0] ^= 0xFF
+            delivered = bytes(corrupted)
+        self.log.append(
+            TrafficRecord(
+                seq=seq,
+                direction=direction,
+                kind=kind,
+                payload=delivered,
+                completed_at=self.clock.now,
+                description=description,
+            )
+        )
+        return delivered
+
+    @property
+    def message_count(self) -> int:
+        return len(self.log)
+
+    def records(self, direction: Direction | None = None) -> list[TrafficRecord]:
+        """All captured traffic, optionally filtered by direction."""
+        if direction is None:
+            return list(self.log)
+        return [r for r in self.log if r.direction is direction]
+
+    def clear_log(self) -> None:
+        """Forget captured traffic (between benchmark repetitions)."""
+        self.log.clear()
+        self.bytes_to_device = 0
+        self.bytes_to_host = 0

@@ -1,0 +1,317 @@
+"""Climbing indexes (paper, Section 4 and Figure 4).
+
+A climbing index on column ``T.A`` maps each value to sorted ID lists for
+``T`` *and for every ancestor of T on the way to the root*: the entry for
+"Spain" in Doctor.Country holds Doctor IDs, Visit IDs and Prescription
+IDs, precomputing the joins along the Doctor -> Visit -> Prescription
+path.  Selections on any level can therefore produce root IDs in one
+index traversal, ready to merge with other predicates' lists.
+
+A climbing index on a table's *primary key* is the ID-conversion index:
+given a VisID, its Prescription-level posting is the list of PreIDs whose
+prescriptions belong to that visit.  That is how visible selections,
+which arrive as ID lists from the PC, climb to the root (the paper
+converts the Vis.Date result "into lists of PreID thanks to the climbing
+index on Vis.VisID").
+
+The per-value, per-level posting lists live in packed posting files
+(:mod:`repro.index.posting`).  The directory (value -> refs) is a B-tree
+on a real device; the simulator keeps its content in host memory and
+charges the modeled probe I/O explicitly (see ``DIRECTORY_PROBE_READS``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from dataclasses import dataclass
+
+from repro.catalog.tree import SchemaTree
+from repro.hardware.device import SmartUsbDevice
+from repro.index.posting import PostingFileWriter, PostingRef
+from repro.storage.heap import HeapTable
+
+#: Partial page reads charged per directory probe (root + leaf of the
+#: modeled two-level B-tree).
+DIRECTORY_PROBE_READS = 2
+
+
+@dataclass
+class LevelStats:
+    """Optimizer inputs for one level of a climbing index."""
+
+    table: str
+    total_ids: int = 0
+
+    def avg_posting(self, n_values: int) -> float:
+        return self.total_ids / n_values if n_values else 0.0
+
+
+def build_edge_map(
+    device: SmartUsbDevice,
+    heaps: dict[str, HeapTable],
+    parent: str,
+    fk_col_index: int,
+) -> dict[int, list[int]]:
+    """Invert one FK edge: child PK -> sorted list of parent PKs.
+
+    One full scan of the parent heap, charged to the device.
+    """
+    heap = heaps[parent]
+    mapping: dict[int, list[int]] = {}
+    with heap.reader(f"edge-scan:{parent}") as reader:
+        for raw in reader.scan():
+            parent_pk = heap.codec.decode_field(raw, heap.pk_field)
+            child_pk = heap.codec.decode_field(raw, fk_col_index)
+            device.chip.charge("decode_field", 2)
+            mapping.setdefault(child_pk, []).append(parent_pk)
+    return mapping
+
+
+class ClimbingIndex:
+    """One climbing index: a column's values -> per-level sorted IDs."""
+
+    def __init__(
+        self,
+        device: SmartUsbDevice,
+        table: str,
+        column: str,
+        levels: list[str],
+        is_key_index: bool,
+    ):
+        self.device = device
+        self.table = table.lower()
+        self.column = column.lower()
+        #: level tables, self first, root last.
+        self.levels = levels
+        self.is_key_index = is_key_index
+        #: value -> list of PostingRef per level (index 0 is None for key
+        #: indexes: the level-0 posting of a PK value is the value itself).
+        self._directory: dict[object, list[PostingRef | None]] = {}
+        self._sorted_keys: list = []
+        self._files: list = []  # PostingFileReaderFactory per level
+        self.level_stats: list[LevelStats] = []
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        device: SmartUsbDevice,
+        tree: SchemaTree,
+        heaps: dict[str, HeapTable],
+        table: str,
+        column: str,
+        edge_cache: dict | None = None,
+    ) -> "ClimbingIndex":
+        """Build the index from loaded heaps (a load-time operation).
+
+        ``edge_cache`` shares inverted FK edges across index builds.
+        """
+        table = table.lower()
+        column = column.lower()
+        levels = tree.path_to_root(table)
+        table_def = tree.table(table)
+        column_def = table_def.column(column)
+        is_key_index = column_def.primary_key
+        index = cls(device, table, column, levels, is_key_index)
+        if edge_cache is None:
+            edge_cache = {}
+
+        # Level 0: scan the indexed table once.
+        heap = heaps[table]
+        value_ids: dict[object, list[int]] = {}
+        field_idx = table_def.device_column_index(column)
+        with heap.reader(f"index-scan:{table}.{column}") as reader:
+            for raw in reader.scan():
+                pk = heap.codec.decode_field(raw, heap.pk_field)
+                value = heap.codec.decode_field(raw, field_idx)
+                device.chip.charge("decode_field", 2)
+                value_ids.setdefault(value, []).append(pk)
+
+        per_level_ids: list[dict[object, list[int]]] = [value_ids]
+        for upper in levels[1:]:
+            # Map each value's IDs one level up through the inverted edge.
+            lower = levels[len(per_level_ids) - 1]
+            parent_info = tree.parent_of(lower)
+            parent, fk_col = parent_info
+            cache_key = (parent, fk_col.lower())
+            if cache_key not in edge_cache:
+                fk_idx = tree.table(parent).device_column_index(fk_col)
+                edge_cache[cache_key] = build_edge_map(
+                    device, heaps, parent, fk_idx
+                )
+            edge = edge_cache[cache_key]
+            mapped: dict[object, list[int]] = {}
+            below = per_level_ids[-1]
+            for value, ids in below.items():
+                lists = [edge.get(i, ()) for i in ids]
+                lists = [lst for lst in lists if lst]
+                merged = list(heapq.merge(*lists))
+                device.chip.charge("merge_step", len(merged))
+                mapped[value] = merged
+            per_level_ids.append(mapped)
+
+        # Write the posting files and directory, values in sorted order.
+        index._sorted_keys = sorted(value_ids)
+        index.level_stats = [LevelStats(table=t) for t in levels]
+        writers = []
+        for li, level_table in enumerate(levels):
+            if li == 0 and is_key_index:
+                writers.append(None)
+                continue
+            writers.append(
+                PostingFileWriter(device, f"cindex:{table}.{column}:L{li}")
+            )
+        for value in index._sorted_keys:
+            refs: list[PostingRef | None] = []
+            for li in range(len(levels)):
+                ids = per_level_ids[li].get(value, [])
+                index.level_stats[li].total_ids += len(ids)
+                if writers[li] is None:
+                    refs.append(None)
+                    continue
+                writers[li].begin_list()
+                for i in ids:
+                    writers[li].append(i)
+                refs.append(writers[li].end_list())
+            index._directory[value] = refs
+        index._files = [
+            w.close() if w is not None else None for w in writers
+        ]
+        return index
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    @property
+    def n_values(self) -> int:
+        return len(self._sorted_keys)
+
+    def level_of(self, target_table: str) -> int:
+        try:
+            return self.levels.index(target_table.lower())
+        except ValueError:
+            raise KeyError(
+                f"climbing index {self.table}.{self.column} has no level "
+                f"for {target_table!r} (levels: {self.levels})"
+            ) from None
+
+    def _charge_probe(self) -> None:
+        self.device.flash.charge_partial_reads(DIRECTORY_PROBE_READS)
+        self.device.chip.charge(
+            "compare", max(1, self.n_values.bit_length())
+        )
+
+    def posting_count(self, value, target_table: str) -> int:
+        """Number of IDs ``value`` maps to at ``target_table``'s level."""
+        refs = self._directory.get(value)
+        if refs is None:
+            return 0
+        level = self.level_of(target_table)
+        if refs[level] is None:
+            return 1  # key index, level 0: the value itself
+        return refs[level].count
+
+    def stream_eq(self, value, target_table: str, label: str = "cindex"):
+        """A stream factory for one value's IDs at the given level.
+
+        Returns a zero-argument callable producing ``(iterator, closer)``
+        (the shape :func:`merge_posting_streams` consumes), or ``None``
+        when the value is absent.  Charges the directory probe now.
+        """
+        self._charge_probe()
+        refs = self._directory.get(value)
+        if refs is None:
+            return None
+        level = self.level_of(target_table)
+        ref = refs[level]
+        if ref is None:
+            pk = value
+
+            def open_identity():
+                return iter((pk,)), lambda: None
+
+            return open_identity
+        file = self._files[level]
+
+        def open_stream():
+            reader = file.open(f"{label}:{self.table}.{self.column}")
+            return reader.read_list(ref), reader.close
+
+        return open_stream
+
+    def streams_range(
+        self,
+        low,
+        low_inclusive: bool,
+        high,
+        high_inclusive: bool,
+        target_table: str,
+        label: str = "cindex",
+    ) -> list:
+        """Stream factories for every value in the range, in value order.
+
+        Charges one directory probe for the descent plus one modeled leaf
+        read per 64 qualifying values (leaf scans are sequential).
+        """
+        self._charge_probe()
+        keys = self._sorted_keys
+        if low is None:
+            lo_idx = 0
+        elif low_inclusive:
+            lo_idx = bisect.bisect_left(keys, low)
+        else:
+            lo_idx = bisect.bisect_right(keys, low)
+        if high is None:
+            hi_idx = len(keys)
+        elif high_inclusive:
+            hi_idx = bisect.bisect_right(keys, high)
+        else:
+            hi_idx = bisect.bisect_left(keys, high)
+        matching = keys[lo_idx:hi_idx]
+        if matching:
+            self.device.flash.charge_partial_reads(1 + len(matching) // 64)
+        level = self.level_of(target_table)
+        file = self._files[level]
+        factories = []
+        for value in matching:
+            ref = self._directory[value][level]
+            if ref is None:
+                pk = value
+
+                def open_identity(pk=pk):
+                    return iter((pk,)), lambda: None
+
+                factories.append(open_identity)
+                continue
+
+            def open_stream(ref=ref):
+                reader = file.open(f"{label}:{self.table}.{self.column}")
+                return reader.read_list(ref), reader.close
+
+            factories.append(open_stream)
+        return factories
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def flash_bytes(self) -> int:
+        """Flash footprint: posting files plus the modeled directory."""
+        postings = sum(f.flash_bytes for f in self._files if f is not None)
+        key_width = 8  # modeled directory key slot
+        entry = key_width + 8 * len(self.levels)
+        return postings + self.n_values * entry
+
+    def describe(self) -> str:
+        parts = [f"climbing index on {self.table}.{self.column}"]
+        for li, stats in enumerate(self.level_stats):
+            parts.append(
+                f"  level {li} ({stats.table}): {stats.total_ids} ids"
+            )
+        return "\n".join(parts)

@@ -1,0 +1,147 @@
+"""Subtree Key Tables (paper, Section 4 and Figure 3).
+
+An SKT "joins all tables in the subtree to the subtree root with the IDs
+sorted based on the order of IDs in the root table".  For the demo schema
+the SKT rooted at Prescription has columns (PreID, MedID, VisID, DocID,
+PatID), one row per prescription, sorted by PreID.
+
+With it, once a plan knows the qualifying root IDs it can "directly
+associate" any tuple of the subtree without running joins: one SKT row
+fetch yields the matching key of every table at once.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.catalog.tree import SchemaTree
+from repro.hardware.device import SmartUsbDevice
+from repro.storage.heap import HeapTable
+from repro.storage.intlist import ID_WIDTH
+from repro.storage.pagestore import PageReader, PageStore
+
+_PACK = struct.Struct(">I")
+
+
+class SubtreeKeyTable:
+    """The generalized join index for one subtree root."""
+
+    def __init__(self, device: SmartUsbDevice, root: str, tables: list[str]):
+        """``tables`` is the pre-order subtree list; ``tables[0] == root``."""
+        if not tables or tables[0] != root:
+            raise ValueError("tables must start with the subtree root")
+        self.device = device
+        self.root = root
+        self.tables = tables
+        self.record_width = ID_WIDTH * len(tables)
+        self.pages: list[int] = []
+        self.count = 0
+        self._store = PageStore(device)
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        device: SmartUsbDevice,
+        tree: SchemaTree,
+        root: str,
+        heaps: dict[str, HeapTable],
+    ) -> "SubtreeKeyTable":
+        """Materialise the SKT from loaded device heaps.
+
+        The build walks root rows in PK order and resolves each deeper
+        table's key by following FK fields through the heaps -- paying the
+        (load-time) flash reads that a real device would.
+        """
+        root = root.lower()
+        tables = tree.subtree_of(root)
+        skt = cls(device, root, tables)
+        root_heap = heaps[root]
+        column_of = {name: i for i, name in enumerate(tables)}
+
+        # Precompute, per table, where its FK fields live in its device
+        # record and which subtree slot each one fills.
+        fk_layout: dict[str, list[tuple[int, str]]] = {}
+        for name in tables:
+            table_def = tree.table(name)
+            entries = []
+            for fk_col, child in tree.children_of(name):
+                field_idx = table_def.device_column_index(fk_col)
+                entries.append((field_idx, child))
+            fk_layout[name] = entries
+
+        readers = {
+            name: heaps[name].reader(f"skt-build:{name}")
+            for name in tables
+            if fk_layout[name] or name == root
+        }
+        try:
+            with skt._store.writer(skt.record_width, f"skt:{root}") as writer:
+                for raw in readers[root].scan():
+                    row_ids = [0] * len(tables)
+                    skt._resolve(
+                        tree, heaps, readers, fk_layout, column_of,
+                        root, raw, row_ids,
+                    )
+                    writer.append(
+                        b"".join(_PACK.pack(v) for v in row_ids)
+                    )
+                skt.pages = writer.pages
+                skt.count = writer.count
+        finally:
+            for reader in readers.values():
+                reader.close()
+        return skt
+
+    def _resolve(
+        self, tree, heaps, readers, fk_layout, column_of,
+        table: str, raw: bytes, row_ids: list[int],
+    ) -> None:
+        """Fill ``row_ids`` for ``table``'s subtree, given its raw record."""
+        heap = heaps[table]
+        pk = heap.codec.decode_field(raw, heap.pk_field)
+        self.device.chip.charge("decode_field")
+        row_ids[column_of[table]] = pk
+        for field_idx, child in fk_layout[table]:
+            fk_value = heap.codec.decode_field(raw, field_idx)
+            self.device.chip.charge("decode_field")
+            child_heap = heaps[child]
+            child_rowid = child_heap.rowid_for_pk(fk_value)
+            if fk_layout[child]:
+                child_raw = readers[child].record(child_rowid)
+                self._resolve(
+                    tree, heaps, readers, fk_layout, column_of,
+                    child, child_raw, row_ids,
+                )
+            else:
+                row_ids[column_of[child]] = fk_value
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def column_index(self, table: str) -> int:
+        try:
+            return self.tables.index(table.lower())
+        except ValueError:
+            raise KeyError(
+                f"SKT rooted at {self.root!r} has no column for "
+                f"{table!r}"
+            ) from None
+
+    def reader(self, label: str) -> PageReader:
+        return self._store.reader(self.pages, self.record_width, self.count, label)
+
+    def decode(self, raw: bytes) -> tuple[int, ...]:
+        """Decode one SKT row into a tuple of IDs (subtree pre-order)."""
+        return tuple(
+            _PACK.unpack_from(raw, i * ID_WIDTH)[0]
+            for i in range(len(self.tables))
+        )
+
+    @property
+    def flash_bytes(self) -> int:
+        return len(self.pages) * self.device.profile.page_size

@@ -1,0 +1,29 @@
+"""Query optimizer: the Pre/Post/Cross-filtering strategy space.
+
+Section 4 of the paper: "Depending on the selectivities, a Pre-filtering
+or Post-filtering strategy can be selected per predicate.  In addition,
+the selectivities of visible and hidden selections can be combined
+(Cross-filtering) ...  This leads to a large panel of candidate plans."
+
+:mod:`repro.optimizer.space` enumerates that panel for a bound query,
+:mod:`repro.optimizer.cost` prices each candidate with the same constants
+the simulator charges (so estimated and measured costs are comparable),
+and :class:`~repro.optimizer.optimizer.Optimizer` picks the winner.
+"""
+
+from repro.optimizer.cost import CostEstimate, CostModel, StatsProvider
+from repro.optimizer.space import PlanBuilder, Strategy, enumerate_strategies
+from repro.optimizer.optimizer import Optimizer, RankedPlan
+from repro.optimizer.explain import explain_plan
+
+__all__ = [
+    "CostEstimate",
+    "CostModel",
+    "Optimizer",
+    "PlanBuilder",
+    "RankedPlan",
+    "StatsProvider",
+    "Strategy",
+    "enumerate_strategies",
+    "explain_plan",
+]

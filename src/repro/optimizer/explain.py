@@ -1,0 +1,74 @@
+"""EXPLAIN: render a plan tree with per-node estimates.
+
+The demo GUI shows the operator tree and, per operator, estimated and
+measured statistics; this module produces the textual equivalent.
+"""
+
+from __future__ import annotations
+
+from repro.engine import plan as lp
+from repro.optimizer.cost import CostModel
+
+
+def explain_plan(plan: lp.PlanNode, cost_model: CostModel | None = None) -> str:
+    """A printable plan tree, optionally annotated with cost estimates."""
+    lines: list[str] = []
+    _render(plan, cost_model, 0, lines)
+    return "\n".join(lines)
+
+
+def _render(
+    node: lp.PlanNode,
+    cost_model: CostModel | None,
+    depth: int,
+    lines: list[str],
+) -> None:
+    prefix = "  " * depth
+    if cost_model is not None:
+        est = cost_model.estimate(node)
+        lines.append(
+            f"{prefix}{node.label()}  "
+            f"[~{est.out_count:.0f} out, ~{est.seconds * 1000:.2f} ms, "
+            f"~{est.ram_bytes / 1024:.1f} KiB]"
+        )
+    else:
+        lines.append(f"{prefix}{node.label()}")
+    for child in node.children():
+        _render(child, cost_model, depth + 1, lines)
+
+
+def explain_analyze(plan: lp.PlanNode, cost_model: CostModel) -> str:
+    """Estimated vs measured, per node, after the plan has executed.
+
+    Requires the plan object to have gone through
+    :meth:`repro.engine.executor.Executor.execute`, which attaches the
+    physical operator statistics to each logical node.
+    """
+    lines: list[str] = []
+    _render_analyzed(plan, cost_model, 0, lines)
+    return "\n".join(lines)
+
+
+def _render_analyzed(
+    node: lp.PlanNode,
+    cost_model: CostModel,
+    depth: int,
+    lines: list[str],
+) -> None:
+    prefix = "  " * depth
+    est = cost_model.estimate(node)
+    measured = getattr(node, "_measured", None)
+    if measured is None:
+        actual = "(not executed)"
+    else:
+        actual = (
+            f"actual {measured.tuples_out} out, "
+            f"{measured.self_seconds * 1000:.2f} ms self"
+        )
+    lines.append(
+        f"{prefix}{node.label()}  "
+        f"[est ~{est.out_count:.0f} out, ~{est.seconds * 1000:.2f} ms | "
+        f"{actual}]"
+    )
+    for child in node.children():
+        _render_analyzed(child, cost_model, depth + 1, lines)

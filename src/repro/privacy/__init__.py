@@ -1,0 +1,21 @@
+"""Privacy auditing: the spy's view and the leak checker.
+
+Demo phase 1 ("Checking security") shows "what a pirate (e.g., Trojan
+horse) would observe, snooping the data transferred between the
+components of the architecture".  :class:`~repro.privacy.spy.SpyView`
+renders that observation from the captured USB traffic;
+:class:`~repro.privacy.leakcheck.LeakChecker` mechanically verifies the
+paper's guarantee -- the only information revealed is the queries posed
+and the visible data accessed.
+"""
+
+from repro.privacy.spy import SpyView, TrafficSummary
+from repro.privacy.leakcheck import LeakChecker, LeakReport, LeakViolation
+
+__all__ = [
+    "LeakChecker",
+    "LeakReport",
+    "LeakViolation",
+    "SpyView",
+    "TrafficSummary",
+]

@@ -1,0 +1,189 @@
+"""Mechanical verification that hidden data never crossed the boundary.
+
+Three independent checks over the captured traffic:
+
+1. **Structural**: device->host messages may only be ``request`` and
+   ``fetch_ids`` -- the protocol's two outbound verbs.  Anything else is
+   a protocol violation (there is no verb for hidden data, but a bug
+   could invent one).
+2. **Hidden value scan**: no hidden *string* value may appear (as UTF-8)
+   in any payload, in either direction after load.  Strings of three or
+   more characters are distinctive enough to scan for; numeric and date
+   encodings are not (any 8-byte pattern eventually collides with packed
+   ID streams), so for those columns the structural checks carry the
+   guarantee.  The query text the user poses is exempt: the paper
+   accepts revealing "the queries he poses", constants included.
+3. **Request transparency**: outbound requests must parse as the known
+   JSON request forms and may only name visible columns.
+
+The checker is deliberately adversarial toward the engine: it is built
+from the raw dataset, not from engine internals.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import Schema
+from repro.hardware.usb import Direction, TrafficRecord
+
+#: Byte patterns shorter than this are too unspecific to scan for.
+MIN_PATTERN_LEN = 3
+
+ALLOWED_OUTBOUND_KINDS = {"request", "fetch_ids"}
+ALLOWED_REQUEST_OPS = {"select_ids", "count_ids", "fetch_values"}
+
+
+@dataclass
+class LeakViolation:
+    """One detected leak or protocol violation."""
+
+    seq: int
+    kind: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"message #{self.seq} ({self.kind}): {self.reason}"
+
+
+@dataclass
+class LeakReport:
+    """Outcome of a leak-check pass."""
+
+    checked_messages: int
+    checked_patterns: int
+    violations: list[LeakViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "CLEAN" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        lines = [
+            f"leak check: {status} "
+            f"({self.checked_messages} messages x "
+            f"{self.checked_patterns} hidden patterns)"
+        ]
+        lines.extend(f"  {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+class LeakChecker:
+    """Builds the hidden-value corpus and scans captured traffic."""
+
+    def __init__(self, schema: Schema, rows_by_table: dict[str, list]):
+        self.schema = schema
+        self._patterns: list[tuple[bytes, str]] = []
+        self._collect_patterns(rows_by_table)
+
+    def _collect_patterns(self, rows_by_table: dict[str, list]) -> None:
+        seen: set[bytes] = set()
+        for table in self.schema:
+            rows = rows_by_table.get(table.name.lower())
+            if not rows:
+                continue
+            hidden = [
+                (i, col)
+                for i, col in enumerate(table.columns)
+                if col.hidden
+            ]
+            for row in rows:
+                for idx, col in hidden:
+                    value = row[idx]
+                    if not isinstance(value, str):
+                        continue
+                    raw = value.encode("utf-8")
+                    if len(raw) >= MIN_PATTERN_LEN and raw not in seen:
+                        seen.add(raw)
+                        self._patterns.append(
+                            (raw, f"{table.name}.{col.name}={value!r}")
+                        )
+
+    @property
+    def pattern_count(self) -> int:
+        return len(self._patterns)
+
+    # ------------------------------------------------------------------
+
+    def check(self, records: list[TrafficRecord]) -> LeakReport:
+        report = LeakReport(
+            checked_messages=len(records),
+            checked_patterns=len(self._patterns),
+        )
+        for record in records:
+            self._check_structure(record, report)
+            self._scan_payload(record, report)
+        return report
+
+    def _check_structure(self, record: TrafficRecord, report: LeakReport) -> None:
+        if record.direction is not Direction.TO_HOST:
+            return
+        if record.kind not in ALLOWED_OUTBOUND_KINDS:
+            report.violations.append(
+                LeakViolation(
+                    record.seq, record.kind,
+                    f"outbound message kind {record.kind!r} is not in the "
+                    f"protocol whitelist {sorted(ALLOWED_OUTBOUND_KINDS)}",
+                )
+            )
+            return
+        if record.kind == "request":
+            self._check_request(record, report)
+
+    def _check_request(self, record: TrafficRecord, report: LeakReport) -> None:
+        try:
+            body = json.loads(record.payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            report.violations.append(
+                LeakViolation(
+                    record.seq, record.kind,
+                    "outbound request is not readable JSON; requests must "
+                    "be transparent",
+                )
+            )
+            return
+        op = body.get("op")
+        if op not in ALLOWED_REQUEST_OPS:
+            report.violations.append(
+                LeakViolation(
+                    record.seq, record.kind,
+                    f"unknown request op {op!r}",
+                )
+            )
+            return
+        named_columns: list[tuple[str, str]] = []
+        predicate = body.get("predicate")
+        if predicate:
+            named_columns.append((predicate["table"], predicate["column"]))
+        for wire in body.get("recheck", []):
+            named_columns.append((wire["table"], wire["column"]))
+        for column in body.get("columns", []):
+            named_columns.append((body["table"], column))
+        for table_name, column_name in named_columns:
+            table = self.schema.table(table_name)
+            column = table.column(column_name)
+            if column.hidden:
+                report.violations.append(
+                    LeakViolation(
+                        record.seq, record.kind,
+                        f"request names hidden column "
+                        f"{table_name}.{column_name}",
+                    )
+                )
+
+    def _scan_payload(self, record: TrafficRecord, report: LeakReport) -> None:
+        if record.kind == "query" and record.direction is Direction.TO_DEVICE:
+            # The user's own query text is an accepted revelation; its
+            # constants may legitimately name hidden values.
+            return
+        payload = record.payload
+        for pattern, where in self._patterns:
+            if pattern in payload:
+                report.violations.append(
+                    LeakViolation(
+                        record.seq, record.kind,
+                        f"payload contains hidden value {where}",
+                    )
+                )

@@ -1,0 +1,83 @@
+"""The spy's view of the trust boundary.
+
+Everything in here works from the captured USB traffic alone -- exactly
+the position of a Trojan horse on the terminal.  It can read requests
+(they are JSON by design), see ID lists and fetched values, count bytes
+and time transfers.  It can *not* see inside the device; this module is
+the demo's proof of that, because what it renders is all there is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.usb import Direction, TrafficRecord
+
+
+@dataclass
+class TrafficSummary:
+    """Aggregate of one direction/kind bucket."""
+
+    direction: str
+    kind: str
+    messages: int = 0
+    bytes: int = 0
+
+
+@dataclass
+class SpyView:
+    """Everything an observer of the USB bus learns."""
+
+    records: list[TrafficRecord]
+
+    def summary(self) -> list[TrafficSummary]:
+        """Per (direction, kind) message and byte counts."""
+        buckets: dict[tuple[str, str], TrafficSummary] = {}
+        for record in self.records:
+            key = (record.direction.value, record.kind)
+            bucket = buckets.get(key)
+            if bucket is None:
+                bucket = TrafficSummary(
+                    direction=record.direction.value, kind=record.kind
+                )
+                buckets[key] = bucket
+            bucket.messages += 1
+            bucket.bytes += record.size
+        return [buckets[k] for k in sorted(buckets)]
+
+    def requests(self) -> list[str]:
+        """The decoded device->host requests (readable by design)."""
+        out = []
+        for record in self.records:
+            if record.direction is Direction.TO_HOST and record.kind == "request":
+                out.append(record.payload.decode("utf-8", errors="replace"))
+        return out
+
+    def observed_ids(self) -> dict[str, int]:
+        """How many IDs crossed, by message kind."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            if record.kind in ("ids", "fetch_ids"):
+                counts[record.kind] = counts.get(record.kind, 0) + record.size // 4
+        return counts
+
+    def transcript(self, max_payload: int = 60) -> str:
+        """A human-readable dump of the captured traffic."""
+        lines = []
+        for record in self.records:
+            payload = record.payload[:max_payload]
+            try:
+                shown = payload.decode("utf-8")
+                shown = shown.replace("\n", "\\n").replace("\r", "\\r")
+            except UnicodeDecodeError:
+                shown = payload.hex()
+            suffix = "..." if record.size > max_payload else ""
+            lines.append(
+                f"[{record.seq:4d}] {record.direction.value:14s} "
+                f"{record.kind:13s} {record.size:6d} B  {shown}{suffix}"
+            )
+        return "\n".join(lines)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(record.size for record in self.records)

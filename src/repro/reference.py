@@ -1,0 +1,150 @@
+"""Brute-force reference evaluator.
+
+Evaluates a bound SPJ query directly over the full (unsplit) rows in host
+memory -- no device, no indexes, no privacy.  Tests and benchmarks use it
+as ground truth for every GhostDB plan: whatever the strategy, the result
+multiset must equal the reference's.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.catalog.tree import SchemaTree
+from repro.sql.binder import BoundQuery
+
+
+def evaluate_reference(
+    tree: SchemaTree,
+    rows_by_table: dict[str, list],
+    query: BoundQuery,
+) -> list[tuple]:
+    """All result rows of ``query`` over ``rows_by_table``.
+
+    Joins are evaluated by walking the query's join edges from the query
+    root downward; selections and projections use full rows.
+    """
+    indexed: dict[str, dict[int, tuple]] = {}
+    for name in query.tables:
+        table_def = tree.table(name)
+        pk_idx = table_def.column_index(table_def.pk.name)
+        indexed[name] = {
+            row[pk_idx]: row for row in rows_by_table[name.lower()]
+        }
+
+    preds_by_table: dict[str, list] = {}
+    for predicate in query.predicates:
+        table_def = tree.table(predicate.table)
+        col_idx = table_def.column_index(predicate.column)
+        preds_by_table.setdefault(predicate.table, []).append(
+            (col_idx, predicate)
+        )
+
+    # parent -> [(fk index in parent row, child table)]
+    edges: dict[str, list[tuple[int, str]]] = {}
+    for join in query.joins:
+        parent_def = tree.table(join.parent)
+        fk_idx = parent_def.column_index(join.fk_column)
+        edges.setdefault(join.parent, []).append((fk_idx, join.child))
+
+    projections = []
+    for table, column in query.projections:
+        table_def = tree.table(table)
+        projections.append((table, table_def.column_index(column.name)))
+
+    def row_passes(table: str, row: tuple) -> bool:
+        return all(
+            p.matches(row[idx]) for idx, p in preds_by_table.get(table, [])
+        )
+
+    results: list[tuple] = []
+
+    def descend(table: str, row: tuple, bound_rows: dict[str, tuple]) -> bool:
+        if not row_passes(table, row):
+            return False
+        bound_rows[table] = row
+        for fk_idx, child in edges.get(table, []):
+            child_row = indexed[child].get(row[fk_idx])
+            if child_row is None:
+                return False
+            if not descend(child, child_row, bound_rows):
+                return False
+        return True
+
+    root = query.root
+    for row in indexed[root].values():
+        bound_rows: dict[str, tuple] = {}
+        if descend(root, row, bound_rows):
+            results.append(
+                tuple(bound_rows[t][idx] for t, idx in projections)
+            )
+    results = _apply_grouping(query, results)
+    results = _apply_order_and_limit(query, results)
+    return results
+
+
+def _aggregate_value(aggregate, members: list[tuple]):
+    if aggregate.func == "count":
+        return len(members)
+    values = [m[aggregate.input_index] for m in members]
+    if aggregate.func == "sum":
+        return sum(values)
+    if aggregate.func == "avg":
+        return sum(values) / len(values)
+    if aggregate.func == "min":
+        return min(values)
+    if aggregate.func == "max":
+        return max(values)
+    raise ValueError(f"unknown aggregate {aggregate.func!r}")
+
+
+def _apply_grouping(query: BoundQuery, rows: list[tuple]) -> list[tuple]:
+    """GROUP BY + aggregates + HAVING over the base projection rows."""
+    from repro.sql.binder import compare_values
+
+    if not query.is_grouped:
+        return rows
+    groups: dict[tuple, list[tuple]] = {}
+    for row in rows:
+        key = tuple(row[i] for i in query.group_by_indexes)
+        groups.setdefault(key, []).append(row)
+    out = []
+    for key in sorted(groups):
+        members = groups[key]
+        passes = True
+        for kind, index, op, literal in query.having:
+            if kind == "key":
+                actual = key[query.group_by_indexes.index(index)]
+            else:
+                actual = _aggregate_value(query.aggregates[index], members)
+            if not compare_values(op, actual, literal):
+                passes = False
+                break
+        if not passes:
+            continue
+        result = []
+        for kind, ref in query.output_items:
+            if kind == "key":
+                result.append(key[query.group_by_indexes.index(ref)])
+            else:
+                result.append(
+                    _aggregate_value(query.aggregates[ref], members)
+                )
+        out.append(tuple(result))
+    return out
+
+
+def _apply_order_and_limit(query: BoundQuery, rows: list[tuple]) -> list[tuple]:
+    if query.order_by:
+        for index, ascending in reversed(query.order_by):
+            rows = sorted(
+                rows, key=lambda r: r[index], reverse=not ascending
+            )
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return rows
+
+
+def same_rows(a: list[tuple], b: list[tuple]) -> bool:
+    """Multiset equality of result rows (order-insensitive)."""
+    return Counter(a) == Counter(b)

@@ -1,0 +1,43 @@
+"""SQL front end.
+
+GhostDB requires "minimal changes to schema definitions and no changes to
+the SQL query text" (Section 1): ``CREATE TABLE`` gains the ``HIDDEN``
+keyword, and SELECT-project-join queries are plain SQL.  This package
+parses that dialect and *binds* queries against the catalog, which is
+where each predicate is classified as hidden or visible -- the
+classification that drives the whole distributed execution.
+"""
+
+from repro.sql.errors import BindError, ParseError, SqlError
+from repro.sql.lexer import Token, tokenize
+from repro.sql.ast import (
+    ColumnRef,
+    Comparison,
+    CreateTable,
+    Insert,
+    Literal,
+    Select,
+    TableRef,
+)
+from repro.sql.parser import parse_statement
+from repro.sql.binder import Binder, BoundQuery, JoinEdge, Predicate
+
+__all__ = [
+    "BindError",
+    "Binder",
+    "BoundQuery",
+    "ColumnRef",
+    "Comparison",
+    "CreateTable",
+    "Insert",
+    "JoinEdge",
+    "Literal",
+    "ParseError",
+    "Predicate",
+    "Select",
+    "SqlError",
+    "TableRef",
+    "Token",
+    "parse_statement",
+    "tokenize",
+]

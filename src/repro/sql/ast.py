@@ -1,0 +1,149 @@
+"""Abstract syntax trees for the GhostDB SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``qualifier.name`` or bare ``name`` (qualifier resolved at bind)."""
+
+    name: str
+    qualifier: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: int, float, str or datetime.date."""
+
+    value: object
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` where operands are ColumnRef or Literal.
+
+    BETWEEN is desugared by the parser into two comparisons.
+    """
+
+    left: object
+    op: str  # one of =, <>, <, <=, >, >=
+    right: object
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class InList:
+    """``column IN (v1, v2, ...)``."""
+
+    column: ColumnRef
+    values: tuple
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(Literal(v)) for v in self.values)
+        return f"{self.column} IN ({inner})"
+
+
+#: Aggregate function names the dialect supports.
+AGGREGATE_FUNCS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggregateRef:
+    """``FUNC(column)`` or ``COUNT(*)`` in a select list."""
+
+    func: str  # lower case, one of AGGREGATE_FUNCS
+    column: ColumnRef | None = None  # None only for COUNT(*)
+
+    def __str__(self) -> str:
+        inner = "*" if self.column is None else str(self.column)
+        return f"{self.func}({inner})"
+
+
+@dataclass(frozen=True)
+class HavingCondition:
+    """``HAVING target op literal`` where target is an aggregate or a
+    grouping column."""
+
+    target: object  # AggregateRef | ColumnRef
+    op: str
+    value: object
+
+    def __str__(self) -> str:
+        return f"{self.target} {self.op} {Literal(self.value)}"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    column: ColumnRef
+    ascending: bool = True
+
+    def __str__(self) -> str:
+        return f"{self.column} {'ASC' if self.ascending else 'DESC'}"
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """``table [alias]`` in a FROM clause."""
+
+    table: str
+    alias: str | None = None
+
+    @property
+    def binding_name(self) -> str:
+        return (self.alias or self.table).lower()
+
+
+@dataclass
+class Select:
+    """A select-project-join query: conjunctive WHERE only.
+
+    ``items`` may mix :class:`ColumnRef` and :class:`AggregateRef`;
+    ``where`` mixes :class:`Comparison` and :class:`InList`.
+    """
+
+    items: list
+    tables: list[TableRef]
+    where: list = field(default_factory=list)
+    group_by: list[ColumnRef] = field(default_factory=list)
+    having: list["HavingCondition"] = field(default_factory=list)
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+
+
+@dataclass
+class ColumnClause:
+    """One column definition inside CREATE TABLE."""
+
+    name: str
+    type_name: str | None  # None when the type is inherited via REFERENCES
+    type_length: int | None
+    primary_key: bool = False
+    hidden: bool = False
+    ref_table: str | None = None
+    ref_column: str | None = None
+
+
+@dataclass
+class CreateTable:
+    name: str
+    columns: list[ColumnClause]
+
+
+@dataclass
+class Insert:
+    table: str
+    values: list[list[object]]

@@ -1,0 +1,637 @@
+"""Semantic analysis: from AST to a bound, classified query.
+
+Binding resolves aliases and column names against the catalog, validates
+that the FROM tables form a connected subtree of the schema tree joined by
+proper FK = PK predicates, and -- the GhostDB-specific part -- classifies
+every selection predicate as **hidden** (its column lives only on the
+device) or **visible** (its column lives on the public side).  That
+classification is the input to the Pre-/Post-/Cross-filtering strategy
+space of Section 4.
+
+The binder also normalises predicates: BETWEEN has already been desugared
+by the parser, and multiple inequalities on one column are merged into a
+single interval so the climbing index is consulted once per column.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import ColumnDef, TableDef
+from repro.catalog.tree import SchemaTree
+from repro.sql import ast
+from repro.sql.errors import BindError
+from repro.storage.types import (
+    CharType,
+    DataType,
+    DateType,
+    FloatType,
+    IntegerType,
+)
+
+#: Predicate kinds after normalisation.
+EQ = "eq"
+NEQ = "neq"
+RANGE = "range"
+IN = "in"
+
+
+@dataclass
+class Predicate:
+    """A normalised selection predicate on one column."""
+
+    table: str  # real table name, lower case
+    column: str  # column name, lower case
+    column_def: ColumnDef
+    kind: str  # EQ, NEQ, RANGE or IN
+    value: object = None  # for EQ / NEQ
+    low: object = None  # for RANGE (None = open)
+    low_inclusive: bool = True
+    high: object = None
+    high_inclusive: bool = True
+    values: tuple = ()  # for IN, sorted and deduplicated
+
+    @property
+    def hidden(self) -> bool:
+        return self.column_def.hidden
+
+    def matches(self, value) -> bool:
+        """Evaluate the predicate against a concrete value."""
+        if self.kind == EQ:
+            return value == self.value
+        if self.kind == NEQ:
+            return value != self.value
+        if self.kind == IN:
+            return value in self.values
+        if self.low is not None:
+            if self.low_inclusive:
+                if value < self.low:
+                    return False
+            elif value <= self.low:
+                return False
+        if self.high is not None:
+            if self.high_inclusive:
+                if value > self.high:
+                    return False
+            elif value >= self.high:
+                return False
+        return True
+
+    def describe(self) -> str:
+        name = f"{self.table}.{self.column}"
+        if self.kind == EQ:
+            return f"{name} = {self.value!r}"
+        if self.kind == NEQ:
+            return f"{name} <> {self.value!r}"
+        if self.kind == IN:
+            inner = ", ".join(repr(v) for v in self.values)
+            return f"{name} IN ({inner})"
+        parts = []
+        if self.low is not None:
+            parts.append(f"{name} {'>=' if self.low_inclusive else '>'} {self.low!r}")
+        if self.high is not None:
+            parts.append(f"{name} {'<=' if self.high_inclusive else '<'} {self.high!r}")
+        return " AND ".join(parts) if parts else f"{name}: true"
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """A validated tree join: ``parent.fk_column = child`` primary key."""
+
+    parent: str  # referencing table (closer to the root), lower case
+    fk_column: str
+    child: str  # referenced table, lower case
+
+
+@dataclass
+class BoundAggregate:
+    """A resolved aggregate: function + argument column (None = COUNT(*))."""
+
+    func: str
+    table: str | None
+    column: ColumnDef | None
+    #: index into BoundQuery.projections of the argument column.
+    input_index: int | None
+
+    def label(self) -> str:
+        if self.column is None:
+            return "count(*)"
+        return f"{self.func}({self.table}.{self.column.name})"
+
+    def output_dtype(self) -> DataType:
+        if self.func == "count":
+            return IntegerType()
+        if self.func == "avg":
+            return FloatType()
+        return self.column.dtype
+
+
+@dataclass
+class BoundQuery:
+    """A fully resolved SPJ query, ready for the optimizer."""
+
+    select: ast.Select
+    #: binding name (alias or table) -> TableDef
+    bindings: dict[str, TableDef]
+    #: real table names (lower) in the query, in FROM order.
+    tables: list[str]
+    #: the query's subtree root (ancestor of every other query table).
+    root: str
+    projections: list[tuple[str, ColumnDef]] = field(default_factory=list)
+    predicates: list[Predicate] = field(default_factory=list)
+    joins: list[JoinEdge] = field(default_factory=list)
+    #: aggregates, in select-list order (empty for plain SPJ queries).
+    aggregates: list[BoundAggregate] = field(default_factory=list)
+    #: indexes into ``projections`` forming the GROUP BY key.
+    group_by_indexes: list[int] = field(default_factory=list)
+    #: output recipe when grouped: ("key", projection idx) or
+    #: ("agg", aggregate idx), in select-list order.
+    output_items: list[tuple[str, int]] = field(default_factory=list)
+    #: final output column labels, in select-list order.
+    output_labels: list[str] = field(default_factory=list)
+    #: final output column types, in select-list order.
+    output_dtypes: list[DataType] = field(default_factory=list)
+    #: HAVING conditions: ("agg"|"key", index, op, literal).  The index
+    #: addresses ``aggregates`` or ``projections`` respectively; HAVING
+    #: aggregates absent from the select list are appended to
+    #: ``aggregates`` without an output item.
+    having: list[tuple[str, int, str, object]] = field(default_factory=list)
+    #: (output column index, ascending) pairs, in ORDER BY order.
+    order_by: list[tuple[int, bool]] = field(default_factory=list)
+    limit: int | None = None
+
+    @property
+    def is_grouped(self) -> bool:
+        return bool(self.aggregates) or bool(self.group_by_indexes)
+
+    @property
+    def hidden_predicates(self) -> list[Predicate]:
+        return [p for p in self.predicates if p.hidden]
+
+    @property
+    def visible_predicates(self) -> list[Predicate]:
+        return [p for p in self.predicates if not p.hidden]
+
+
+def compare_values(op: str, left, right) -> bool:
+    """Apply a SQL comparison operator (used by HAVING evaluation)."""
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ValueError(f"unknown comparison operator {op!r}")
+
+
+def _value_fits(dtype: DataType, value) -> bool:
+    if isinstance(dtype, IntegerType):
+        return isinstance(value, int) and not isinstance(value, bool)
+    if isinstance(dtype, FloatType):
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if isinstance(dtype, DateType):
+        return isinstance(value, datetime.date)
+    if isinstance(dtype, CharType):
+        return isinstance(value, str)
+    return False
+
+
+class Binder:
+    """Binds parsed SELECT statements against a schema tree."""
+
+    def __init__(self, tree: SchemaTree):
+        self.tree = tree
+
+    def bind(self, select: ast.Select) -> BoundQuery:
+        bindings = self._bind_tables(select)
+        tables = [t.name.lower() for t in bindings.values()]
+        seen: set[str] = set()
+        unique_tables = [t for t in tables if not (t in seen or seen.add(t))]
+        root = self.tree.query_root(unique_tables)
+        query = BoundQuery(
+            select=select,
+            bindings=bindings,
+            tables=unique_tables,
+            root=root,
+        )
+        self._bind_items(select, bindings, query)
+        raw_selections: list[tuple[str, ColumnDef, str, object]] = []
+        in_predicates: list[Predicate] = []
+        for condition in select.where:
+            if isinstance(condition, ast.InList):
+                in_predicates.append(self._bind_in(condition, bindings))
+                continue
+            join = self._try_bind_join(condition, bindings)
+            if join is not None:
+                query.joins.append(join)
+                continue
+            raw_selections.append(
+                self._bind_selection(condition, bindings)
+            )
+        query.predicates = self._normalise(raw_selections) + in_predicates
+        self._bind_order_and_limit(select, bindings, query)
+        self._check_join_completeness(query)
+        return query
+
+    # ------------------------------------------------------------------
+    # Select list, GROUP BY, ORDER BY, LIMIT
+    # ------------------------------------------------------------------
+
+    def _bind_items(
+        self,
+        select: ast.Select,
+        bindings: dict[str, TableDef],
+        query: BoundQuery,
+    ) -> None:
+        grouped = bool(select.group_by) or any(
+            isinstance(item, ast.AggregateRef) for item in select.items
+        )
+        if not grouped:
+            if select.having:
+                raise BindError(
+                    "HAVING requires GROUP BY or aggregate select items"
+                )
+            query.projections = [
+                self._resolve_column(ref, bindings) for ref in select.items
+            ]
+            query.output_labels = [
+                f"{t}.{c.name}" for t, c in query.projections
+            ]
+            query.output_dtypes = [c.dtype for _t, c in query.projections]
+            return
+
+        projections: list[tuple[str, ColumnDef]] = []
+
+        def projection_index(table: str, column: ColumnDef) -> int:
+            for i, (t, c) in enumerate(projections):
+                if t == table and c.name.lower() == column.name.lower():
+                    return i
+            projections.append((table, column))
+            return len(projections) - 1
+
+        group_keys = [
+            self._resolve_column(ref, bindings) for ref in select.group_by
+        ]
+        query.group_by_indexes = [
+            projection_index(t, c) for t, c in group_keys
+        ]
+        group_set = {
+            (t, c.name.lower()) for t, c in group_keys
+        }
+        for item in select.items:
+            if isinstance(item, ast.AggregateRef):
+                if item.column is None:
+                    aggregate = BoundAggregate(
+                        func="count", table=None, column=None,
+                        input_index=None,
+                    )
+                else:
+                    table, column = self._resolve_column(
+                        item.column, bindings
+                    )
+                    if item.func in ("sum", "avg") and not isinstance(
+                        column.dtype, (IntegerType, FloatType)
+                    ):
+                        raise BindError(
+                            f"{item.func}() requires a numeric column; "
+                            f"{table}.{column.name} is "
+                            f"{column.dtype.sql_name()}"
+                        )
+                    aggregate = BoundAggregate(
+                        func=item.func, table=table, column=column,
+                        input_index=projection_index(table, column),
+                    )
+                query.aggregates.append(aggregate)
+                query.output_items.append(
+                    ("agg", len(query.aggregates) - 1)
+                )
+                query.output_labels.append(aggregate.label())
+                query.output_dtypes.append(aggregate.output_dtype())
+            else:
+                table, column = self._resolve_column(item, bindings)
+                if (table, column.name.lower()) not in group_set:
+                    raise BindError(
+                        f"{table}.{column.name} appears in the select "
+                        f"list but not in GROUP BY"
+                    )
+                query.output_items.append(
+                    ("key", projection_index(table, column))
+                )
+                query.output_labels.append(f"{table}.{column.name}")
+                query.output_dtypes.append(column.dtype)
+
+        for condition in select.having:
+            query.having.append(
+                self._bind_having(
+                    condition, bindings, query, projection_index, group_set
+                )
+            )
+        query.projections = projections
+
+    def _bind_having(
+        self, condition, bindings, query, projection_index, group_set
+    ) -> tuple[str, int, str, object]:
+        op = "<>" if condition.op == "!=" else condition.op
+        target = condition.target
+        value = condition.value
+        if isinstance(target, ast.ColumnRef):
+            table, column = self._resolve_column(target, bindings)
+            if (table, column.name.lower()) not in group_set:
+                raise BindError(
+                    f"HAVING column {table}.{column.name} must be a "
+                    f"GROUP BY key (use an aggregate otherwise)"
+                )
+            if isinstance(column.dtype, FloatType) and isinstance(value, int):
+                value = float(value)
+            if not _value_fits(column.dtype, value):
+                raise BindError(
+                    f"HAVING literal {value!r} does not fit "
+                    f"{table}.{column.name}"
+                )
+            return ("key", projection_index(table, column), op, value)
+        # Aggregate target: reuse a matching select-list aggregate or
+        # register a new, output-less one.
+        if target.column is None:
+            candidate = BoundAggregate(
+                func="count", table=None, column=None, input_index=None
+            )
+        else:
+            table, column = self._resolve_column(target.column, bindings)
+            if target.func in ("sum", "avg") and not isinstance(
+                column.dtype, (IntegerType, FloatType)
+            ):
+                raise BindError(
+                    f"{target.func}() requires a numeric column"
+                )
+            candidate = BoundAggregate(
+                func=target.func, table=table, column=column,
+                input_index=projection_index(table, column),
+            )
+        index = None
+        for i, existing in enumerate(query.aggregates):
+            same_col = (
+                (existing.column is None and candidate.column is None)
+                or (
+                    existing.column is not None
+                    and candidate.column is not None
+                    and existing.table == candidate.table
+                    and existing.column.name == candidate.column.name
+                )
+            )
+            if existing.func == candidate.func and same_col:
+                index = i
+                break
+        if index is None:
+            query.aggregates.append(candidate)
+            index = len(query.aggregates) - 1
+        dtype = query.aggregates[index].output_dtype()
+        if isinstance(dtype, FloatType) and isinstance(value, int):
+            value = float(value)
+        if not _value_fits(dtype, value):
+            raise BindError(
+                f"HAVING literal {value!r} does not fit "
+                f"{query.aggregates[index].label()} "
+                f"({dtype.sql_name()})"
+            )
+        return ("agg", index, op, value)
+
+    def _bind_order_and_limit(
+        self,
+        select: ast.Select,
+        bindings: dict[str, TableDef],
+        query: BoundQuery,
+    ) -> None:
+        if select.limit is not None:
+            if select.limit < 0:
+                raise BindError("LIMIT cannot be negative")
+            query.limit = select.limit
+        for item in select.order_by:
+            table, column = self._resolve_column(item.column, bindings)
+            target = None
+            if query.is_grouped:
+                for out_idx, (kind, ref) in enumerate(query.output_items):
+                    if kind != "key":
+                        continue
+                    t, c = query.projections[ref]
+                    if t == table and c.name.lower() == column.name.lower():
+                        target = out_idx
+                        break
+            else:
+                for out_idx, (t, c) in enumerate(query.projections):
+                    if t == table and c.name.lower() == column.name.lower():
+                        target = out_idx
+                        break
+            if target is None:
+                raise BindError(
+                    f"ORDER BY column {table}.{column.name} must appear "
+                    f"in the select list"
+                )
+            query.order_by.append((target, item.ascending))
+
+    # ------------------------------------------------------------------
+    # FROM clause
+    # ------------------------------------------------------------------
+
+    def _bind_tables(self, select: ast.Select) -> dict[str, TableDef]:
+        bindings: dict[str, TableDef] = {}
+        for ref in select.tables:
+            table = self.tree.table(ref.table)  # raises on unknown
+            name = ref.binding_name
+            if name in bindings:
+                raise BindError(
+                    f"duplicate table binding {name!r}; GhostDB queries "
+                    f"use each table once (tree schemas have no self-joins)"
+                )
+            bindings[name] = table
+        return bindings
+
+    # ------------------------------------------------------------------
+    # Column resolution
+    # ------------------------------------------------------------------
+
+    def _resolve_column(
+        self, ref: ast.ColumnRef, bindings: dict[str, TableDef]
+    ) -> tuple[str, ColumnDef]:
+        if ref.qualifier is not None:
+            key = ref.qualifier.lower()
+            if key not in bindings:
+                raise BindError(f"unknown table or alias {ref.qualifier!r}")
+            table = bindings[key]
+            return table.name.lower(), table.column(ref.name)
+        matches = [
+            (table.name.lower(), table.column(ref.name))
+            for table in bindings.values()
+            if table.has_column(ref.name)
+        ]
+        if not matches:
+            raise BindError(f"unknown column {ref.name!r}")
+        if len(matches) > 1:
+            owners = sorted({t for t, _c in matches})
+            raise BindError(
+                f"ambiguous column {ref.name!r} (in tables {owners})"
+            )
+        return matches[0]
+
+    # ------------------------------------------------------------------
+    # WHERE clause
+    # ------------------------------------------------------------------
+
+    def _try_bind_join(
+        self, comparison: ast.Comparison, bindings: dict[str, TableDef]
+    ) -> JoinEdge | None:
+        left, right = comparison.left, comparison.right
+        if not (
+            isinstance(left, ast.ColumnRef) and isinstance(right, ast.ColumnRef)
+        ):
+            return None
+        if comparison.op != "=":
+            raise BindError(
+                f"column-to-column comparison {comparison} must be an "
+                f"equijoin"
+            )
+        lt, lc = self._resolve_column(left, bindings)
+        rt, rc = self._resolve_column(right, bindings)
+        for (t1, c1), (t2, c2) in (((lt, lc), (rt, rc)), ((rt, rc), (lt, lc))):
+            if c1.references is not None and c2.primary_key:
+                fk = c1.references
+                if (
+                    fk.table.lower() == t2
+                    and fk.column.lower() == c2.name.lower()
+                ):
+                    return JoinEdge(parent=t1, fk_column=c1.name.lower(), child=t2)
+        raise BindError(
+            f"join {comparison} does not follow a foreign-key edge of the "
+            f"schema tree"
+        )
+
+    def _bind_in(
+        self, condition: ast.InList, bindings: dict[str, TableDef]
+    ) -> Predicate:
+        table, column = self._resolve_column(condition.column, bindings)
+        values = []
+        for value in condition.values:
+            if isinstance(column.dtype, FloatType) and isinstance(value, int):
+                value = float(value)
+            if not _value_fits(column.dtype, value):
+                raise BindError(
+                    f"IN value {value!r} does not fit "
+                    f"{table}.{column.name} ({column.dtype.sql_name()})"
+                )
+            values.append(value)
+        unique = tuple(sorted(set(values)))
+        return Predicate(
+            table=table, column=column.name.lower(), column_def=column,
+            kind=IN, values=unique,
+        )
+
+    def _bind_selection(
+        self, comparison: ast.Comparison, bindings: dict[str, TableDef]
+    ) -> tuple[str, ColumnDef, str, object]:
+        left, right = comparison.left, comparison.right
+        op = comparison.op
+        if isinstance(left, ast.Literal) and isinstance(right, ast.ColumnRef):
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+            op = flipped.get(op, op)
+            left, right = right, left
+        if not (
+            isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal)
+        ):
+            raise BindError(
+                f"unsupported predicate {comparison}; selections compare a "
+                f"column with a literal"
+            )
+        table, column = self._resolve_column(left, bindings)
+        value = right.value
+        # Allow integer literals against FLOAT columns and promote.
+        if isinstance(column.dtype, FloatType) and isinstance(value, int):
+            value = float(value)
+        if not _value_fits(column.dtype, value):
+            raise BindError(
+                f"literal {value!r} does not fit "
+                f"{table}.{column.name} ({column.dtype.sql_name()})"
+            )
+        return table, column, op, value
+
+    @staticmethod
+    def _normalise(
+        raw: list[tuple[str, ColumnDef, str, object]]
+    ) -> list[Predicate]:
+        """Merge per-column comparisons into EQ / NEQ / RANGE predicates."""
+        grouped: dict[tuple[str, str], list[tuple[str, object]]] = {}
+        defs: dict[tuple[str, str], ColumnDef] = {}
+        order: list[tuple[str, str]] = []
+        for table, column, op, value in raw:
+            key = (table, column.name.lower())
+            if key not in grouped:
+                grouped[key] = []
+                defs[key] = column
+                order.append(key)
+            grouped[key].append((op, value))
+        predicates: list[Predicate] = []
+        for key in order:
+            table, column = key
+            cdef = defs[key]
+            eq_values = [v for op, v in grouped[key] if op == "="]
+            neq_values = [v for op, v in grouped[key] if op == "<>"]
+            bounds = [(op, v) for op, v in grouped[key] if op not in ("=", "<>")]
+            if len(set(map(repr, eq_values))) > 1:
+                raise BindError(
+                    f"contradictory equality predicates on {table}.{column}"
+                )
+            if eq_values:
+                predicates.append(
+                    Predicate(table, column, cdef, EQ, value=eq_values[0])
+                )
+            elif bounds:
+                pred = Predicate(table, column, cdef, RANGE)
+                for op, value in bounds:
+                    if op in (">", ">="):
+                        better = pred.low is None or value > pred.low or (
+                            value == pred.low and op == ">"
+                        )
+                        if better:
+                            pred.low = value
+                            pred.low_inclusive = op == ">="
+                    else:
+                        better = pred.high is None or value < pred.high or (
+                            value == pred.high and op == "<"
+                        )
+                        if better:
+                            pred.high = value
+                            pred.high_inclusive = op == "<="
+                predicates.append(pred)
+            for value in neq_values:
+                predicates.append(
+                    Predicate(table, column, cdef, NEQ, value=value)
+                )
+        return predicates
+
+    # ------------------------------------------------------------------
+    # Join completeness
+    # ------------------------------------------------------------------
+
+    def _check_join_completeness(self, query: BoundQuery) -> None:
+        """Every non-root query table must be joined to its tree parent."""
+        joined = {(j.parent, j.child) for j in query.joins}
+        for table in query.tables:
+            if table == query.root:
+                continue
+            parent_info = self.tree.parent_of(table)
+            if parent_info is None or parent_info[0] not in query.tables:
+                raise BindError(
+                    f"table {table!r} cannot join to the rest of the query: "
+                    f"its referencing table is not in the FROM clause"
+                )
+            parent = parent_info[0]
+            if (parent, table) not in joined:
+                raise BindError(
+                    f"missing join predicate between {parent!r} and "
+                    f"{table!r} (cartesian products are not supported)"
+                )

@@ -1,0 +1,49 @@
+"""DDL execution: CREATE TABLE AST -> catalog definitions.
+
+A REFERENCES column without an explicit type (the paper's
+``DocID REFERENCES Doctor(DocID) HIDDEN`` style) inherits the referenced
+primary key's type, so the referenced table must be created first.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import ColumnDef, ForeignKey, Schema, SchemaError, TableDef
+from repro.sql import ast
+from repro.storage.types import TypeError_, type_from_sql
+
+
+def create_table(schema: Schema, stmt: ast.CreateTable) -> TableDef:
+    """Apply a parsed CREATE TABLE to ``schema``; returns the new table."""
+    columns: list[ColumnDef] = []
+    for clause in stmt.columns:
+        references = None
+        if clause.ref_table is not None:
+            if not schema.has_table(clause.ref_table):
+                raise SchemaError(
+                    f"{stmt.name}.{clause.name} references "
+                    f"{clause.ref_table!r}, which does not exist yet; "
+                    f"create referenced tables first"
+                )
+            references = ForeignKey(
+                table=clause.ref_table, column=clause.ref_column
+            )
+        if clause.type_name is not None:
+            try:
+                dtype = type_from_sql(clause.type_name, clause.type_length)
+            except TypeError_ as exc:
+                raise SchemaError(f"{stmt.name}.{clause.name}: {exc}") from exc
+        else:
+            target = schema.table(clause.ref_table)
+            dtype = target.column(clause.ref_column).dtype
+        columns.append(
+            ColumnDef(
+                name=clause.name,
+                dtype=dtype,
+                hidden=clause.hidden,
+                primary_key=clause.primary_key,
+                references=references,
+            )
+        )
+    table = TableDef(name=stmt.name, columns=columns)
+    schema.add(table)
+    return table

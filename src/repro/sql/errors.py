@@ -1,0 +1,21 @@
+"""SQL error hierarchy."""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Base class for all SQL front-end errors."""
+
+
+class ParseError(SqlError):
+    """Lexical or syntactic error, with source position."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class BindError(SqlError):
+    """Semantic error: unknown names, bad joins, type mismatches."""

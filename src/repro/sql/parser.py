@@ -1,0 +1,378 @@
+"""Recursive-descent parser for the GhostDB SQL dialect.
+
+Supported statements::
+
+    CREATE TABLE t (
+        col INTEGER PRIMARY KEY,
+        col DATE,
+        col CHAR(100) HIDDEN,
+        col REFERENCES other(pk) HIDDEN,      -- type inherited from pk
+        col INTEGER REFERENCES other(pk)
+    );
+
+    SELECT a.x, count(*), avg(b.y) FROM ta a, tb b
+    WHERE a.x > 5 AND b.name = 'Sclerosis' AND a.id = b.a_id
+      AND b.kind IN ('x', 'y') AND a.q BETWEEN 1 AND 5
+    GROUP BY a.x HAVING count(*) > 10
+    ORDER BY a.x DESC LIMIT 20;
+
+    INSERT INTO t VALUES (1, 'x', 2006-11-05), (2, 'y', 2006-11-06);
+
+WHERE clauses are conjunctions of comparisons, BETWEEN (desugared into
+two comparisons) and IN lists -- the SPJ fragment the paper's query
+processing section concentrates on, plus the aggregation/ordering
+extensions documented in DESIGN.md §6.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.sql import ast
+from repro.sql.errors import ParseError
+from repro.sql.lexer import DATE, EOF, IDENT, NUMBER, STRING, SYMBOL, Token, tokenize
+
+# Hard (reserved) keywords only.  PRIMARY, KEY, HIDDEN, REFERENCES, AS and
+# DATE are contextual so that schema columns like Visit.Date still parse.
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "BETWEEN", "CREATE", "TABLE",
+    "INSERT", "INTO", "VALUES", "IN", "GROUP", "BY", "ORDER", "LIMIT",
+    "HAVING",
+}
+
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != EOF:
+            self.pos += 1
+        return token
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return token.kind == IDENT and token.upper == word
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.at_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise ParseError(
+                f"expected {word}, found {self.peek().value!r}",
+                self.peek().position,
+            )
+
+    def accept_symbol(self, sym: str) -> bool:
+        token = self.peek()
+        if token.kind == SYMBOL and token.value == sym:
+            self.advance()
+            return True
+        return False
+
+    def expect_symbol(self, sym: str) -> None:
+        if not self.accept_symbol(sym):
+            raise ParseError(
+                f"expected {sym!r}, found {self.peek().value!r}",
+                self.peek().position,
+            )
+
+    def expect_ident(self, what: str) -> str:
+        token = self.peek()
+        if token.kind != IDENT:
+            raise ParseError(
+                f"expected {what}, found {token.value!r}", token.position
+            )
+        if token.upper in _KEYWORDS:
+            raise ParseError(
+                f"keyword {token.upper} cannot be used as {what}",
+                token.position,
+            )
+        self.advance()
+        return str(token.value)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def parse_statement(self):
+        if self.at_keyword("SELECT"):
+            stmt = self.parse_select()
+        elif self.at_keyword("CREATE"):
+            stmt = self.parse_create_table()
+        elif self.at_keyword("INSERT"):
+            stmt = self.parse_insert()
+        else:
+            raise ParseError(
+                f"expected SELECT, CREATE or INSERT, found "
+                f"{self.peek().value!r}",
+                self.peek().position,
+            )
+        self.accept_symbol(";")
+        if self.peek().kind != EOF:
+            raise ParseError(
+                f"unexpected trailing input: {self.peek().value!r}",
+                self.peek().position,
+            )
+        return stmt
+
+    # -- SELECT ---------------------------------------------------------
+
+    def parse_select(self) -> ast.Select:
+        self.expect_keyword("SELECT")
+        items = [self.parse_select_item()]
+        while self.accept_symbol(","):
+            items.append(self.parse_select_item())
+        self.expect_keyword("FROM")
+        tables = [self.parse_table_ref()]
+        while self.accept_symbol(","):
+            tables.append(self.parse_table_ref())
+        where: list = []
+        if self.accept_keyword("WHERE"):
+            where.extend(self.parse_condition())
+            while self.accept_keyword("AND"):
+                where.extend(self.parse_condition())
+        group_by: list[ast.ColumnRef] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_column_ref())
+            while self.accept_symbol(","):
+                group_by.append(self.parse_column_ref())
+        having: list[ast.HavingCondition] = []
+        if self.accept_keyword("HAVING"):
+            having.append(self.parse_having_condition())
+            while self.accept_keyword("AND"):
+                having.append(self.parse_having_condition())
+        order_by: list[ast.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.parse_order_item())
+            while self.accept_symbol(","):
+                order_by.append(self.parse_order_item())
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            token = self.peek()
+            if token.kind != NUMBER or not isinstance(token.value, int):
+                raise ParseError("LIMIT requires an integer", token.position)
+            self.advance()
+            limit = int(token.value)
+        return ast.Select(
+            items=items, tables=tables, where=where,
+            group_by=group_by, having=having, order_by=order_by,
+            limit=limit,
+        )
+
+    def parse_having_condition(self) -> ast.HavingCondition:
+        target = self.parse_select_item()
+        token = self.peek()
+        if token.kind != SYMBOL or token.value not in _COMPARISONS:
+            raise ParseError(
+                f"expected a comparison in HAVING, found {token.value!r}",
+                token.position,
+            )
+        self.advance()
+        op = "<>" if token.value == "!=" else str(token.value)
+        value = self.parse_literal_value()
+        return ast.HavingCondition(target=target, op=op, value=value)
+
+    def parse_select_item(self):
+        token = self.peek()
+        following = self.tokens[self.pos + 1]
+        is_call = (
+            token.kind == IDENT
+            and token.upper.lower() in ast.AGGREGATE_FUNCS
+            and following.kind == SYMBOL
+            and following.value == "("
+        )
+        if not is_call:
+            return self.parse_column_ref()
+        func = str(self.advance().value).lower()
+        self.expect_symbol("(")
+        if self.accept_symbol("*"):
+            if func != "count":
+                raise ParseError(
+                    f"{func}(*) is not valid; only COUNT(*) takes *",
+                    token.position,
+                )
+            column = None
+        else:
+            column = self.parse_column_ref()
+        self.expect_symbol(")")
+        return ast.AggregateRef(func=func, column=column)
+
+    def parse_order_item(self) -> ast.OrderItem:
+        column = self.parse_column_ref()
+        ascending = True
+        token = self.peek()
+        if token.kind == IDENT and token.upper in ("ASC", "DESC"):
+            ascending = token.upper == "ASC"
+            self.advance()
+        return ast.OrderItem(column=column, ascending=ascending)
+
+    def parse_table_ref(self) -> ast.TableRef:
+        table = self.expect_ident("table name")
+        alias = None
+        self.accept_keyword("AS")
+        token = self.peek()
+        if token.kind == IDENT and token.upper not in _KEYWORDS:
+            alias = self.expect_ident("table alias")
+        return ast.TableRef(table=table, alias=alias)
+
+    def parse_column_ref(self) -> ast.ColumnRef:
+        first = self.expect_ident("column name")
+        if self.accept_symbol("."):
+            second = self.expect_ident("column name")
+            return ast.ColumnRef(name=second, qualifier=first)
+        return ast.ColumnRef(name=first)
+
+    def parse_condition(self) -> list:
+        left = self.parse_operand()
+        if self.accept_keyword("IN"):
+            if not isinstance(left, ast.ColumnRef):
+                raise ParseError(
+                    "IN requires a column on its left side",
+                    self.peek().position,
+                )
+            self.expect_symbol("(")
+            values = [self.parse_literal_value()]
+            while self.accept_symbol(","):
+                values.append(self.parse_literal_value())
+            self.expect_symbol(")")
+            return [ast.InList(column=left, values=tuple(values))]
+        if self.accept_keyword("BETWEEN"):
+            low = self.parse_operand()
+            self.expect_keyword("AND")
+            high = self.parse_operand()
+            return [
+                ast.Comparison(left, ">=", low),
+                ast.Comparison(left, "<=", high),
+            ]
+        token = self.peek()
+        if token.kind != SYMBOL or token.value not in _COMPARISONS:
+            raise ParseError(
+                f"expected a comparison operator, found {token.value!r}",
+                token.position,
+            )
+        self.advance()
+        op = "<>" if token.value == "!=" else str(token.value)
+        right = self.parse_operand()
+        return [ast.Comparison(left, op, right)]
+
+    def parse_operand(self):
+        token = self.peek()
+        if token.kind in (NUMBER, STRING, DATE):
+            self.advance()
+            return ast.Literal(token.value)
+        if (
+            self.at_keyword("DATE")
+            and self.tokens[self.pos + 1].kind == STRING
+        ):
+            # DATE 'YYYY-MM-DD' typed literal (otherwise DATE is a column).
+            self.advance()
+            lit = self.advance()
+            try:
+                value = datetime.date.fromisoformat(str(lit.value))
+            except ValueError as exc:
+                raise ParseError(f"invalid date literal: {exc}", lit.position)
+            return ast.Literal(value)
+        return self.parse_column_ref()
+
+    # -- CREATE TABLE ----------------------------------------------------
+
+    def parse_create_table(self) -> ast.CreateTable:
+        self.expect_keyword("CREATE")
+        self.expect_keyword("TABLE")
+        name = self.expect_ident("table name")
+        self.expect_symbol("(")
+        columns = [self.parse_column_clause()]
+        while self.accept_symbol(","):
+            columns.append(self.parse_column_clause())
+        self.expect_symbol(")")
+        return ast.CreateTable(name=name, columns=columns)
+
+    def parse_column_clause(self) -> ast.ColumnClause:
+        name = self.expect_ident("column name")
+        clause = ast.ColumnClause(
+            name=name, type_name=None, type_length=None
+        )
+        token = self.peek()
+        if token.kind == IDENT and token.upper not in (
+            "REFERENCES", "PRIMARY", "HIDDEN",
+        ):
+            clause.type_name = str(self.advance().value)
+            if self.accept_symbol("("):
+                length = self.peek()
+                if length.kind != NUMBER or not isinstance(length.value, int):
+                    raise ParseError(
+                        "type length must be an integer", length.position
+                    )
+                self.advance()
+                clause.type_length = int(length.value)
+                self.expect_symbol(")")
+        while True:
+            if self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                clause.primary_key = True
+            elif self.accept_keyword("HIDDEN"):
+                clause.hidden = True
+            elif self.accept_keyword("REFERENCES"):
+                clause.ref_table = self.expect_ident("referenced table")
+                self.expect_symbol("(")
+                clause.ref_column = self.expect_ident("referenced column")
+                self.expect_symbol(")")
+            else:
+                break
+        if clause.type_name is None and clause.ref_table is None:
+            raise ParseError(
+                f"column {name!r} needs a type or a REFERENCES clause",
+                self.peek().position,
+            )
+        return clause
+
+    # -- INSERT ----------------------------------------------------------
+
+    def parse_insert(self) -> ast.Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident("table name")
+        self.expect_keyword("VALUES")
+        rows = [self.parse_value_row()]
+        while self.accept_symbol(","):
+            rows.append(self.parse_value_row())
+        return ast.Insert(table=table, values=rows)
+
+    def parse_value_row(self) -> list[object]:
+        self.expect_symbol("(")
+        values = [self.parse_literal_value()]
+        while self.accept_symbol(","):
+            values.append(self.parse_literal_value())
+        self.expect_symbol(")")
+        return values
+
+    def parse_literal_value(self):
+        operand = self.parse_operand()
+        if not isinstance(operand, ast.Literal):
+            raise ParseError(
+                "INSERT values must be literals", self.peek().position
+            )
+        return operand.value
+
+
+def parse_statement(text: str):
+    """Parse one SQL statement into its AST."""
+    return _Parser(text).parse_statement()

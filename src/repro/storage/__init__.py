@@ -1,0 +1,49 @@
+"""Device-side storage engine.
+
+Fixed-width records on NAND flash pages behind the FTL.  Hidden columns
+and the replicated primary keys of every table live here; the layout is
+deliberately simple (append-only, ID-ordered heaps plus packed integer
+lists) because the paper's whole point is that *sorted-ID streaming*, not
+clever in-place structures, is what works on write-averse flash with tens
+of KB of RAM.
+"""
+
+from repro.storage.types import (
+    CharType,
+    DataType,
+    DateType,
+    FloatType,
+    IntegerType,
+    TypeError_,
+    date_to_days,
+    days_to_date,
+    type_from_sql,
+)
+from repro.storage.record import RecordCodec
+from repro.storage.pagestore import PageReader, PageStore, PageWriter
+from repro.storage.intlist import IntListReader, IntListWriter
+from repro.storage.heap import HeapTable
+from repro.storage.runs import RunMerger, RunReader, RunWriter, external_merge
+
+__all__ = [
+    "CharType",
+    "DataType",
+    "DateType",
+    "FloatType",
+    "HeapTable",
+    "IntListReader",
+    "IntListWriter",
+    "IntegerType",
+    "PageReader",
+    "PageStore",
+    "PageWriter",
+    "RecordCodec",
+    "RunMerger",
+    "RunReader",
+    "RunWriter",
+    "TypeError_",
+    "date_to_days",
+    "days_to_date",
+    "external_merge",
+    "type_from_sql",
+]

@@ -1,0 +1,172 @@
+"""ID-ordered table storage on the device.
+
+A :class:`HeapTable` stores one table's device-resident columns (its
+primary key plus all hidden columns) as fixed-width records in primary-key
+order.  Key-order storage is what makes SKT lookups and projections by
+sorted ID lists sequential -- the access pattern flash likes.
+
+Primary keys are usually dense (1..N) in the demo dataset, in which case
+``rowid_for_pk`` is arithmetic.  For sparse keys the table keeps a packed
+sorted PK array on flash and binary-searches it with cheap partial reads.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.device import SmartUsbDevice
+from repro.storage.intlist import ID_WIDTH, IntListWriter, _PACK
+from repro.storage.pagestore import PageReader, PageStore
+from repro.storage.record import RecordCodec
+
+
+class KeyNotFoundError(KeyError):
+    """A primary key has no row in the table."""
+
+
+class HeapTable:
+    """A device-resident table extent in primary-key order."""
+
+    def __init__(
+        self,
+        device: SmartUsbDevice,
+        name: str,
+        codec: RecordCodec,
+        pk_field: int,
+    ):
+        self.device = device
+        self.store = PageStore(device)
+        self.name = name
+        self.codec = codec
+        self.pk_field = pk_field
+        self.pages: list[int] = []
+        self.count = 0
+        #: pk == _dense_base + rowid for every row, when keys are dense.
+        self._dense_base: int | None = None
+        self._pk_pages: list[int] = []
+        self._loaded = False
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def load(self, rows) -> None:
+        """Bulk-load ``rows`` (already sorted by primary key).
+
+        Raises ``ValueError`` on unsorted or duplicate keys: GhostDB loads
+        the device "in a secure setting" once, so the loader is strict.
+        """
+        if self._loaded:
+            raise ValueError(f"table {self.name!r} is already loaded")
+        last_pk = None
+        dense = True
+        first_pk = None
+        loaded = 0
+        pk_writer = IntListWriter(self.device, f"load-pk:{self.name}")
+        with self.store.writer(self.codec.width, f"load:{self.name}") as w:
+            for row in rows:
+                pk = row[self.pk_field]
+                if last_pk is not None and pk <= last_pk:
+                    raise ValueError(
+                        f"{self.name}: rows must be sorted by unique PK "
+                        f"(saw {pk} after {last_pk})"
+                    )
+                if first_pk is None:
+                    first_pk = pk
+                elif pk != first_pk + loaded:
+                    dense = False
+                loaded += 1
+                last_pk = pk
+                if not 0 <= pk <= (1 << 32) - 1:
+                    raise ValueError(
+                        f"{self.name}: PK {pk} outside 32-bit ID range"
+                    )
+                pk_writer.append(pk)
+                w.append(self.codec.encode(row))
+            self.pages = w.pages
+            self.count = w.count
+        pk_writer.close()
+        if dense and self.count > 0:
+            self._dense_base = first_pk
+            # The PK array is redundant when keys are dense; release it.
+            for lpage in pk_writer.pages:
+                self.device.ftl.free(lpage)
+        else:
+            self._pk_pages = pk_writer.pages
+        self._loaded = True
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def reader(self, label: str) -> PageReader:
+        """A record reader for batch access (caller manages lifetime)."""
+        return self.store.reader(self.pages, self.codec.width, self.count, label)
+
+    def row(self, rowid: int) -> tuple:
+        """Decode one full row (transient reader; one partial read)."""
+        with self.reader(f"row:{self.name}") as r:
+            raw = r.record(rowid)
+        self.device.chip.charge("decode_field", self.codec.arity)
+        return self.codec.decode(raw)
+
+    def field(self, rowid: int, field_index: int):
+        """Decode one field of one row (single cheap partial read)."""
+        off, width = self.codec.field_slice(field_index)
+        with self.reader(f"field:{self.name}") as r:
+            raw = r.field(rowid, off, width)
+        self.device.chip.charge("decode_field")
+        return self.codec.types[field_index].decode(raw)
+
+    def scan(self):
+        """Yield decoded rows in PK order (full-page sequential reads)."""
+        with self.reader(f"scan:{self.name}") as r:
+            for raw in r.scan():
+                self.device.chip.charge("decode_field", self.codec.arity)
+                yield self.codec.decode(raw)
+
+    def rowid_for_pk(self, pk: int) -> int:
+        """Resolve a primary key to its rowid.
+
+        Dense tables answer arithmetically; sparse tables binary-search the
+        packed PK array with partial flash reads.
+        """
+        if self.count == 0:
+            raise KeyNotFoundError(pk)
+        if self._dense_base is not None:
+            rowid = pk - self._dense_base
+            if not 0 <= rowid < self.count:
+                raise KeyNotFoundError(pk)
+            return rowid
+        ids_per_page = self.device.profile.page_size // ID_WIDTH
+        lo, hi = 0, self.count - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            page_idx, slot = divmod(mid, ids_per_page)
+            raw = self.device.ftl.read(
+                self._pk_pages[page_idx], slot * ID_WIDTH, ID_WIDTH
+            )
+            value = _PACK.unpack(raw)[0]
+            self.device.chip.charge("compare")
+            if value == pk:
+                return mid
+            if value < pk:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        raise KeyNotFoundError(pk)
+
+    def pk_of_rowid(self, rowid: int) -> int:
+        """The primary key stored at ``rowid``."""
+        if not 0 <= rowid < self.count:
+            raise IndexError(f"rowid {rowid} out of range [0, {self.count})")
+        if self._dense_base is not None:
+            return self._dense_base + rowid
+        ids_per_page = self.device.profile.page_size // ID_WIDTH
+        page_idx, slot = divmod(rowid, ids_per_page)
+        raw = self.device.ftl.read(
+            self._pk_pages[page_idx], slot * ID_WIDTH, ID_WIDTH
+        )
+        return _PACK.unpack(raw)[0]
+
+    @property
+    def is_dense(self) -> bool:
+        return self._dense_base is not None

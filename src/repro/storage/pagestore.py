@@ -1,0 +1,206 @@
+"""Record-granular page I/O over the FTL.
+
+Records never span pages, so record ``i`` of a sequence lives at page
+``i // slots_per_page``, slot ``i % slots_per_page`` -- pure arithmetic,
+no directory reads.  Writers and readers hold exactly one page-sized
+buffer each, *allocated from the device RAM budget*, which is how the
+simulation keeps every storage access honest about memory.
+
+The page list of a stored object (its "extent") is small metadata that a
+real device would keep in its internal stable storage; here it lives in
+the Python object and is not charged against query RAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.device import SmartUsbDevice
+from repro.hardware.flash import FlashError
+
+
+@dataclass
+class PageStore:
+    """Factory for page writers/readers bound to one device."""
+
+    device: SmartUsbDevice
+
+    @property
+    def page_size(self) -> int:
+        return self.device.profile.page_size
+
+    def writer(self, record_width: int, label: str) -> "PageWriter":
+        return PageWriter(self, record_width, label)
+
+    def reader(
+        self, pages: list[int], record_width: int, count: int, label: str
+    ) -> "PageReader":
+        return PageReader(self, pages, record_width, count, label)
+
+    def free_pages(self, pages: list[int]) -> None:
+        """Return an extent's pages to the FTL."""
+        for lpage in pages:
+            self.device.ftl.free(lpage)
+
+
+class PageWriter:
+    """Appends fixed-width records, flushing full pages to flash.
+
+    Usage::
+
+        with store.writer(codec.width, "load:Visit") as w:
+            for row in rows:
+                w.append(codec.encode(row))
+        pages, count = w.pages, w.count
+    """
+
+    def __init__(self, store: PageStore, record_width: int, label: str):
+        if record_width <= 0:
+            raise ValueError("record width must be positive")
+        if record_width > store.page_size:
+            raise FlashError(
+                f"record of {record_width} B exceeds the "
+                f"{store.page_size} B page"
+            )
+        self.store = store
+        self.record_width = record_width
+        self.slots_per_page = store.page_size // record_width
+        self.label = label
+        self.pages: list[int] = []
+        self.count = 0
+        self._buffer = bytearray()
+        self._alloc = store.device.ram.allocate(store.page_size, label)
+        self._closed = False
+
+    def append(self, raw: bytes) -> int:
+        """Append one encoded record; returns its rowid."""
+        if self._closed:
+            raise ValueError(f"writer {self.label!r} is closed")
+        if len(raw) != self.record_width:
+            raise ValueError(
+                f"record of {len(raw)} B does not match declared width "
+                f"{self.record_width}"
+            )
+        self._buffer.extend(raw)
+        rowid = self.count
+        self.count += 1
+        if len(self._buffer) >= self.slots_per_page * self.record_width:
+            self._flush()
+        return rowid
+
+    def _flush(self) -> None:
+        if not self._buffer:
+            return
+        lpage = self.store.device.ftl.allocate()
+        self.store.device.ftl.write(lpage, bytes(self._buffer))
+        self.pages.append(lpage)
+        self._buffer.clear()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._flush()
+            self._alloc.release()
+            self._closed = True
+
+    def __enter__(self) -> "PageWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PageReader:
+    """Random and sequential access to a fixed-width record extent."""
+
+    def __init__(
+        self,
+        store: PageStore,
+        pages: list[int],
+        record_width: int,
+        count: int,
+        label: str,
+    ):
+        self.store = store
+        self.pages = pages
+        self.record_width = record_width
+        self.count = count
+        self.slots_per_page = store.page_size // record_width
+        self.label = label
+        self._alloc = store.device.ram.allocate(store.page_size, label)
+        #: Cached (page index, page bytes) for sequential locality.
+        self._cached: tuple[int, bytes] | None = None
+        self._closed = False
+
+    def _locate(self, rowid: int) -> tuple[int, int]:
+        if not 0 <= rowid < self.count:
+            raise IndexError(f"rowid {rowid} out of range [0, {self.count})")
+        return rowid // self.slots_per_page, rowid % self.slots_per_page
+
+    def record(self, rowid: int) -> bytes:
+        """Fetch one record; a cold fetch costs one partial page read."""
+        page_idx, slot = self._locate(rowid)
+        if self._cached is not None and self._cached[0] == page_idx:
+            data = self._cached[1]
+            off = slot * self.record_width
+            return data[off : off + self.record_width]
+        offset = slot * self.record_width
+        return self.store.device.ftl.read(
+            self.pages[page_idx], offset, self.record_width
+        )
+
+    def record_cached(self, rowid: int) -> bytes:
+        """Fetch one record via a cached full-page read.
+
+        Pays a full-page read on a cache miss but serves every further
+        record on the same page for free -- the right choice when hits are
+        dense (e.g. SKT access at high selectivity).  Use :meth:`record`
+        for sparse access patterns.
+        """
+        page_idx, slot = self._locate(rowid)
+        if self._cached is None or self._cached[0] != page_idx:
+            data = self.store.device.ftl.read(self.pages[page_idx])
+            self._cached = (page_idx, data)
+        data = self._cached[1]
+        off = slot * self.record_width
+        return data[off : off + self.record_width]
+
+    def field(self, rowid: int, offset: int, width: int) -> bytes:
+        """Fetch one field of one record (cheapest possible flash read)."""
+        page_idx, slot = self._locate(rowid)
+        if self._cached is not None and self._cached[0] == page_idx:
+            data = self._cached[1]
+            base = slot * self.record_width + offset
+            return data[base : base + width]
+        base = slot * self.record_width + offset
+        return self.store.device.ftl.read(self.pages[page_idx], base, width)
+
+    def scan(self, start: int = 0, stop: int | None = None):
+        """Yield raw records in rowid order using full-page reads."""
+        if stop is None:
+            stop = self.count
+        stop = min(stop, self.count)
+        rowid = start
+        while rowid < stop:
+            page_idx, slot = self._locate(rowid)
+            if self._cached is None or self._cached[0] != page_idx:
+                data = self.store.device.ftl.read(self.pages[page_idx])
+                self._cached = (page_idx, data)
+            data = self._cached[1]
+            last_slot = min(
+                self.slots_per_page, stop - page_idx * self.slots_per_page
+            )
+            for s in range(slot, last_slot):
+                off = s * self.record_width
+                yield data[off : off + self.record_width]
+            rowid = (page_idx + 1) * self.slots_per_page
+
+    def close(self) -> None:
+        if not self._closed:
+            self._alloc.release()
+            self._closed = True
+
+    def __enter__(self) -> "PageReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,16 @@
+"""The untrusted, visible side: PC / public server and the link protocol.
+
+Visible columns and primary keys live here in plain sight.  The visible
+site is computationally powerful (selections over it are free in device
+time) but completely observable -- everything it exchanges with the
+device crosses the USB channel and lands in the spy log.
+
+The protocol (:mod:`repro.visible.link`) is deliberately one-directional
+about *data*: the device can request visible ID lists and visible values,
+but there exists no verb for shipping hidden data out.
+"""
+
+from repro.visible.site import VisibleSite
+from repro.visible.link import DeviceLink, ProtocolError
+
+__all__ = ["DeviceLink", "ProtocolError", "VisibleSite"]

@@ -1,0 +1,234 @@
+"""The client protocol between the device and the visible site.
+
+Every byte of this protocol crosses the USB trust boundary, so its design
+*is* the privacy argument:
+
+* device -> host messages carry only **requests**: a visible predicate to
+  evaluate, or a list of IDs whose visible attributes the projection
+  needs.  Both are information the paper accepts revealing ("the queries
+  he poses and the visible data he accesses").
+* host -> device messages carry visible data only: sorted ID lists
+  (packed 32-bit, in batches) and projected visible values (JSON).
+* there is **no verb** for moving hidden data or intermediate results out
+  of the device.  The leak checker additionally scans all captured
+  payloads, but the protocol's shape is the first line of defence.
+
+Requests are JSON for observability -- a spy (and our tests) can read
+them, which is the point.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import struct
+
+from repro.hardware.device import SmartUsbDevice
+from repro.hardware.usb import Direction
+from repro.sql.binder import EQ, IN, NEQ, RANGE, Predicate
+from repro.visible.site import VisibleSite
+
+_PACK = struct.Struct(">I")
+
+#: IDs per host->device batch message (1 KiB of payload at 4 B/ID).
+DEFAULT_ID_BATCH = 256
+
+#: Rows per fetch_values batch.
+DEFAULT_FETCH_BATCH = 128
+
+
+class ProtocolError(Exception):
+    """Malformed or corrupted link traffic."""
+
+
+def encode_value(value):
+    """JSON-encode a SQL value (dates get a marker object)."""
+    if isinstance(value, datetime.date):
+        return {"__date__": value.isoformat()}
+    return value
+
+
+def decode_value(value):
+    if isinstance(value, dict) and "__date__" in value:
+        return datetime.date.fromisoformat(value["__date__"])
+    return value
+
+
+def predicate_to_wire(predicate: Predicate) -> dict:
+    return {
+        "table": predicate.table,
+        "column": predicate.column,
+        "kind": predicate.kind,
+        "value": encode_value(predicate.value),
+        "low": encode_value(predicate.low),
+        "low_inclusive": predicate.low_inclusive,
+        "high": encode_value(predicate.high),
+        "high_inclusive": predicate.high_inclusive,
+        "values": [encode_value(v) for v in predicate.values],
+    }
+
+
+def predicate_matches_wire(wire: dict, value) -> bool:
+    """Evaluate a wire-format predicate (host side, no ColumnDef needed)."""
+    kind = wire["kind"]
+    if kind == EQ:
+        return value == decode_value(wire["value"])
+    if kind == NEQ:
+        return value != decode_value(wire["value"])
+    if kind == IN:
+        return value in {decode_value(v) for v in wire.get("values", [])}
+    if kind == RANGE:
+        low = decode_value(wire["low"])
+        high = decode_value(wire["high"])
+        if low is not None:
+            if wire["low_inclusive"]:
+                if value < low:
+                    return False
+            elif value <= low:
+                return False
+        if high is not None:
+            if wire["high_inclusive"]:
+                if value > high:
+                    return False
+            elif value >= high:
+                return False
+        return True
+    raise ProtocolError(f"unknown predicate kind {kind!r}")
+
+
+class DeviceLink:
+    """Device-side protocol client, talking to a :class:`VisibleSite`.
+
+    In the demo platform these are separate machines; in the simulation
+    the host endpoint is invoked synchronously after each USB transfer,
+    which preserves exactly the observable traffic.
+    """
+
+    def __init__(
+        self,
+        device: SmartUsbDevice,
+        site: VisibleSite,
+        id_batch: int = DEFAULT_ID_BATCH,
+        fetch_batch: int = DEFAULT_FETCH_BATCH,
+    ):
+        self.device = device
+        self.site = site
+        self.id_batch = id_batch
+        self.fetch_batch = fetch_batch
+
+    # ------------------------------------------------------------------
+    # Visible selection -> ID stream
+    # ------------------------------------------------------------------
+
+    def select_ids(self, table: str, predicate: Predicate):
+        """Yield the sorted PKs satisfying a visible predicate.
+
+        The request crosses to the host; the host evaluates the predicate
+        on its copy of the data (free of device cost) and streams the IDs
+        back in packed batches.  The device holds one batch in RAM.
+        """
+        request = json.dumps(
+            {"op": "select_ids", "predicate": predicate_to_wire(predicate)}
+        ).encode("utf-8")
+        self.device.usb.transfer(
+            Direction.TO_HOST, "request", request,
+            description=f"select_ids {table}.{predicate.column}",
+        )
+        ids = self.site.select_ids(table, predicate)
+        with self.device.ram.allocate(
+            self.id_batch * _PACK.size, f"usb-rx:{table}"
+        ):
+            for start in range(0, len(ids), self.id_batch):
+                batch = ids[start : start + self.id_batch]
+                payload = b"".join(_PACK.pack(i) for i in batch)
+                delivered = self.device.usb.transfer(
+                    Direction.TO_DEVICE, "ids", payload,
+                    description=f"{len(batch)} ids of {table}",
+                )
+                if len(delivered) % _PACK.size:
+                    raise ProtocolError("truncated ID batch")
+                for off in range(0, len(delivered), _PACK.size):
+                    yield _PACK.unpack_from(delivered, off)[0]
+        end = json.dumps({"op": "ids_end", "count": len(ids)}).encode("utf-8")
+        self.device.usb.transfer(
+            Direction.TO_DEVICE, "ids_end", end,
+            description=f"end of ids for {table}",
+        )
+
+    def count_ids(self, table: str, predicate: Predicate) -> int:
+        """Ask the host for an exact visible-selection cardinality."""
+        request = json.dumps(
+            {"op": "count_ids", "predicate": predicate_to_wire(predicate)}
+        ).encode("utf-8")
+        self.device.usb.transfer(
+            Direction.TO_HOST, "request", request,
+            description=f"count_ids {table}.{predicate.column}",
+        )
+        count = self.site.count_ids(table, predicate)
+        reply = json.dumps({"op": "count", "count": count}).encode("utf-8")
+        self.device.usb.transfer(
+            Direction.TO_DEVICE, "count", reply,
+            description=f"count for {table}",
+        )
+        return count
+
+    # ------------------------------------------------------------------
+    # Projection -> visible value fetch
+    # ------------------------------------------------------------------
+
+    def fetch_values(
+        self,
+        table: str,
+        pks: list[int],
+        columns: list[str],
+        recheck: list[Predicate] | None = None,
+    ) -> dict[int, tuple]:
+        """Fetch visible values for ``pks``, batch by batch.
+
+        The host re-checks ``recheck`` predicates while serving, so IDs
+        that were Bloom-filter false positives simply come back absent.
+        Requested IDs are visible on the wire -- the accepted revelation.
+        """
+        recheck = recheck or []
+        result: dict[int, tuple] = {}
+        for start in range(0, len(pks), self.fetch_batch):
+            batch = pks[start : start + self.fetch_batch]
+            header = json.dumps(
+                {
+                    "op": "fetch_values",
+                    "table": table,
+                    "columns": columns,
+                    "recheck": [predicate_to_wire(p) for p in recheck],
+                    "count": len(batch),
+                }
+            ).encode("utf-8")
+            self.device.usb.transfer(
+                Direction.TO_HOST, "request", header,
+                description=f"fetch {len(batch)} rows of {table}",
+            )
+            id_payload = b"".join(_PACK.pack(i) for i in batch)
+            self.device.usb.transfer(
+                Direction.TO_HOST, "fetch_ids", id_payload,
+                description=f"ids to fetch from {table}",
+            )
+            rows = self.site.fetch_values(table, batch, columns, recheck)
+            reply = json.dumps(
+                {
+                    str(pk): [encode_value(v) for v in values]
+                    for pk, values in rows.items()
+                }
+            ).encode("utf-8")
+            with self.device.ram.allocate(
+                max(64, len(reply)), f"usb-rx-values:{table}"
+            ):
+                delivered = self.device.usb.transfer(
+                    Direction.TO_DEVICE, "values", reply,
+                    description=f"{len(rows)} rows of {table}",
+                )
+                try:
+                    decoded = json.loads(delivered.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise ProtocolError(f"corrupted values reply: {exc}")
+            for pk_str, values in decoded.items():
+                result[int(pk_str)] = tuple(decode_value(v) for v in values)
+        return result

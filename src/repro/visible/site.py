@@ -1,0 +1,192 @@
+"""The visible site: the PC and/or public server holding visible data.
+
+Stores each table's public columns keyed by primary key, evaluates
+visible selections (free of device cost -- the paper delegates "as much
+work as possible to the PC and the server"), serves value fetches for
+projections, and computes visible-column statistics that it shares with
+the device's optimizer at plug-in time.
+
+Nothing here is trusted: the spy is assumed to read all of it anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import Schema, SchemaError, TableDef
+from repro.catalog.statistics import StatisticsCollector, TableStats
+from repro.sql.binder import Predicate
+
+
+@dataclass
+class _VisibleTable:
+    definition: TableDef
+    #: public column names, in storage order (PK included when visible).
+    columns: list[str]
+    #: pk -> tuple of public column values.
+    rows: dict[int, tuple] = field(default_factory=dict)
+    #: pks in sorted order (rebuilt lazily after loads).
+    _sorted_pks: list[int] | None = None
+
+    def sorted_pks(self) -> list[int]:
+        if self._sorted_pks is None:
+            self._sorted_pks = sorted(self.rows)
+        return self._sorted_pks
+
+
+class VisibleSite:
+    """In-memory store of all visible columns, keyed by primary key."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._tables: dict[str, _VisibleTable] = {}
+        self._stats: dict[str, TableStats] = {}
+        for table in schema:
+            columns = [c.name.lower() for c in table.public_columns()]
+            self._tables[table.name.lower()] = _VisibleTable(
+                definition=table, columns=columns
+            )
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def load(self, table_name: str, full_rows) -> None:
+        """Load full rows (all columns); keeps only the visible ones.
+
+        ``full_rows`` are tuples in schema column order.  The hidden
+        columns are dropped here -- in a real deployment they would never
+        have reached this machine; the loader splits before shipping.
+        """
+        vtable = self._table(table_name)
+        tdef = vtable.definition
+        pk_index = next(
+            i for i, c in enumerate(tdef.columns) if c.primary_key
+        )
+        keep = [
+            i for i, c in enumerate(tdef.columns) if c.on_public
+        ]
+        collector = StatisticsCollector(
+            table=tdef.name.lower(),
+            column_names=[tdef.columns[i].name for i in keep],
+            dtypes=[tdef.columns[i].dtype for i in keep],
+        )
+        for row in full_rows:
+            if len(row) != len(tdef.columns):
+                raise SchemaError(
+                    f"{tdef.name}: row has {len(row)} values, expected "
+                    f"{len(tdef.columns)}"
+                )
+            pk = row[pk_index]
+            public = tuple(row[i] for i in keep)
+            vtable.rows[pk] = public
+            collector.add(public)
+        vtable._sorted_pks = None
+        self._stats[tdef.name.lower()] = collector.finish()
+
+    def append(self, table_name: str, full_rows) -> None:
+        """Add rows after the initial load (re-synchronisation session).
+
+        The visible side is an ordinary store: appending is cheap, and
+        statistics are recomputed from the stored public rows.
+        """
+        vtable = self._table(table_name)
+        tdef = vtable.definition
+        pk_index = next(
+            i for i, c in enumerate(tdef.columns) if c.primary_key
+        )
+        keep = [i for i, c in enumerate(tdef.columns) if c.on_public]
+        for row in full_rows:
+            if len(row) != len(tdef.columns):
+                raise SchemaError(
+                    f"{tdef.name}: row has {len(row)} values, expected "
+                    f"{len(tdef.columns)}"
+                )
+            pk = row[pk_index]
+            if pk in vtable.rows:
+                raise SchemaError(
+                    f"{tdef.name}: key {pk} already exists"
+                )
+            vtable.rows[pk] = tuple(row[i] for i in keep)
+        vtable._sorted_pks = None
+        collector = StatisticsCollector(
+            table=tdef.name.lower(),
+            column_names=[tdef.columns[i].name for i in keep],
+            dtypes=[tdef.columns[i].dtype for i in keep],
+        )
+        for public in vtable.rows.values():
+            collector.add(public)
+        self._stats[tdef.name.lower()] = collector.finish()
+
+    # ------------------------------------------------------------------
+    # Serving (called by the link's host endpoint)
+    # ------------------------------------------------------------------
+
+    def select_ids(self, table_name: str, predicate: Predicate) -> list[int]:
+        """All PKs whose row satisfies a visible predicate, sorted."""
+        vtable = self._table(table_name)
+        col_idx = self._public_index(vtable, predicate.column)
+        return [
+            pk
+            for pk in vtable.sorted_pks()
+            if predicate.matches(vtable.rows[pk][col_idx])
+        ]
+
+    def count_ids(self, table_name: str, predicate: Predicate) -> int:
+        return len(self.select_ids(table_name, predicate))
+
+    def fetch_values(
+        self,
+        table_name: str,
+        pks: list[int],
+        columns: list[str],
+        recheck: list[Predicate] | None = None,
+    ) -> dict[int, tuple]:
+        """Values of ``columns`` for each pk that exists and passes
+        ``recheck`` (the visible predicates re-verified server-side; this
+        is what silently removes Bloom-filter false positives)."""
+        vtable = self._table(table_name)
+        col_indexes = [self._public_index(vtable, c) for c in columns]
+        recheck = recheck or []
+        recheck_idx = [
+            (self._public_index(vtable, p.column), p) for p in recheck
+        ]
+        result: dict[int, tuple] = {}
+        for pk in pks:
+            row = vtable.rows.get(pk)
+            if row is None:
+                continue
+            if any(not p.matches(row[i]) for i, p in recheck_idx):
+                continue
+            result[pk] = tuple(row[i] for i in col_indexes)
+        return result
+
+    def statistics(self, table_name: str) -> TableStats:
+        """Visible-column statistics (shared with the device optimizer)."""
+        try:
+            return self._stats[table_name.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"no visible data loaded for table {table_name!r}"
+            ) from None
+
+    def row_count(self, table_name: str) -> int:
+        return len(self._table(table_name).rows)
+
+    # ------------------------------------------------------------------
+
+    def _table(self, name: str) -> _VisibleTable:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise SchemaError(f"unknown table {name!r}") from None
+
+    @staticmethod
+    def _public_index(vtable: _VisibleTable, column: str) -> int:
+        try:
+            return vtable.columns.index(column.lower())
+        except ValueError:
+            raise SchemaError(
+                f"{vtable.definition.name}.{column} is not visible; the "
+                f"public side cannot touch it"
+            ) from None

@@ -1,0 +1,20 @@
+"""Synthetic workload: the demo's medical dataset and query families."""
+
+from repro.workload.datagen import DatasetConfig, MedicalDataGenerator
+from repro.workload.queries import (
+    DEMO_SCHEMA_DDL,
+    demo_query,
+    query_date_selectivity,
+    query_purpose_only,
+    query_type_selectivity,
+)
+
+__all__ = [
+    "DEMO_SCHEMA_DDL",
+    "DatasetConfig",
+    "MedicalDataGenerator",
+    "demo_query",
+    "query_date_selectivity",
+    "query_purpose_only",
+    "query_type_selectivity",
+]

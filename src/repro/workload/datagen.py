@@ -1,0 +1,180 @@
+"""Deterministic generator for the demo's medical dataset.
+
+The paper demonstrates on "a synthetic dataset compliant with the schema
+described in Figure 3" whose root table (Prescription) holds one million
+tuples.  This generator reproduces that shape at any scale: table
+cardinalities keep the same ratios, value distributions are skewed the
+way the demo's story needs (rare purposes, popular medicine types, Zipfy
+countries), and everything is a pure function of the seed.
+
+Rows come out in schema column order, sorted by primary key, ready for
+both the visible site loader and the hidden database loader.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass
+
+from repro.workload import vocab
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Scale and shape of the generated dataset.
+
+    The default ratios follow a plausible clinic: ~10 prescriptions per
+    visit-patient-pair stream, a doctor sees many visits, medicines are a
+    small catalogue.  ``n_prescriptions=1_000_000`` reproduces the demo's
+    headline scale.
+    """
+
+    n_prescriptions: int = 20_000
+    seed: int = 2007
+    visits_per_prescription: float = 0.1
+    patients_per_visit: float = 0.2
+    doctors_per_visit: float = 0.02
+    n_medicines: int = 200
+    date_start: datetime.date = datetime.date(2005, 1, 1)
+    date_end: datetime.date = datetime.date(2007, 6, 30)
+
+    @property
+    def n_visits(self) -> int:
+        return max(1, round(self.n_prescriptions * self.visits_per_prescription))
+
+    @property
+    def n_patients(self) -> int:
+        return max(1, round(self.n_visits * self.patients_per_visit))
+
+    @property
+    def n_doctors(self) -> int:
+        return max(1, round(self.n_visits * self.doctors_per_visit))
+
+
+def _weighted(rng: random.Random, pairs) -> str:
+    values = [v for v, _w in pairs]
+    weights = [w for _v, w in pairs]
+    return rng.choices(values, weights=weights, k=1)[0]
+
+
+def _zipf_choice(rng: random.Random, values, s: float = 1.2) -> str:
+    weights = [1.0 / (i + 1) ** s for i in range(len(values))]
+    return rng.choices(values, weights=weights, k=1)[0]
+
+
+class MedicalDataGenerator:
+    """Generates the five Figure 3 tables, in schema column order."""
+
+    def __init__(self, config: DatasetConfig | None = None):
+        self.config = config or DatasetConfig()
+        self._rng = random.Random(self.config.seed)
+
+    def generate(self) -> dict[str, list[tuple]]:
+        """All tables: {table name (lower) -> rows sorted by PK}."""
+        return {
+            "doctor": self.doctors(),
+            "patient": self.patients(),
+            "medicine": self.medicines(),
+            "visit": self.visits(),
+            "prescription": self.prescriptions(),
+        }
+
+    # ------------------------------------------------------------------
+    # Per-table generators (order matters: each uses its own RNG stream)
+    # ------------------------------------------------------------------
+
+    def doctors(self) -> list[tuple]:
+        """(DocID, Name, Speciality, Zip, Country)."""
+        rng = random.Random(self.config.seed + 1)
+        rows = []
+        for doc_id in range(1, self.config.n_doctors + 1):
+            name = (
+                f"Dr {rng.choice(vocab.FIRST_NAMES)} "
+                f"{rng.choice(vocab.LAST_NAMES)}"
+            )
+            rows.append(
+                (
+                    doc_id,
+                    name[:20],
+                    rng.choice(vocab.SPECIALITIES)[:20],
+                    rng.randint(10000, 99999),
+                    _zipf_choice(rng, vocab.COUNTRIES)[:20],
+                )
+            )
+        return rows
+
+    def patients(self) -> list[tuple]:
+        """(PatID, Name^H, Age, BodyMassIndex^H, Country)."""
+        rng = random.Random(self.config.seed + 2)
+        rows = []
+        for pat_id in range(1, self.config.n_patients + 1):
+            name = (
+                f"{rng.choice(vocab.FIRST_NAMES)} "
+                f"{rng.choice(vocab.LAST_NAMES)}"
+            )
+            rows.append(
+                (
+                    pat_id,
+                    name[:20],
+                    rng.randint(8, 95),
+                    round(rng.gauss(27.0, 5.0), 1),
+                    _zipf_choice(rng, vocab.COUNTRIES)[:20],
+                )
+            )
+        return rows
+
+    def medicines(self) -> list[tuple]:
+        """(MedID, Name, Effect, Type)."""
+        rng = random.Random(self.config.seed + 3)
+        rows = []
+        for med_id in range(1, self.config.n_medicines + 1):
+            med_type = _weighted(rng, vocab.MEDICINE_TYPES)
+            rows.append(
+                (
+                    med_id,
+                    f"{med_type[:12]}-{med_id:04d}",
+                    rng.choice(vocab.MEDICINE_EFFECTS)[:30],
+                    med_type[:20],
+                )
+            )
+        return rows
+
+    def visits(self) -> list[tuple]:
+        """(VisID, Date, Purpose^H, DocID^H, PatID^H)."""
+        rng = random.Random(self.config.seed + 4)
+        span = (self.config.date_end - self.config.date_start).days
+        rows = []
+        for vis_id in range(1, self.config.n_visits + 1):
+            date = self.config.date_start + datetime.timedelta(
+                days=rng.randint(0, span)
+            )
+            rows.append(
+                (
+                    vis_id,
+                    date,
+                    _weighted(rng, vocab.PURPOSES)[:100],
+                    rng.randint(1, self.config.n_doctors),
+                    rng.randint(1, self.config.n_patients),
+                )
+            )
+        return rows
+
+    def prescriptions(self) -> list[tuple]:
+        """(PreID, Quantity^H, Frequency, WhenWritten^H, MedID^H, VisID^H)."""
+        rng = random.Random(self.config.seed + 5)
+        span = (self.config.date_end - self.config.date_start).days
+        rows = []
+        for pre_id in range(1, self.config.n_prescriptions + 1):
+            rows.append(
+                (
+                    pre_id,
+                    rng.randint(1, 10),
+                    rng.choice(vocab.FREQUENCIES)[:20],
+                    self.config.date_start
+                    + datetime.timedelta(days=rng.randint(0, span)),
+                    rng.randint(1, self.config.n_medicines),
+                    rng.randint(1, self.config.n_visits),
+                )
+            )
+        return rows

@@ -1,0 +1,96 @@
+"""The demo schema DDL and parametrised query families.
+
+``DEMO_SCHEMA_DDL`` is the Figure 3 schema verbatim (superscript-H
+columns carry the HIDDEN keyword); ``demo_query()`` is the Section 4
+example query.  The parametrised variants sweep predicate selectivities
+for the Pre-vs-Post crossover benchmarks.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+#: Figure 3's schema.  Hidden columns: Pat.Name, Pat.BodyMassIndex,
+#: Vis.Purpose, Vis.DocID, Vis.PatID, Pre.Quantity, Pre.WhenWritten,
+#: Pre.MedID, Pre.VisID.
+DEMO_SCHEMA_DDL = [
+    """CREATE TABLE Doctor (
+        DocID INTEGER PRIMARY KEY,
+        Name CHAR(20),
+        Speciality CHAR(20),
+        Zip INTEGER,
+        Country CHAR(20))""",
+    """CREATE TABLE Patient (
+        PatID INTEGER PRIMARY KEY,
+        Name CHAR(20) HIDDEN,
+        Age INTEGER,
+        BodyMassIndex FLOAT HIDDEN,
+        Country CHAR(20))""",
+    """CREATE TABLE Medicine (
+        MedID INTEGER PRIMARY KEY,
+        Name CHAR(30),
+        Effect CHAR(30),
+        Type CHAR(20))""",
+    """CREATE TABLE Visit (
+        VisID INTEGER PRIMARY KEY,
+        Date DATE,
+        Purpose CHAR(100) HIDDEN,
+        DocID REFERENCES Doctor(DocID) HIDDEN,
+        PatID REFERENCES Patient(PatID) HIDDEN)""",
+    """CREATE TABLE Prescription (
+        PreID INTEGER PRIMARY KEY,
+        Quantity INTEGER HIDDEN,
+        Frequency CHAR(20),
+        WhenWritten DATE HIDDEN,
+        MedID REFERENCES Medicine(MedID) HIDDEN,
+        VisID REFERENCES Visit(VisID) HIDDEN)""",
+]
+
+
+def demo_query(
+    date_cutoff: datetime.date = datetime.date(2006, 11, 5),
+    purpose: str = "Sclerosis",
+    med_type: str = "Antibiotic",
+) -> str:
+    """The paper's Section 4 query, with its literals as parameters."""
+    return f"""
+        SELECT Med.Name, Pre.Quantity, Vis.Date
+        FROM Medicine Med, Prescription Pre, Visit Vis
+        WHERE Vis.Date > DATE '{date_cutoff.isoformat()}'
+        AND Vis.Purpose = '{purpose}'
+        AND Med.Type = '{med_type}'
+        AND Med.MedID = Pre.MedID
+        AND Vis.VisID = Pre.VisID
+    """
+
+
+def query_date_selectivity(date_cutoff: datetime.date) -> str:
+    """Hidden purpose fixed, visible date predicate of varying
+    selectivity: the D2 crossover sweep."""
+    return f"""
+        SELECT Pre.Quantity, Vis.Date
+        FROM Prescription Pre, Visit Vis
+        WHERE Vis.Date > DATE '{date_cutoff.isoformat()}'
+        AND Vis.Purpose = 'Sclerosis'
+        AND Vis.VisID = Pre.VisID
+    """
+
+
+def query_type_selectivity(med_type: str) -> str:
+    """Visible medicine-type predicate only (no hidden selection)."""
+    return f"""
+        SELECT Med.Name, Pre.Quantity
+        FROM Medicine Med, Prescription Pre
+        WHERE Med.Type = '{med_type}'
+        AND Med.MedID = Pre.MedID
+    """
+
+
+def query_purpose_only(purpose: str = "Sclerosis") -> str:
+    """Hidden predicate only: pure climbing-index pre-filtering."""
+    return f"""
+        SELECT Pre.Quantity, Vis.Date
+        FROM Prescription Pre, Visit Vis
+        WHERE Vis.Purpose = '{purpose}'
+        AND Vis.VisID = Pre.VisID
+    """

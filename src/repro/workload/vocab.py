@@ -1,0 +1,58 @@
+"""Vocabularies for the synthetic medical dataset (Figure 3 schema)."""
+
+COUNTRIES = [
+    "France", "Spain", "Germany", "Italy", "Belgium", "Portugal",
+    "Netherlands", "Austria", "Switzerland", "Greece", "Poland",
+    "Sweden", "Norway", "Denmark", "Finland", "Ireland",
+]
+
+SPECIALITIES = [
+    "Endocrinology", "Cardiology", "Nephrology", "Ophthalmology",
+    "Neurology", "General", "Podiatry", "Dietetics",
+]
+
+#: Visit purposes: the hidden attribute the demo query selects on.
+#: Weights are relative frequencies (Sclerosis is deliberately rare, so a
+#: selection on it is highly selective -- the demo's Pre-filtering case).
+PURPOSES = [
+    ("Routine checkup", 30),
+    ("Glycemia control", 20),
+    ("Insulin adjustment", 15),
+    ("Diet counselling", 10),
+    ("Retinopathy screening", 8),
+    ("Foot examination", 7),
+    ("Hypertension", 5),
+    ("Neuropathy", 3),
+    ("Sclerosis", 2),
+]
+
+MEDICINE_TYPES = [
+    ("Insulin", 25),
+    ("Antidiabetic", 30),
+    ("Antihypertensive", 15),
+    ("Statin", 10),
+    ("Antibiotic", 10),
+    ("Analgesic", 7),
+    ("Anticoagulant", 3),
+]
+
+MEDICINE_EFFECTS = [
+    "Lowers blood glucose", "Lowers blood pressure", "Reduces cholesterol",
+    "Fights infection", "Relieves pain", "Prevents clotting",
+    "Slows nerve damage",
+]
+
+FREQUENCIES = [
+    "once daily", "twice daily", "three times daily", "weekly",
+    "before meals", "at bedtime", "as needed",
+]
+
+FIRST_NAMES = [
+    "Marie", "Jean", "Pierre", "Sophie", "Luc", "Claire", "Paul",
+    "Anne", "Louis", "Julie", "Hugo", "Emma", "Nina", "Victor",
+]
+
+LAST_NAMES = [
+    "Martin", "Bernard", "Dubois", "Thomas", "Robert", "Richard",
+    "Petit", "Durand", "Leroy", "Moreau", "Simon", "Laurent",
+]

@@ -1,0 +1,52 @@
+"""Shared fixtures.
+
+The loaded demo session is expensive (data generation + index builds), so
+it is session-scoped; tests that need isolation from measurement state
+call ``reset_measurements()`` and never mutate storage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ghostdb import GhostDB
+from repro.hardware.device import SmartUsbDevice
+from repro.hardware.profiles import DEMO_DEVICE
+from repro.workload.datagen import DatasetConfig, MedicalDataGenerator
+from repro.workload.queries import DEMO_SCHEMA_DDL
+
+SMALL_SCALE = 2_000
+
+
+@pytest.fixture
+def device() -> SmartUsbDevice:
+    """A fresh demo-profile device."""
+    return SmartUsbDevice(DEMO_DEVICE)
+
+
+@pytest.fixture(scope="session")
+def demo_data() -> dict[str, list]:
+    """The small-scale medical dataset (immutable; do not mutate)."""
+    return MedicalDataGenerator(
+        DatasetConfig(n_prescriptions=SMALL_SCALE)
+    ).generate()
+
+
+def build_demo_session(data: dict[str, list]) -> GhostDB:
+    db = GhostDB()
+    for ddl in DEMO_SCHEMA_DDL:
+        db.execute(ddl)
+    db.load(data)
+    return db
+
+
+@pytest.fixture(scope="session")
+def demo_session(demo_data) -> GhostDB:
+    """A loaded GhostDB over the small demo dataset (shared; read-only)."""
+    return build_demo_session(demo_data)
+
+
+@pytest.fixture
+def fresh_session(demo_data) -> GhostDB:
+    """A private loaded session for tests that perturb device state."""
+    return build_demo_session(demo_data)

@@ -1,0 +1,174 @@
+"""Schema model: HIDDEN columns, placement rules, validation."""
+
+import pytest
+
+from repro.catalog.schema import (
+    ColumnDef,
+    ForeignKey,
+    Schema,
+    SchemaError,
+    TableDef,
+)
+from repro.storage.types import CharType, DateType, FloatType, IntegerType
+
+
+def visit_table():
+    return TableDef(
+        name="Visit",
+        columns=[
+            ColumnDef("VisID", IntegerType(), primary_key=True),
+            ColumnDef("Date", DateType()),
+            ColumnDef("Purpose", CharType(100), hidden=True),
+            ColumnDef(
+                "DocID", IntegerType(), hidden=True,
+                references=ForeignKey("Doctor", "DocID"),
+            ),
+        ],
+    )
+
+
+def doctor_table():
+    return TableDef(
+        name="Doctor",
+        columns=[
+            ColumnDef("DocID", IntegerType(), primary_key=True),
+            ColumnDef("Country", CharType(20)),
+        ],
+    )
+
+
+class TestPlacementRules:
+    def test_hidden_column_is_device_only(self):
+        col = ColumnDef("Purpose", CharType(100), hidden=True)
+        assert col.on_device and not col.on_public
+
+    def test_visible_column_is_public(self):
+        col = ColumnDef("Date", DateType())
+        assert col.on_public and not col.on_device
+
+    def test_primary_key_is_replicated_on_device(self):
+        col = ColumnDef("VisID", IntegerType(), primary_key=True)
+        assert col.on_device and col.on_public
+
+    def test_visible_fk_is_replicated_on_device(self):
+        """FKs are SKT key material, so the device holds them even when
+        the administrator left them visible."""
+        col = ColumnDef(
+            "DocID", IntegerType(), references=ForeignKey("Doctor", "DocID")
+        )
+        assert col.on_device and col.on_public
+
+    def test_hidden_fk_is_device_only(self):
+        col = ColumnDef(
+            "DocID", IntegerType(), hidden=True,
+            references=ForeignKey("Doctor", "DocID"),
+        )
+        assert col.on_device and not col.on_public
+
+
+class TestTableDef:
+    def test_exactly_one_primary_key_required(self):
+        with pytest.raises(SchemaError, match="exactly one PRIMARY KEY"):
+            TableDef("T", [ColumnDef("a", IntegerType())])
+        with pytest.raises(SchemaError, match="exactly one PRIMARY KEY"):
+            TableDef(
+                "T",
+                [
+                    ColumnDef("a", IntegerType(), primary_key=True),
+                    ColumnDef("b", IntegerType(), primary_key=True),
+                ],
+            )
+
+    def test_non_integer_pk_rejected(self):
+        with pytest.raises(SchemaError, match="INTEGER"):
+            TableDef(
+                "T", [ColumnDef("a", CharType(8), primary_key=True)]
+            )
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            TableDef(
+                "T",
+                [
+                    ColumnDef("a", IntegerType(), primary_key=True),
+                    ColumnDef("A", FloatType()),
+                ],
+            )
+
+    def test_column_lookup_is_case_insensitive(self):
+        table = visit_table()
+        assert table.column("purpose").name == "Purpose"
+        assert table.column_index("PURPOSE") == 2
+        assert table.has_column("date")
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SchemaError, match="no column"):
+            visit_table().column("nothing")
+
+    def test_device_columns_pk_first_then_hidden_and_fks(self):
+        names = [c.name for c in visit_table().device_columns()]
+        assert names == ["VisID", "Purpose", "DocID"]
+
+    def test_public_columns_exclude_hidden(self):
+        names = [c.name for c in visit_table().public_columns()]
+        assert names == ["VisID", "Date"]
+
+    def test_device_codec_matches_device_columns(self):
+        codec = visit_table().device_codec()
+        assert codec.arity == 3
+        assert codec.width == 8 + 100 + 8
+
+    def test_device_column_index(self):
+        table = visit_table()
+        assert table.device_column_index("visid") == 0
+        assert table.device_column_index("purpose") == 1
+        with pytest.raises(SchemaError, match="not device-resident"):
+            table.device_column_index("date")
+
+
+class TestSchema:
+    def test_add_and_lookup(self):
+        schema = Schema()
+        schema.add(doctor_table())
+        assert schema.table("DOCTOR").name == "Doctor"
+        assert schema.has_table("doctor")
+        assert len(schema) == 1
+
+    def test_duplicate_table_rejected(self):
+        schema = Schema()
+        schema.add(doctor_table())
+        with pytest.raises(SchemaError, match="already exists"):
+            schema.add(doctor_table())
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(SchemaError, match="unknown table"):
+            Schema().table("ghost")
+
+    def test_validate_catches_dangling_fk(self):
+        schema = Schema()
+        schema.add(visit_table())  # references Doctor, which is absent
+        with pytest.raises(SchemaError, match="unknown table"):
+            schema.validate()
+
+    def test_validate_requires_fk_to_target_pk(self):
+        schema = Schema()
+        schema.add(doctor_table())
+        bad = TableDef(
+            "Visit",
+            [
+                ColumnDef("VisID", IntegerType(), primary_key=True),
+                ColumnDef(
+                    "DocCountry", CharType(20),
+                    references=ForeignKey("Doctor", "Country"),
+                ),
+            ],
+        )
+        schema.add(bad)
+        with pytest.raises(SchemaError, match="primary"):
+            schema.validate()
+
+    def test_validate_accepts_good_schema(self):
+        schema = Schema()
+        schema.add(doctor_table())
+        schema.add(visit_table())
+        schema.validate()

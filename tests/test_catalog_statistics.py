@@ -1,0 +1,124 @@
+"""Column statistics and selectivity estimation."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.catalog.statistics import (
+    EXACT_THRESHOLD,
+    StatisticsCollector,
+)
+from repro.storage.types import CharType, DateType, IntegerType
+
+
+def collect(values, dtype=None, name="c"):
+    dtype = dtype or IntegerType()
+    collector = StatisticsCollector("t", [name], [dtype])
+    for value in values:
+        collector.add((value,))
+    return collector.finish().column(name)
+
+
+class TestExactFrequencies:
+    def test_low_cardinality_keeps_exact_counts(self):
+        col = collect(["a", "b", "a", "a"], CharType(4))
+        assert col.frequencies == {"a": 3, "b": 1}
+        assert col.n_distinct == 2
+        assert col.row_count == 4
+
+    def test_eq_selectivity_exact(self):
+        col = collect(["a"] * 30 + ["b"] * 70, CharType(4))
+        assert col.selectivity_eq("a") == pytest.approx(0.3)
+        assert col.selectivity_eq("b") == pytest.approx(0.7)
+        assert col.selectivity_eq("missing") == 0.0
+
+    def test_range_selectivity_exact(self):
+        col = collect([1, 2, 3, 4, 5] * 10)
+        assert col.selectivity_range(2, 4) == pytest.approx(0.6)
+        assert col.selectivity_range(None, 3) == pytest.approx(0.6)
+        assert col.selectivity_range(3, None) == pytest.approx(0.6)
+        assert col.selectivity_range(
+            2, 4, include_low=False, include_high=False
+        ) == pytest.approx(0.2)
+
+
+class TestHistogram:
+    def test_high_cardinality_uses_histogram(self):
+        col = collect(list(range(1000)))
+        assert col.frequencies is None
+        assert col.histogram is not None
+        assert col.n_distinct == 1000
+
+    def test_uniform_range_estimate_close(self):
+        col = collect(list(range(1000)))
+        estimated = col.selectivity_range(250, 500)
+        assert estimated == pytest.approx(0.25, abs=0.05)
+
+    def test_open_range_estimates(self):
+        col = collect(list(range(1000)))
+        assert col.selectivity_range(None, None) == pytest.approx(1.0, abs=0.01)
+        assert col.selectivity_range(900, None) == pytest.approx(0.1, abs=0.05)
+
+    def test_date_histogram(self):
+        values = [
+            datetime.date(2006, 1, 1) + datetime.timedelta(days=i)
+            for i in range(365)
+        ]
+        col = collect(values, DateType())
+        estimated = col.selectivity_range(
+            datetime.date(2006, 10, 1), None
+        )
+        assert estimated == pytest.approx(92 / 365, abs=0.05)
+
+    def test_eq_on_histogram_uses_distinct_count(self):
+        col = collect(list(range(500)))
+        assert col.selectivity_eq(42) == pytest.approx(1 / 500)
+
+
+class TestEdgeCases:
+    def test_empty_column(self):
+        col = collect([])
+        assert col.selectivity_eq(1) == 0.0
+        assert col.selectivity_range(None, None) == 0.0
+        assert col.min_value is None
+
+    def test_single_value(self):
+        col = collect([7] * 10)
+        assert col.min_value == 7 and col.max_value == 7
+        assert col.selectivity_eq(7) == pytest.approx(1.0)
+        assert col.selectivity_range(0, 100) == pytest.approx(1.0)
+        assert col.selectivity_range(8, 100) == 0.0
+
+    def test_min_max_tracked(self):
+        col = collect([5, -3, 18, 0])
+        assert col.min_value == -3
+        assert col.max_value == 18
+
+    def test_threshold_boundary(self):
+        exact = collect(list(range(EXACT_THRESHOLD)))
+        assert exact.frequencies is not None
+        histo = collect(list(range(EXACT_THRESHOLD + 1)))
+        assert histo.frequencies is None
+
+
+@given(
+    st.lists(st.integers(0, 100), min_size=1, max_size=300),
+    st.integers(0, 100),
+    st.integers(0, 100),
+)
+def test_range_selectivity_is_a_probability(values, a, b):
+    """Property: every estimate lies in [0, 1], whatever the data."""
+    low, high = min(a, b), max(a, b)
+    col = collect(values)
+    sel = col.selectivity_range(low, high)
+    assert 0.0 <= sel <= 1.0
+
+
+@given(st.lists(st.integers(0, 20), min_size=1, max_size=200))
+def test_eq_selectivities_sum_to_one(values):
+    """Property: exact frequencies sum to 1 over observed values."""
+    col = collect(values)
+    if col.frequencies is not None:
+        total = sum(col.selectivity_eq(v) for v in set(values))
+        assert total == pytest.approx(1.0)

@@ -1,0 +1,147 @@
+"""Tree-schema analysis on the demo schema and degenerate shapes."""
+
+import pytest
+
+from repro.catalog.schema import ColumnDef, ForeignKey, Schema, TableDef
+from repro.catalog.tree import SchemaTree, TreeSchemaError
+from repro.sql.ddl import create_table
+from repro.sql.parser import parse_statement
+from repro.storage.types import IntegerType
+from repro.workload.queries import DEMO_SCHEMA_DDL
+
+
+@pytest.fixture
+def demo_tree():
+    schema = Schema()
+    for ddl in DEMO_SCHEMA_DDL:
+        create_table(schema, parse_statement(ddl))
+    return SchemaTree(schema)
+
+
+def simple_table(name, fks=()):
+    columns = [ColumnDef(f"{name}ID", IntegerType(), primary_key=True)]
+    for target in fks:
+        columns.append(
+            ColumnDef(
+                f"{target}Ref", IntegerType(),
+                references=ForeignKey(target, f"{target}ID"),
+            )
+        )
+    return TableDef(name, columns)
+
+
+class TestDemoTree:
+    def test_root_is_prescription(self, demo_tree):
+        assert demo_tree.root == "prescription"
+
+    def test_parents(self, demo_tree):
+        assert demo_tree.parent_of("visit") == ("prescription", "VisID")
+        assert demo_tree.parent_of("doctor") == ("visit", "DocID")
+        assert demo_tree.parent_of("prescription") is None
+
+    def test_children(self, demo_tree):
+        kids = dict(
+            (child, fk) for fk, child in demo_tree.children_of("visit")
+        )
+        assert kids == {"doctor": "DocID", "patient": "PatID"}
+
+    def test_path_to_root_matches_figure4(self, demo_tree):
+        """Doctor -> Visit -> Prescription: the climbing path of the
+        Doctor.Country index in Figure 4."""
+        assert demo_tree.path_to_root("doctor") == [
+            "doctor", "visit", "prescription",
+        ]
+
+    def test_ancestors(self, demo_tree):
+        assert demo_tree.ancestors_of("patient") == ["visit", "prescription"]
+        assert demo_tree.ancestors_of("prescription") == []
+
+    def test_subtrees_match_figure3(self, demo_tree):
+        """Two SKTs: one rooted at Prescription, one at Visit."""
+        assert demo_tree.subtree_of("prescription")[0] == "prescription"
+        assert set(demo_tree.subtree_of("prescription")) == {
+            "prescription", "medicine", "visit", "doctor", "patient",
+        }
+        assert set(demo_tree.subtree_of("visit")) == {
+            "visit", "doctor", "patient",
+        }
+        assert sorted(demo_tree.skt_roots()) == ["prescription", "visit"]
+
+    def test_is_ancestor(self, demo_tree):
+        assert demo_tree.is_ancestor("prescription", "doctor")
+        assert demo_tree.is_ancestor("visit", "visit")
+        assert not demo_tree.is_ancestor("doctor", "visit")
+        assert not demo_tree.is_ancestor("medicine", "doctor")
+
+    def test_query_root(self, demo_tree):
+        assert demo_tree.query_root(["medicine", "prescription", "visit"]) == (
+            "prescription"
+        )
+        assert demo_tree.query_root(["doctor", "visit"]) == "visit"
+        assert demo_tree.query_root(["patient"]) == "patient"
+
+    def test_query_root_requires_connected_subtree(self, demo_tree):
+        with pytest.raises(Exception, match="connected subtree"):
+            demo_tree.query_root(["doctor", "medicine"])
+
+    def test_steps_between(self, demo_tree):
+        assert demo_tree.steps_between("prescription", "doctor") == 2
+        assert demo_tree.steps_between("visit", "doctor") == 1
+        assert demo_tree.steps_between("doctor", "doctor") == 0
+
+
+class TestTreeValidation:
+    def test_two_roots_rejected(self):
+        schema = Schema()
+        schema.add(simple_table("A"))
+        schema.add(simple_table("B"))
+        with pytest.raises(TreeSchemaError, match="exactly one root"):
+            SchemaTree(schema)
+
+    def test_diamond_rejected(self):
+        """A table referenced by two tables breaks the tree shape."""
+        schema = Schema()
+        schema.add(simple_table("Leaf"))
+        schema.add(simple_table("Mid", fks=["Leaf"]))
+        schema.add(simple_table("Root", fks=["Mid", "Leaf"]))
+        with pytest.raises(TreeSchemaError, match="referenced by"):
+            SchemaTree(schema)
+
+    def test_self_reference_rejected(self):
+        schema = Schema()
+        table = TableDef(
+            "Node",
+            [
+                ColumnDef("NodeID", IntegerType(), primary_key=True),
+                ColumnDef(
+                    "Parent", IntegerType(),
+                    references=ForeignKey("Node", "NodeID"),
+                ),
+            ],
+        )
+        schema.add(table)
+        with pytest.raises(TreeSchemaError, match="itself"):
+            SchemaTree(schema)
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(TreeSchemaError):
+            SchemaTree(Schema())
+
+    def test_single_table_is_a_valid_tree(self):
+        schema = Schema()
+        schema.add(simple_table("Solo"))
+        tree = SchemaTree(schema)
+        assert tree.root == "solo"
+        assert tree.skt_roots() == []
+
+    def test_chain_schema(self):
+        schema = Schema()
+        schema.add(simple_table("C"))
+        schema.add(simple_table("B", fks=["C"]))
+        schema.add(simple_table("A", fks=["B"]))
+        tree = SchemaTree(schema)
+        assert tree.root == "a"
+        assert tree.path_to_root("c") == ["c", "b", "a"]
+        assert tree.skt_roots() == ["b", "a"] or set(
+            tree.skt_roots()
+        ) == {"a", "b"}

@@ -1,0 +1,100 @@
+"""The interactive shell and EXPLAIN ANALYZE."""
+
+import io
+
+import pytest
+
+from repro.cli import Shell
+from repro.workload.queries import demo_query
+
+
+@pytest.fixture(scope="module")
+def shell():
+    out = io.StringIO()
+    sh = Shell(scale=1_000, out=out)
+    sh._out_buffer = out
+    return sh
+
+
+def run(shell, line):
+    shell._out_buffer.seek(0)
+    shell._out_buffer.truncate()
+    alive = shell.handle(line)
+    return alive, shell._out_buffer.getvalue()
+
+
+class TestShellCommands:
+    def test_select_prints_rows_and_metrics(self, shell):
+        alive, out = run(shell, "SELECT Country FROM Doctor LIMIT 2;")
+        assert alive
+        assert "doctor.Country" in out
+        assert "simulated" in out
+
+    def test_truncation_beyond_50_rows(self, shell):
+        _alive, out = run(shell, "SELECT Quantity FROM Prescription")
+        assert "rows total" in out
+
+    def test_explain(self, shell):
+        _alive, out = run(shell, f".explain {demo_query()}")
+        assert "Project" in out and "ms" in out
+
+    def test_analyze_shows_est_and_actual(self, shell):
+        _alive, out = run(shell, f".analyze {demo_query()}")
+        assert "est ~" in out and "actual" in out
+
+    def test_plans_ranked(self, shell):
+        _alive, out = run(shell, f".plans {demo_query()}")
+        assert out.count("ms est") == 4
+
+    def test_spy_and_leaks(self, shell):
+        run(shell, "SELECT Country FROM Doctor LIMIT 1")
+        _alive, out = run(shell, ".spy 5")
+        assert "host" in out or "device" in out
+        _alive, out = run(shell, ".leaks")
+        assert "CLEAN" in out
+
+    def test_schema_marks_hidden(self, shell):
+        _alive, out = run(shell, ".schema")
+        assert "HIDDEN" in out
+        assert "PRIMARY KEY" in out
+
+    def test_storage_report(self, shell):
+        _alive, out = run(shell, ".storage")
+        assert "SKT_prescription" in out
+
+    def test_error_keeps_shell_alive(self, shell):
+        alive, out = run(shell, "SELECT nothing FROM nowhere")
+        assert alive
+        assert "error:" in out
+
+    def test_unknown_command(self, shell):
+        _alive, out = run(shell, ".bogus")
+        assert "unknown command" in out
+
+    def test_reset(self, shell):
+        _alive, out = run(shell, ".reset")
+        assert "cleared" in out
+        assert shell.db.device.clock.now == 0.0
+
+    def test_quit(self, shell):
+        alive, _out = run(shell, ".quit")
+        assert not alive
+
+
+class TestExplainAnalyze:
+    def test_session_api(self, demo_session):
+        demo_session.reset_measurements()
+        report, result = demo_session.explain_analyze(demo_query())
+        assert result.rows is not None
+        assert "actual" in report
+        # Every line carries both an estimate and a measurement.
+        for line in report.splitlines():
+            assert "est ~" in line and "actual" in line
+
+    def test_measured_tuples_match_operator_output(self, demo_session):
+        demo_session.reset_measurements()
+        report, result = demo_session.explain_analyze(
+            "SELECT Quantity FROM Prescription WHERE Quantity = 5"
+        )
+        top = report.splitlines()[0]
+        assert f"actual {result.row_count} out" in top

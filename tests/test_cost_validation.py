@@ -1,0 +1,72 @@
+"""Cost-model validation: estimates vs measurements, systematically.
+
+The design claim (DESIGN.md §5): the optimizer prices plans "from the
+same constants the simulator charges, so the optimizer's ranking is
+testable against measured execution".  These tests hold it to that: for
+a battery of queries and strategies, estimates must land within a
+bounded factor of measurements, and estimated rankings must not invert
+large measured gaps.
+"""
+
+import pytest
+
+from repro.optimizer.space import enumerate_strategies
+from tests.test_integration_queries import QUERIES
+
+#: Estimated vs measured simulated seconds must agree within this factor
+#: (cardinality estimation under independence is the dominant error).
+AGREEMENT_FACTOR = 6.0
+
+
+def plans_with_measurements(session, sql):
+    bound = session.bind(sql)
+    builder_plans = []
+    for strategy in enumerate_strategies(bound):
+        session.reset_measurements()
+        result = session.query_with_strategy(sql, strategy)
+        estimate = session.optimizer.cost_model.estimate(result.plan)
+        builder_plans.append(
+            (strategy, estimate, result.metrics)
+        )
+    return builder_plans
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_estimates_within_factor_of_measurements(demo_session, name):
+    for strategy, estimate, metrics in plans_with_measurements(
+        demo_session, QUERIES[name]
+    ):
+        measured = metrics.elapsed_seconds
+        if measured < 1e-4:
+            continue  # sub-0.1ms runs: framing constants dominate
+        ratio = estimate.seconds / measured
+        assert 1 / AGREEMENT_FACTOR <= ratio <= AGREEMENT_FACTOR, (
+            f"{name} [{strategy.assignments}]: estimated "
+            f"{estimate.seconds * 1e3:.2f} ms vs measured "
+            f"{measured * 1e3:.2f} ms"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_ram_estimates_are_safe_upper_bounds_ish(demo_session, name):
+    """RAM estimates may overshoot (they assume full pipeline overlap)
+    but must not undershoot by more than 2x: an underestimating
+    optimizer would greenlight plans the chip then kills."""
+    for strategy, estimate, metrics in plans_with_measurements(
+        demo_session, QUERIES[name]
+    ):
+        assert estimate.ram_bytes * 2 >= metrics.ram_high_water, (
+            f"{name} [{strategy.assignments}]: estimated "
+            f"{estimate.ram_bytes:.0f} B vs peak {metrics.ram_high_water} B"
+        )
+
+
+def test_large_measured_gaps_are_never_inverted(demo_session):
+    """If plan A measures 3x faster than plan B, the estimates must not
+    rank B above A -- the ranking property the game relies on."""
+    for name in sorted(QUERIES):
+        runs = plans_with_measurements(demo_session, QUERIES[name])
+        for _sa, est_a, met_a in runs:
+            for _sb, est_b, met_b in runs:
+                if met_a.elapsed_seconds * 3 < met_b.elapsed_seconds:
+                    assert est_a.seconds < est_b.seconds, name

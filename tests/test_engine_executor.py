@@ -1,0 +1,185 @@
+"""Plan lowering, execution, metrics and error paths."""
+
+import pytest
+
+from repro.engine import plan as lp
+from repro.engine.operators import PlanExecutionError
+from repro.optimizer.space import PlanBuilder, Strategy
+from repro.reference import evaluate_reference, same_rows
+from repro.workload.queries import demo_query
+
+
+@pytest.fixture
+def session(fresh_session):
+    fresh_session.reset_measurements()
+    return fresh_session
+
+
+def build_plan(session, sql, strategy=None):
+    bound = session.bind(sql)
+    builder = PlanBuilder(session.hidden, bound)
+    strategy = strategy or Strategy.all_pre(bound)
+    return bound, builder.build(strategy)
+
+
+class TestExecution:
+    def test_result_columns_named(self, session):
+        result = session.query(demo_query())
+        assert result.columns == [
+            "medicine.Name", "prescription.Quantity", "visit.Date",
+        ]
+
+    def test_metrics_cover_the_run(self, session):
+        session.reset_measurements()
+        result = session.query(demo_query())
+        m = result.metrics
+        assert m.elapsed_seconds > 0
+        assert m.flash_page_reads > 0
+        assert m.usb_messages > 0
+        assert m.result_rows == len(result.rows)
+        assert m.ram_high_water > 0
+
+    def test_per_operator_stats_present(self, session):
+        result = session.query(demo_query())
+        names = {op.name for op in result.metrics.operators}
+        assert "project" in names
+        assert any("select" in n for n in names)
+        total_self = sum(op.self_seconds for op in result.metrics.operators)
+        assert total_self <= result.metrics.elapsed_seconds * 1.01
+
+    def test_report_renders(self, session):
+        result = session.query(demo_query())
+        text = result.metrics.report()
+        assert "execution time" in text
+        assert "operators:" in text
+
+    def test_store_node_roundtrips(self, session, demo_data):
+        bound, plan = build_plan(session, demo_query())
+        stored = lp.Project(
+            child=lp.Store(plan.child),
+            projections=plan.projections,
+            visible_recheck=plan.visible_recheck,
+            residual_hidden=plan.residual_hidden,
+        )
+        expected = evaluate_reference(session.tree, demo_data, bound)
+        result = session.executor.execute(stored)
+        assert same_rows(result.rows, expected)
+
+    def test_single_table_query(self, session, demo_data):
+        sql = "SELECT Purpose, Date FROM Visit WHERE Purpose = 'Sclerosis'"
+        bound = session.bind(sql)
+        expected = evaluate_reference(session.tree, demo_data, bound)
+        result = session.query(sql)
+        assert same_rows(result.rows, expected)
+        assert result.rows  # non-trivial
+
+    def test_query_root_below_schema_root(self, session, demo_data):
+        """A query over the Visit subtree uses SKT_visit."""
+        sql = (
+            "SELECT d.Country, v.Date FROM Visit v, Doctor d "
+            "WHERE v.Purpose = 'Sclerosis' AND v.DocID = d.DocID"
+        )
+        bound = session.bind(sql)
+        assert bound.root == "visit"
+        expected = evaluate_reference(session.tree, demo_data, bound)
+        result = session.query(sql)
+        assert same_rows(result.rows, expected)
+
+    def test_neq_predicate_as_residual(self, session, demo_data):
+        sql = (
+            "SELECT Quantity FROM Prescription "
+            "WHERE Quantity <> 5 AND Quantity >= 4 AND Quantity <= 6"
+        )
+        bound = session.bind(sql)
+        expected = evaluate_reference(session.tree, demo_data, bound)
+        result = session.query(sql)
+        assert same_rows(result.rows, expected)
+        assert all(row[0] != 5 for row in result.rows)
+
+
+class TestLoweringErrors:
+    def test_plan_root_must_be_project(self, session):
+        bound, plan = build_plan(session, demo_query())
+        with pytest.raises(PlanExecutionError, match="Project"):
+            session.executor.execute(plan.child)
+
+    def test_missing_climbing_index(self, session):
+        bound = session.bind(
+            "SELECT Name FROM Patient WHERE Name = 'Nina Simon'"
+        )
+        predicate = bound.predicates[0]
+        bad = lp.Project(
+            child=lp.IdsToTuples(
+                lp.ClimbingSelect(predicate, target_table="patient")
+            ),
+            projections=list(bound.projections),
+        )
+        # Patient.Name has a climbing index by default; drop it to test.
+        session.hidden.climbing.pop(("patient", "name"))
+        with pytest.raises(PlanExecutionError, match="no climbing index"):
+            session.executor.execute(bad)
+
+    def test_skt_root_mismatch(self, session):
+        bound = session.bind(demo_query())
+        predicate = next(p for p in bound.predicates if p.hidden)
+        bad = lp.SktAccess(
+            skt_root="prescription",
+            child=lp.ClimbingSelect(predicate, target_table="visit"),
+        )
+        plan = lp.Project(child=bad, projections=list(bound.projections))
+        with pytest.raises(PlanExecutionError, match="needs prescription ids"):
+            session.executor.execute(plan)
+
+    def test_bloom_table_not_in_tuples(self, session):
+        bound = session.bind(
+            "SELECT v.Date FROM Visit v, Doctor d "
+            "WHERE d.Country = 'France' AND v.DocID = d.DocID"
+        )
+        predicate = bound.predicates[0]
+        plan = lp.Project(
+            child=lp.BloomProbe(
+                lp.IdsToTuples(lp.DeviceScanSelect("medicine", [])),
+                predicate,
+            ),
+            projections=[],
+        )
+        with pytest.raises(PlanExecutionError, match="tuples cover"):
+            session.executor.execute(plan)
+
+    def test_bloom_on_hidden_predicate_rejected(self, session):
+        bound = session.bind(demo_query())
+        hidden = next(p for p in bound.predicates if p.hidden)
+        plan = lp.Project(
+            child=lp.BloomProbe(
+                lp.SktAccess(skt_root="prescription"), hidden
+            ),
+            projections=list(bound.projections),
+        )
+        with pytest.raises(PlanExecutionError, match="visible"):
+            session.executor.execute(plan)
+
+
+class TestPlanStructureValidation:
+    def test_merge_needs_same_table(self, session):
+        bound = session.bind(demo_query())
+        visible = bound.visible_predicates
+        with pytest.raises(lp.PlanError, match="one table"):
+            lp.MergeIntersect(
+                [lp.VisibleSelect(visible[0]), lp.VisibleSelect(visible[1])]
+            )
+
+    def test_project_requires_tuple_stream(self, session):
+        bound = session.bind(demo_query())
+        visible = bound.visible_predicates[0]
+        with pytest.raises(lp.PlanError, match="tuple-stream"):
+            lp.Project(
+                child=lp.VisibleSelect(visible),
+                projections=list(bound.projections),
+            )
+
+    def test_render_draws_the_tree(self, session):
+        _bound, plan = build_plan(session, demo_query())
+        text = plan.render()
+        assert "Project" in text
+        assert "SktAccess" in text
+        assert text.count("\n") >= 3

@@ -1,0 +1,241 @@
+"""Value-row operators in isolation: aggregate, order-by, limit."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.operators import ExecContext
+from repro.engine.operators.rows import AggregateOp, LimitOp, OrderByOp
+from repro.hardware.device import SmartUsbDevice
+from repro.hardware.profiles import DEMO_DEVICE
+from repro.sql.binder import BoundAggregate
+from repro.storage.types import CharType, DateType, FloatType, IntegerType
+from tests.test_engine_operators import ListSource, bare_context
+
+
+def make_aggregate(ctx, rows, dtypes, group_indexes, aggregates,
+                   output_items, having=None):
+    return AggregateOp(
+        ctx,
+        ListSource(ctx, rows),
+        group_indexes=group_indexes,
+        aggregates=aggregates,
+        output_items=output_items,
+        input_dtypes=dtypes,
+        having=having,
+    )
+
+
+def count_star():
+    return BoundAggregate(func="count", table=None, column=None,
+                          input_index=None)
+
+
+def agg(func, input_index, dtype=None):
+    from repro.catalog.schema import ColumnDef
+
+    column = ColumnDef(name=f"c{input_index}", dtype=dtype or IntegerType())
+    return BoundAggregate(
+        func=func, table="t", column=column, input_index=input_index
+    )
+
+
+class TestAggregateOp:
+    def test_count_per_group(self):
+        ctx = bare_context()
+        rows = [("a", 1), ("b", 2), ("a", 3), ("a", 4)]
+        op = make_aggregate(
+            ctx, rows, [CharType(4), IntegerType()],
+            group_indexes=[0],
+            aggregates=[count_star()],
+            output_items=[("key", 0), ("agg", 0)],
+        )
+        assert list(op.rows()) == [("a", 3), ("b", 1)]
+
+    def test_sum_avg_min_max(self):
+        ctx = bare_context()
+        rows = [("a", 1), ("a", 5), ("b", 2)]
+        aggregates = [
+            agg("sum", 1), agg("avg", 1), agg("min", 1), agg("max", 1),
+        ]
+        op = make_aggregate(
+            ctx, rows, [CharType(4), IntegerType()],
+            group_indexes=[0],
+            aggregates=aggregates,
+            output_items=[("key", 0)] + [("agg", i) for i in range(4)],
+        )
+        assert list(op.rows()) == [
+            ("a", 6, 3.0, 1, 5),
+            ("b", 2, 2.0, 2, 2),
+        ]
+
+    def test_sum_of_floats_stays_float(self):
+        ctx = bare_context()
+        rows = [("a", 1.5), ("a", 2.25)]
+        op = make_aggregate(
+            ctx, rows, [CharType(4), FloatType()],
+            group_indexes=[0],
+            aggregates=[agg("sum", 1, FloatType())],
+            output_items=[("agg", 0)],
+        )
+        assert list(op.rows()) == [(3.75,)]
+
+    def test_multi_column_group_key(self):
+        ctx = bare_context()
+        rows = [(1, "x", 10), (1, "y", 20), (1, "x", 30)]
+        op = make_aggregate(
+            ctx, rows, [IntegerType(), CharType(4), IntegerType()],
+            group_indexes=[0, 1],
+            aggregates=[agg("sum", 2)],
+            output_items=[("key", 0), ("key", 1), ("agg", 0)],
+        )
+        assert list(op.rows()) == [(1, "x", 40), (1, "y", 20)]
+
+    def test_having_filters_groups(self):
+        ctx = bare_context()
+        rows = [("a", 1)] * 5 + [("b", 1)] * 2
+        op = make_aggregate(
+            ctx, rows, [CharType(4), IntegerType()],
+            group_indexes=[0],
+            aggregates=[count_star()],
+            output_items=[("key", 0), ("agg", 0)],
+            having=[("agg", 0, ">", 3)],
+        )
+        assert list(op.rows()) == [("a", 5)]
+
+    def test_spill_equals_hash_result(self):
+        """Force the spill by starving RAM; outputs must be identical."""
+        rows = [(i % 500, i) for i in range(2000)]
+        dtypes = [IntegerType(), IntegerType()]
+
+        def run(device):
+            ctx = ExecContext(device=device, link=None, db=None)
+            op = make_aggregate(
+                ctx, rows, dtypes,
+                group_indexes=[0],
+                aggregates=[count_star(), agg("sum", 1)],
+                output_items=[("key", 0), ("agg", 0), ("agg", 1)],
+            )
+            return list(op.rows()), op
+
+        roomy, roomy_op = run(SmartUsbDevice(DEMO_DEVICE))
+        starved_device = SmartUsbDevice(DEMO_DEVICE)
+        hog = starved_device.ram.allocate(
+            starved_device.ram.capacity - 12 * 2048, "hog"
+        )
+        starved, starved_op = run(starved_device)
+        hog.release()
+        assert not roomy_op.spilled
+        assert starved_op.spilled
+        assert roomy == starved
+        assert starved_device.flash.stats.page_writes > 0
+
+    def test_empty_input_no_groups(self):
+        ctx = bare_context()
+        op = make_aggregate(
+            ctx, [], [IntegerType()],
+            group_indexes=[0],
+            aggregates=[count_star()],
+            output_items=[("key", 0), ("agg", 0)],
+        )
+        assert list(op.rows()) == []
+
+
+class TestOrderByOp:
+    def test_ascending_and_descending(self):
+        ctx = bare_context()
+        rows = [(3, "c"), (1, "a"), (2, "b")]
+        op = OrderByOp(
+            ctx, ListSource(ctx, rows),
+            keys=[(0, False)],
+            row_dtypes=[IntegerType(), CharType(4)],
+        )
+        assert list(op.rows()) == [(3, "c"), (2, "b"), (1, "a")]
+
+    def test_date_keys(self):
+        ctx = bare_context()
+        rows = [
+            (datetime.date(2006, 5, 1),),
+            (datetime.date(2005, 1, 1),),
+            (datetime.date(2007, 2, 2),),
+        ]
+        op = OrderByOp(
+            ctx, ListSource(ctx, rows), keys=[(0, True)],
+            row_dtypes=[DateType()],
+        )
+        assert [r[0].year for r in op.rows()] == [2005, 2006, 2007]
+
+    def test_spills_for_large_inputs(self):
+        ctx = bare_context()
+        rows = [(i * 7919 % 10_000, "pad") for i in range(5_000)]
+        op = OrderByOp(
+            ctx, ListSource(ctx, rows), keys=[(0, True)],
+            row_dtypes=[IntegerType(), CharType(8)],
+        )
+        out = [r[0] for r in op.rows()]
+        assert out == sorted(out)
+        assert ctx.device.flash.stats.page_writes > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-1000, 1000),
+                st.floats(allow_nan=False, allow_infinity=False,
+                          min_value=-1e6, max_value=1e6),
+            ),
+            max_size=200,
+        ),
+        st.booleans(),
+        st.booleans(),
+    )
+    def test_matches_python_sorted(self, rows, asc0, asc1):
+        """Property: two-key external sort agrees with Python, both
+        directions, including negative-number encodings.
+
+        Ties are compared as multisets: the external sort's tie order is
+        unspecified (e.g. 0.0 vs -0.0 encode differently but compare
+        equal in Python).
+        """
+        from collections import Counter
+
+        ctx = bare_context()
+        op = OrderByOp(
+            ctx, ListSource(ctx, rows),
+            keys=[(0, asc0), (1, asc1)],
+            row_dtypes=[IntegerType(), FloatType()],
+        )
+        out = list(op.rows())
+        assert Counter(out) == Counter(rows)
+        keys = [
+            (r[0] if asc0 else -r[0], r[1] if asc1 else -r[1])
+            for r in out
+        ]
+        assert keys == sorted(keys)
+
+
+class TestLimitOp:
+    def test_truncates(self):
+        ctx = bare_context()
+        op = LimitOp(ctx, ListSource(ctx, [(i,) for i in range(100)]), 7)
+        assert len(list(op.rows())) == 7
+
+    def test_stops_pulling_child(self):
+        ctx = bare_context()
+        source = ListSource(ctx, [(i,) for i in range(100)])
+        op = LimitOp(ctx, source, 5)
+        list(op.rows())
+        assert source.stats.tuples_out == 5
+
+    def test_zero(self):
+        ctx = bare_context()
+        source = ListSource(ctx, [(1,)])
+        op = LimitOp(ctx, source, 0)
+        assert list(op.rows()) == []
+        assert source.stats.tuples_out == 0
+
+    def test_shorter_input(self):
+        ctx = bare_context()
+        op = LimitOp(ctx, ListSource(ctx, [(1,), (2,)]), 10)
+        assert list(op.rows()) == [(1,), (2,)]

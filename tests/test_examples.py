@@ -1,0 +1,40 @@
+"""The examples must actually run (they are documentation)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name
+    for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_every_example_is_covered():
+    """A new example file must be added to the runnable set below."""
+    assert EXAMPLES == [
+        "hospital_demo.py",
+        "plan_lab.py",
+        "privacy_audit.py",
+        "quickstart.py",
+        "research_study.py",
+    ]
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_cleanly(name):
+    root = pathlib.Path(__file__).parent.parent
+    command = [sys.executable, str(root / "examples" / name)]
+    if name == "hospital_demo.py":
+        command.append("2000")  # small scale keeps the suite fast
+    completed = subprocess.run(
+        command,
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=root,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout  # examples narrate what they do

@@ -1,0 +1,112 @@
+"""Failure injection: corrupted links, worn flash, starved RAM.
+
+The simulator's fault hooks exist so the engine's failure behaviour is a
+tested property, not an accident.
+"""
+
+import pytest
+
+from repro.core.ghostdb import GhostDB
+from repro.engine.operators import ExecContext
+from repro.hardware.flash import WearOutError
+from repro.hardware.profiles import DEMO_DEVICE
+from repro.hardware.ram import RamExhaustedError
+from repro.visible.link import ProtocolError
+from repro.workload.queries import DEMO_SCHEMA_DDL, demo_query
+
+
+class TestUsbCorruption:
+    def test_corrupted_values_reply_raises_protocol_error(self, fresh_session):
+        fresh_session.reset_measurements()
+        # Corrupt frequently enough to hit a JSON values reply.
+        fresh_session.device.usb.corrupt_every = 5
+        with pytest.raises(ProtocolError):
+            for _ in range(20):
+                fresh_session.link.fetch_values("visit", [1, 2], ["date"])
+
+    def test_corruption_of_binary_ids_changes_results_detectably(
+        self, fresh_session, demo_data
+    ):
+        """Packed ID batches carry no checksum (the real protocol's CRC
+        lives below our model), so corruption surfaces as wrong IDs --
+        which the projection-level recheck then drops or resolves to
+        different rows, never to a crash."""
+        fresh_session.reset_measurements()
+        fresh_session.device.usb.corrupt_every = 7
+        result = fresh_session.query(demo_query())
+        assert isinstance(result.rows, list)
+
+
+class TestFlashWearOut:
+    def test_wear_out_surfaces_during_heavy_churn(self):
+        profile = DEMO_DEVICE.with_overrides(
+            num_blocks=8, max_erase_cycles=4
+        )
+        from repro.hardware.device import SmartUsbDevice
+
+        device = SmartUsbDevice(profile)
+        page = device.ftl.allocate()
+        with pytest.raises(WearOutError):
+            for i in range(20_000):
+                device.ftl.write(page, b"churn")
+
+    def test_wear_spread_by_round_robin(self):
+        """The FTL's free-list rotation keeps erase counts close."""
+        profile = DEMO_DEVICE.with_overrides(num_blocks=8)
+        from repro.hardware.device import SmartUsbDevice
+
+        device = SmartUsbDevice(profile)
+        page = device.ftl.allocate()
+        for i in range(3_000):
+            device.ftl.write(page, b"churn")
+        counts = [
+            device.flash.erase_count(b) for b in range(profile.num_blocks)
+        ]
+        active = [c for c in counts if c > 0]
+        assert len(active) >= profile.num_blocks // 2
+        assert max(active) <= min(active) + max(3, max(active) // 2)
+
+
+class TestRamStarvation:
+    def test_operator_failure_releases_all_ram(self, fresh_session):
+        """A plan killed mid-flight must not leak budget."""
+        session = fresh_session
+        session.reset_measurements()
+        hog_size = session.device.ram.available - 3 * 2048
+        hog = session.device.ram.allocate(hog_size, "hog")
+        try:
+            with pytest.raises(RamExhaustedError):
+                session.query(demo_query())
+        finally:
+            hog.release()
+        assert session.device.ram.used == 0
+
+    def test_fan_in_adapts_to_pressure(self, fresh_session):
+        session = fresh_session
+        ctx = ExecContext(
+            device=session.device, link=session.link, db=session.hidden
+        )
+        free_fan = ctx.fan_in()
+        hog = session.device.ram.allocate(
+            session.device.ram.available - 5 * 2048, "hog"
+        )
+        try:
+            assert ctx.fan_in() < free_fan
+            assert ctx.fan_in() >= 2
+        finally:
+            hog.release()
+
+
+class TestRecoveryAfterFailure:
+    def test_session_still_usable_after_failed_query(self, fresh_session):
+        session = fresh_session
+        session.reset_measurements()
+        hog = session.device.ram.allocate(
+            session.device.ram.available - 2048, "hog"
+        )
+        with pytest.raises(RamExhaustedError):
+            session.query(demo_query())
+        hog.release()
+        session.reset_measurements()
+        result = session.query(demo_query())
+        assert result.rows is not None

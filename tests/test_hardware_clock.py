@@ -1,0 +1,71 @@
+"""SimClock accounting."""
+
+import pytest
+
+from repro.hardware.clock import CATEGORIES, SimClock, TimeBreakdown
+
+
+def test_clock_starts_at_zero():
+    clock = SimClock()
+    assert clock.now == 0.0
+    assert clock.breakdown().total == 0.0
+
+
+def test_advance_accumulates_per_category():
+    clock = SimClock()
+    clock.advance(0.5, "flash_read")
+    clock.advance(0.25, "flash_read")
+    clock.advance(1.0, "usb")
+    breakdown = clock.breakdown()
+    assert breakdown.flash_read == pytest.approx(0.75)
+    assert breakdown.usb == pytest.approx(1.0)
+    assert clock.now == pytest.approx(1.75)
+
+
+def test_every_declared_category_is_chargeable():
+    clock = SimClock()
+    for category in CATEGORIES:
+        clock.advance(0.1, category)
+    assert clock.now == pytest.approx(0.1 * len(CATEGORIES))
+
+
+def test_unknown_category_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError, match="unknown clock category"):
+        clock.advance(1.0, "quantum")
+
+
+def test_negative_charge_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError, match="negative"):
+        clock.advance(-0.1, "cpu")
+
+
+def test_breakdown_is_a_snapshot():
+    clock = SimClock()
+    clock.advance(1.0, "cpu")
+    snap = clock.breakdown()
+    clock.advance(1.0, "cpu")
+    assert snap.cpu == pytest.approx(1.0)
+    assert clock.breakdown().cpu == pytest.approx(2.0)
+
+
+def test_breakdown_subtraction():
+    a = TimeBreakdown(flash_read=2.0, usb=1.0)
+    b = TimeBreakdown(flash_read=0.5, usb=1.0)
+    diff = a - b
+    assert diff.flash_read == pytest.approx(1.5)
+    assert diff.usb == pytest.approx(0.0)
+    assert diff.total == pytest.approx(1.5)
+
+
+def test_breakdown_as_dict_covers_all_categories():
+    assert set(TimeBreakdown().as_dict()) == set(CATEGORIES)
+
+
+def test_reset_zeroes_everything():
+    clock = SimClock()
+    clock.advance(1.0, "flash_write")
+    clock.reset()
+    assert clock.now == 0.0
+    assert clock.breakdown().flash_write == 0.0

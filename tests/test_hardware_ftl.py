@@ -1,0 +1,107 @@
+"""Flash translation layer: logical pages, out-of-place writes, GC."""
+
+import pytest
+
+from repro.hardware.clock import SimClock
+from repro.hardware.flash import FlashError, NandFlash
+from repro.hardware.ftl import FlashFullError, FlashTranslationLayer
+from repro.hardware.profiles import DEMO_DEVICE
+
+
+def make_ftl(num_blocks=8, spare=2):
+    profile = DEMO_DEVICE.with_overrides(num_blocks=num_blocks)
+    flash = NandFlash(profile=profile, clock=SimClock())
+    return FlashTranslationLayer(flash=flash, spare_blocks=spare), flash
+
+
+def test_write_read_roundtrip():
+    ftl, _ = make_ftl()
+    lpage = ftl.allocate()
+    ftl.write(lpage, b"payload")
+    assert ftl.read(lpage, 0, 7) == b"payload"
+
+
+def test_logical_overwrite_goes_out_of_place():
+    ftl, flash = make_ftl()
+    lpage = ftl.allocate()
+    ftl.write(lpage, b"v1")
+    ftl.write(lpage, b"v2")
+    assert ftl.read(lpage, 0, 2) == b"v2"
+    # Two physical programs happened; no erase was needed yet.
+    assert flash.stats.page_writes == 2
+    assert flash.stats.block_erases == 0
+
+
+def test_read_of_never_written_page_fails():
+    ftl, _ = make_ftl()
+    lpage = ftl.allocate()
+    with pytest.raises(FlashError, match="never been written"):
+        ftl.read(lpage)
+
+
+def test_free_recycles_logical_numbers():
+    ftl, _ = make_ftl()
+    a = ftl.allocate()
+    ftl.write(a, b"a")
+    ftl.free(a)
+    b = ftl.allocate()
+    assert b == a
+    assert not ftl.is_mapped(b) or ftl.read(b, 0, 1) != b"a"
+
+
+def test_gc_reclaims_overwritten_space():
+    """Constant overwriting of one logical page must not fill the flash:
+    GC erases blocks full of stale versions."""
+    ftl, flash = make_ftl(num_blocks=6)
+    lpage = ftl.allocate()
+    writes = DEMO_DEVICE.pages_per_block * 10
+    for i in range(writes):
+        ftl.write(lpage, f"version {i}".encode())
+    assert flash.stats.block_erases > 0
+    assert ftl.stats.gc_runs > 0
+    assert ftl.read(lpage, 0, 12).startswith(b"version")
+
+
+def test_gc_relocates_live_pages():
+    """A victim block with live pages gets them copied, not lost."""
+    ftl, flash = make_ftl(num_blocks=6)
+    per_block = DEMO_DEVICE.pages_per_block
+    keepers = []
+    # Interleave long-lived pages with churn so victims hold live data.
+    churn = ftl.allocate()
+    for i in range(per_block * 8):
+        if i % 7 == 0:
+            page = ftl.allocate()
+            ftl.write(page, f"keep {i}".encode())
+            keepers.append((page, f"keep {i}".encode()))
+        else:
+            ftl.write(churn, b"churn")
+    assert ftl.stats.gc_relocations > 0
+    for page, expected in keepers:
+        assert ftl.read(page, 0, len(expected)) == expected
+
+
+def test_flash_full_when_all_data_is_live():
+    ftl, _ = make_ftl(num_blocks=4, spare=1)
+    capacity = 4 * DEMO_DEVICE.pages_per_block
+    with pytest.raises(FlashFullError):
+        for _ in range(capacity + 1):
+            page = ftl.allocate()
+            ftl.write(page, b"live")
+
+
+def test_logical_writes_counted():
+    ftl, _ = make_ftl()
+    lpage = ftl.allocate()
+    ftl.write(lpage, b"1")
+    ftl.write(lpage, b"2")
+    assert ftl.stats.logical_writes == 2
+
+
+def test_free_pages_estimate_decreases_with_use():
+    ftl, _ = make_ftl(num_blocks=8)
+    before = ftl.free_pages_estimate
+    for _ in range(10):
+        page = ftl.allocate()
+        ftl.write(page, b"x")
+    assert ftl.free_pages_estimate == before - 10

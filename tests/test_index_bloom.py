@@ -1,0 +1,118 @@
+"""Bloom filters: correctness, sizing, RAM accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.device import SmartUsbDevice
+from repro.hardware.ram import RamExhaustedError
+from repro.index.bloom import BloomFilter, bloom_parameters
+
+
+class TestSizing:
+    def test_textbook_parameters(self):
+        bits, hashes = bloom_parameters(1000, 0.01)
+        # m = -n ln p / ln2^2 ~ 9585 bits, k ~ 7 for 1% at n=1000.
+        assert 9000 <= bits <= 10100
+        assert hashes == 7
+
+    def test_lower_fp_needs_more_bits(self):
+        loose, _ = bloom_parameters(1000, 0.1)
+        tight, _ = bloom_parameters(1000, 0.001)
+        assert tight > loose * 2
+
+    def test_degenerate_inputs(self):
+        assert bloom_parameters(0, 0.01) == (8, 1)
+        with pytest.raises(ValueError):
+            bloom_parameters(100, 0.0)
+        with pytest.raises(ValueError):
+            bloom_parameters(100, 1.5)
+
+
+class TestFilter:
+    def test_no_false_negatives(self, device):
+        with BloomFilter.for_expected(device, 500, 0.01) as bloom:
+            keys = list(range(0, 5000, 10))
+            for key in keys:
+                bloom.insert(key)
+            assert all(bloom.may_contain(key) for key in keys)
+
+    def test_fp_rate_near_target(self, device):
+        target = 0.02
+        n = 2000
+        with BloomFilter.for_expected(device, n, target) as bloom:
+            for key in range(n):
+                bloom.insert(key)
+            probes = range(n, n + 20_000)
+            fp = sum(bloom.may_contain(k) for k in probes) / 20_000
+        assert fp <= target * 2.5
+        assert bloom.expected_fp_rate() == pytest.approx(target, rel=0.5)
+
+    def test_ram_is_a_real_allocation(self, device):
+        base = device.ram.used
+        bloom = BloomFilter(device, bits=8192, hashes=4)
+        assert device.ram.used == base + 1024
+        bloom.close()
+        assert device.ram.used == base
+
+    def test_oversized_filter_hits_the_budget(self, device):
+        with pytest.raises(RamExhaustedError):
+            BloomFilter(device, bits=device.ram.capacity * 8 + 64, hashes=4)
+
+    def test_use_after_close_rejected(self, device):
+        bloom = BloomFilter(device, bits=64, hashes=2)
+        bloom.close()
+        with pytest.raises(ValueError, match="released"):
+            bloom.insert(1)
+        with pytest.raises(ValueError, match="released"):
+            bloom.may_contain(1)
+
+    def test_cpu_charged_per_operation(self, device):
+        bloom = BloomFilter(device, bits=1024, hashes=4)
+        t0 = device.clock.now
+        bloom.insert(1)
+        bloom.may_contain(1)
+        assert device.clock.now > t0
+        bloom.close()
+
+    def test_invalid_parameters_rejected(self, device):
+        with pytest.raises(ValueError):
+            BloomFilter(device, bits=4, hashes=1)
+        with pytest.raises(ValueError):
+            BloomFilter(device, bits=64, hashes=0)
+
+    def test_fill_ratio_monotone(self, device):
+        bloom = BloomFilter(device, bits=512, hashes=3)
+        assert bloom.fill_ratio() == 0.0
+        bloom.insert(1)
+        low = bloom.fill_ratio()
+        for key in range(2, 50):
+            bloom.insert(key)
+        assert bloom.fill_ratio() > low
+        bloom.close()
+
+    def test_deterministic_across_instances(self, device):
+        a = BloomFilter(device, bits=1024, hashes=4)
+        b = BloomFilter(device, bits=1024, hashes=4)
+        for key in range(100):
+            a.insert(key)
+            b.insert(key)
+        assert all(b.may_contain(k) for k in range(100))
+        assert a._array == b._array
+        a.close()
+        b.close()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.sets(st.integers(0, 2**32 - 1), max_size=200),
+    st.integers(8, 4096),
+    st.integers(1, 8),
+)
+def test_never_a_false_negative_property(keys, bits, hashes):
+    """Property: inserted keys are always 'maybe present', for any
+    geometry -- the completeness guarantee Post-filtering relies on."""
+    device = SmartUsbDevice()
+    with BloomFilter(device, bits=bits, hashes=hashes) as bloom:
+        for key in keys:
+            bloom.insert(key)
+        assert all(bloom.may_contain(key) for key in keys)

@@ -1,0 +1,192 @@
+"""Climbing indexes: per-level postings cross-checked against brute force
+(the Figure 4 semantics)."""
+
+import pytest
+
+from repro.catalog.schema import Schema
+from repro.catalog.tree import SchemaTree
+from repro.engine.database import HiddenDatabase
+from repro.hardware.device import SmartUsbDevice
+from repro.index.posting import merge_posting_streams
+from repro.sql.ddl import create_table
+from repro.sql.parser import parse_statement
+from repro.workload.datagen import DatasetConfig, MedicalDataGenerator
+from repro.workload.queries import DEMO_SCHEMA_DDL
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    schema = Schema()
+    for ddl in DEMO_SCHEMA_DDL:
+        create_table(schema, parse_statement(ddl))
+    tree = SchemaTree(schema)
+    data = MedicalDataGenerator(DatasetConfig(n_prescriptions=800)).generate()
+    device = SmartUsbDevice()
+    db = HiddenDatabase.load(
+        device, tree, data,
+        index_columns=[
+            ("visit", "purpose"),
+            ("prescription", "quantity"),
+            ("patient", "bodymassindex"),
+        ],
+    )
+    return device, tree, db, data
+
+
+def brute_ids(data, purpose):
+    """Ground truth for the Vis.Purpose index at each level."""
+    vis_ids = sorted(r[0] for r in data["visit"] if r[2] == purpose)
+    vis_set = set(vis_ids)
+    pre_ids = sorted(r[0] for r in data["prescription"] if r[5] in vis_set)
+    return vis_ids, pre_ids
+
+
+def read_stream(factory):
+    iterator, closer = factory()
+    try:
+        return list(iterator)
+    finally:
+        closer()
+
+
+class TestAttributeIndex:
+    def test_levels_follow_path_to_root(self, loaded):
+        _d, _t, db, _data = loaded
+        index = db.climbing[("visit", "purpose")]
+        assert index.levels == ["visit", "prescription"]
+        bmi = db.climbing[("patient", "bodymassindex")]
+        assert bmi.levels == ["patient", "visit", "prescription"]
+
+    def test_level0_postings_match_brute_force(self, loaded):
+        _d, _t, db, data = loaded
+        index = db.climbing[("visit", "purpose")]
+        vis_ids, _pre = brute_ids(data, "Sclerosis")
+        got = read_stream(index.stream_eq("Sclerosis", "visit"))
+        assert got == vis_ids
+
+    def test_root_postings_precompute_the_join(self, loaded):
+        """The Figure 4 property: the entry for a value carries root IDs
+        directly."""
+        _d, _t, db, data = loaded
+        index = db.climbing[("visit", "purpose")]
+        _vis, pre_ids = brute_ids(data, "Sclerosis")
+        got = read_stream(index.stream_eq("Sclerosis", "prescription"))
+        assert got == pre_ids
+
+    def test_two_level_climb(self, loaded):
+        _d, _t, db, data = loaded
+        index = db.climbing[("patient", "bodymassindex")]
+        heavy = sorted(r[0] for r in data["patient"] if r[3] == data["patient"][0][3])
+        got = read_stream(
+            index.stream_eq(data["patient"][0][3], "patient")
+        )
+        assert got == heavy
+
+    def test_absent_value_returns_none(self, loaded):
+        _d, _t, db, _data = loaded
+        index = db.climbing[("visit", "purpose")]
+        assert index.stream_eq("No Such Purpose", "prescription") is None
+
+    def test_unknown_level_rejected(self, loaded):
+        _d, _t, db, _data = loaded
+        index = db.climbing[("visit", "purpose")]
+        with pytest.raises(KeyError, match="no level"):
+            index.stream_eq("Sclerosis", "doctor")
+
+    def test_range_lookup_matches_brute_force(self, loaded):
+        _d, _t, db, data = loaded
+        index = db.climbing[("prescription", "quantity")]
+        expected = sorted(
+            r[0] for r in data["prescription"] if 3 <= r[1] <= 5
+        )
+        factories = index.streams_range(3, True, 5, True, "prescription")
+        got = list(
+            merge_posting_streams(_d, factories, "t", fan_in=8)
+        )
+        assert got == expected
+
+    def test_range_exclusive_bounds(self, loaded):
+        _d, _t, db, data = loaded
+        index = db.climbing[("prescription", "quantity")]
+        expected = sorted(
+            r[0] for r in data["prescription"] if 3 < r[1] < 5
+        )
+        factories = index.streams_range(3, False, 5, False, "prescription")
+        got = list(merge_posting_streams(_d, factories, "t", fan_in=8))
+        assert got == expected
+
+    def test_open_range(self, loaded):
+        _d, _t, db, data = loaded
+        index = db.climbing[("prescription", "quantity")]
+        expected = sorted(r[0] for r in data["prescription"] if r[1] >= 8)
+        factories = index.streams_range(8, True, None, True, "prescription")
+        got = list(merge_posting_streams(_d, factories, "t", fan_in=8))
+        assert got == expected
+
+    def test_empty_range(self, loaded):
+        _d, _t, db, _data = loaded
+        index = db.climbing[("prescription", "quantity")]
+        assert index.streams_range(100, True, 200, True, "prescription") == []
+
+    def test_directory_probe_charged(self, loaded):
+        device, _t, db, _data = loaded
+        index = db.climbing[("visit", "purpose")]
+        before = device.flash.stats.page_reads_partial
+        index.stream_eq("Sclerosis", "prescription")
+        assert device.flash.stats.page_reads_partial > before
+
+
+class TestKeyIndex:
+    def test_key_index_flags(self, loaded):
+        _d, _t, db, _data = loaded
+        assert db.key_indexes["visit"].is_key_index
+        assert not db.climbing[("visit", "purpose")].is_key_index
+
+    def test_level0_is_identity(self, loaded):
+        _d, _t, db, _data = loaded
+        index = db.key_indexes["visit"]
+        assert read_stream(index.stream_eq(17, "visit")) == [17]
+
+    def test_conversion_matches_brute_force(self, loaded):
+        _d, _t, db, data = loaded
+        index = db.key_indexes["visit"]
+        expected = sorted(
+            r[0] for r in data["prescription"] if r[5] == 17
+        )
+        assert read_stream(index.stream_eq(17, "prescription")) == expected
+
+    def test_two_edge_conversion(self, loaded):
+        """Doctor -> Prescription via the key index on Doctor."""
+        _d, _t, db, data = loaded
+        index = db.key_indexes["doctor"]
+        doc = data["doctor"][-1][0]
+        vis = {r[0] for r in data["visit"] if r[3] == doc}
+        expected = sorted(
+            r[0] for r in data["prescription"] if r[5] in vis
+        )
+        assert read_stream(index.stream_eq(doc, "prescription")) == expected
+
+    def test_posting_count(self, loaded):
+        _d, _t, db, data = loaded
+        index = db.key_indexes["visit"]
+        expected = sum(1 for r in data["prescription"] if r[5] == 17)
+        assert index.posting_count(17, "prescription") == expected
+        assert index.posting_count(17, "visit") == 1
+        assert index.posting_count(999_999, "prescription") == 0
+
+
+class TestIntrospection:
+    def test_level_stats_total_ids(self, loaded):
+        _d, _t, db, data = loaded
+        index = db.climbing[("visit", "purpose")]
+        assert index.level_stats[0].total_ids == len(data["visit"])
+        assert index.level_stats[1].total_ids == len(data["prescription"])
+
+    def test_flash_bytes_positive(self, loaded):
+        _d, _t, db, _data = loaded
+        assert db.climbing[("visit", "purpose")].flash_bytes > 0
+
+    def test_describe_mentions_levels(self, loaded):
+        _d, _t, db, _data = loaded
+        text = db.climbing[("patient", "bodymassindex")].describe()
+        assert "level 0" in text and "level 2" in text

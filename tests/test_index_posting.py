@@ -1,0 +1,160 @@
+"""Packed posting files and bounded-fan-in stream unions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.device import SmartUsbDevice
+from repro.index.posting import (
+    PostingFileWriter,
+    merge_posting_streams,
+)
+
+
+def build_file(device, lists):
+    writer = PostingFileWriter(device, "t")
+    refs = []
+    for ids in lists:
+        writer.begin_list()
+        for value in ids:
+            writer.append(value)
+        refs.append(writer.end_list())
+    return writer.close(), refs
+
+
+def test_single_list_roundtrip(device):
+    file, refs = build_file(device, [[1, 5, 9, 200]])
+    with file.open("r") as reader:
+        assert list(reader.read_list(refs[0])) == [1, 5, 9, 200]
+
+
+def test_many_lists_packed_into_one_extent(device):
+    lists = [[i, i + 1000, i + 2000] for i in range(100)]
+    file, refs = build_file(device, lists)
+    # 300 ids x 4 B = 1200 B: everything fits on a single page.
+    assert len(file.pages) == 1
+    with file.open("r") as reader:
+        for ids, ref in zip(lists, refs):
+            assert list(reader.read_list(ref)) == ids
+
+
+def test_list_spanning_pages(device):
+    per_page = device.profile.page_size // 4
+    big = list(range(per_page * 2 + 50))
+    file, refs = build_file(device, [[7], big, [9]])
+    with file.open("r") as reader:
+        assert list(reader.read_list(refs[1])) == big
+        assert list(reader.read_list(refs[0])) == [7]
+        assert list(reader.read_list(refs[2])) == [9]
+
+
+def test_small_list_uses_partial_read(device):
+    file, refs = build_file(device, [[1, 2, 3]])
+    with file.open("r") as reader:
+        before = device.flash.stats.snapshot()
+        list(reader.read_list(refs[0]))
+        after = device.flash.stats
+        assert after.page_reads_partial == before.page_reads_partial + 1
+        assert after.page_reads_full == before.page_reads_full
+
+
+def test_empty_list(device):
+    file, refs = build_file(device, [[]])
+    assert refs[0].count == 0
+    with file.open("r") as reader:
+        assert list(reader.read_list(refs[0])) == []
+
+
+def test_unsorted_list_rejected(device):
+    writer = PostingFileWriter(device, "t")
+    writer.begin_list()
+    writer.append(5)
+    with pytest.raises(ValueError, match="sorted"):
+        writer.append(3)
+
+
+def test_writer_protocol_enforced(device):
+    writer = PostingFileWriter(device, "t")
+    with pytest.raises(ValueError, match="no posting list open"):
+        writer.append(1)
+    writer.begin_list()
+    with pytest.raises(ValueError, match="not finished"):
+        writer.begin_list()
+    writer.end_list()
+    writer.begin_list()
+    with pytest.raises(ValueError, match="still open"):
+        writer.close()
+
+
+def test_flash_bytes_reports_whole_pages(device):
+    file, _refs = build_file(device, [[1, 2, 3]])
+    assert file.flash_bytes == device.profile.page_size
+
+
+class TestMergePostingStreams:
+    @staticmethod
+    def factories_for(device, lists):
+        file, refs = build_file(device, lists)
+
+        def make(ref):
+            def open_stream():
+                reader = file.open("m")
+                return reader.read_list(ref), reader.close
+
+            return open_stream
+
+        return [make(ref) for ref in refs]
+
+    def test_union_of_disjoint_lists(self, device):
+        factories = self.factories_for(
+            device, [[1, 4], [2, 5], [3, 6]]
+        )
+        out = list(merge_posting_streams(device, factories, "t", fan_in=8))
+        assert out == [1, 2, 3, 4, 5, 6]
+
+    def test_dedup_union(self, device):
+        factories = self.factories_for(device, [[1, 2, 3], [2, 3, 4]])
+        out = list(merge_posting_streams(device, factories, "t", fan_in=8))
+        assert out == [1, 2, 3, 4]
+
+    def test_dedup_disabled(self, device):
+        factories = self.factories_for(device, [[1, 2], [2, 3]])
+        out = list(
+            merge_posting_streams(device, factories, "t", fan_in=8, dedup=False)
+        )
+        assert out == [1, 2, 2, 3]
+
+    def test_fan_in_overflow_spills_to_flash(self, device):
+        lists = [[i, i + 100] for i in range(20)]
+        factories = self.factories_for(device, lists)
+        writes_before = device.flash.stats.page_writes
+        out = list(merge_posting_streams(device, factories, "t", fan_in=4))
+        assert device.flash.stats.page_writes > writes_before
+        expected = sorted({x for lst in lists for x in lst})
+        assert out == expected
+
+    def test_empty_input(self, device):
+        assert list(merge_posting_streams(device, [], "t", fan_in=4)) == []
+
+    def test_bad_fan_in_rejected(self, device):
+        with pytest.raises(ValueError, match="fan-in"):
+            list(merge_posting_streams(device, [], "t", fan_in=1))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 1000), max_size=40).map(
+                lambda xs: sorted(set(xs))
+            ),
+            max_size=12,
+        ),
+        st.integers(2, 5),
+    )
+    def test_union_property(self, lists, fan_in):
+        """Property: merged output equals the sorted set union, for any
+        fan-in (single-pass or spilled)."""
+        device = SmartUsbDevice()
+        factories = self.factories_for(device, lists)
+        out = list(
+            merge_posting_streams(device, factories, "p", fan_in=fan_in)
+        )
+        assert out == sorted({x for lst in lists for x in lst})

@@ -1,0 +1,151 @@
+"""Integration battery: every query family, every strategy, checked
+against the brute-force reference evaluator.
+
+This is the repository's main correctness net: if an operator, index or
+plan rule is wrong, some combination here disagrees with ground truth.
+"""
+
+import datetime
+
+import pytest
+
+from repro.optimizer.space import enumerate_strategies
+from repro.reference import evaluate_reference, same_rows
+
+QUERIES = {
+    "paper-demo": """
+        SELECT Med.Name, Pre.Quantity, Vis.Date
+        FROM Medicine Med, Prescription Pre, Visit Vis
+        WHERE Vis.Date > 05-11-2006
+        AND Vis.Purpose = 'Sclerosis'
+        AND Med.Type = 'Antibiotic'
+        AND Med.MedID = Pre.MedID
+        AND Vis.VisID = Pre.VisID
+    """,
+    "hidden-only": """
+        SELECT Pre.Quantity FROM Prescription Pre, Visit Vis
+        WHERE Vis.Purpose = 'Neuropathy' AND Vis.VisID = Pre.VisID
+    """,
+    "visible-only": """
+        SELECT Med.Name, Pre.Frequency
+        FROM Medicine Med, Prescription Pre
+        WHERE Med.Type = 'Statin' AND Med.MedID = Pre.MedID
+    """,
+    "no-predicates": """
+        SELECT Med.Type, Pre.Quantity
+        FROM Medicine Med, Prescription Pre
+        WHERE Med.MedID = Pre.MedID
+    """,
+    "hidden-range": """
+        SELECT Pre.Quantity, Pre.WhenWritten
+        FROM Prescription Pre
+        WHERE Pre.Quantity BETWEEN 3 AND 5
+    """,
+    "hidden-date-range": """
+        SELECT Pre.Quantity FROM Prescription Pre
+        WHERE Pre.WhenWritten > DATE '2007-01-01'
+    """,
+    "deep-hidden": """
+        SELECT Pre.Quantity, Pat.Name
+        FROM Prescription Pre, Visit Vis, Patient Pat
+        WHERE Pat.BodyMassIndex > 33.0
+        AND Pre.VisID = Vis.VisID
+        AND Vis.PatID = Pat.PatID
+    """,
+    "subtree-root-visit": """
+        SELECT Vis.Date, Pat.Age
+        FROM Visit Vis, Patient Pat
+        WHERE Vis.Purpose = 'Sclerosis'
+        AND Pat.Age > 40
+        AND Vis.PatID = Pat.PatID
+    """,
+    "five-way-join": """
+        SELECT Med.Name, Doc.Country, Pat.Age, Vis.Date, Pre.Quantity
+        FROM Medicine Med, Prescription Pre, Visit Vis, Doctor Doc,
+             Patient Pat
+        WHERE Vis.Purpose = 'Sclerosis'
+        AND Doc.Country = 'France'
+        AND Med.MedID = Pre.MedID
+        AND Vis.VisID = Pre.VisID
+        AND Doc.DocID = Vis.DocID
+        AND Pat.PatID = Vis.PatID
+    """,
+    "mixed-on-one-table": """
+        SELECT Vis.Date FROM Visit Vis
+        WHERE Vis.Purpose = 'Routine checkup'
+        AND Vis.Date > DATE '2006-06-01'
+    """,
+    "neq-residual": """
+        SELECT Pre.Quantity FROM Prescription Pre, Visit Vis
+        WHERE Vis.Purpose = 'Sclerosis'
+        AND Pre.Quantity <> 5
+        AND Vis.VisID = Pre.VisID
+    """,
+    "projection-of-pks": """
+        SELECT Pre.PreID, Vis.VisID FROM Prescription Pre, Visit Vis
+        WHERE Vis.Purpose = 'Sclerosis' AND Vis.VisID = Pre.VisID
+    """,
+    "empty-result": """
+        SELECT Pre.Quantity FROM Prescription Pre, Visit Vis
+        WHERE Vis.Purpose = 'Sclerosis'
+        AND Vis.Date > DATE '2009-01-01'
+        AND Vis.VisID = Pre.VisID
+    """,
+}
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_optimized_plan_matches_reference(demo_session, demo_data, name):
+    sql = QUERIES[name]
+    bound = demo_session.bind(sql)
+    expected = evaluate_reference(demo_session.tree, demo_data, bound)
+    demo_session.reset_measurements()
+    result = demo_session.query(sql)
+    assert same_rows(result.rows, expected), (
+        f"{name}: got {len(result.rows)} rows, expected {len(expected)}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_every_strategy_matches_reference(demo_session, demo_data, name):
+    """Pre, Post and everything between must agree on semantics."""
+    sql = QUERIES[name]
+    bound = demo_session.bind(sql)
+    expected = evaluate_reference(demo_session.tree, demo_data, bound)
+    for strategy in enumerate_strategies(bound):
+        demo_session.reset_measurements()
+        result = demo_session.query_with_strategy(sql, strategy)
+        assert same_rows(result.rows, expected), (
+            f"{name} [{strategy.label(bound)}]: "
+            f"{len(result.rows)} vs {len(expected)} rows"
+        )
+
+
+def test_results_identical_across_devices(demo_data):
+    """Hardware profile changes timing, never answers."""
+    from repro.core.ghostdb import GhostDB
+    from repro.hardware.profiles import HARSH_FLASH_DEVICE, HIGH_SPEED_DEVICE
+    from repro.workload.queries import DEMO_SCHEMA_DDL
+
+    results = []
+    for profile in (HARSH_FLASH_DEVICE, HIGH_SPEED_DEVICE):
+        db = GhostDB(profile=profile)
+        for ddl in DEMO_SCHEMA_DDL:
+            db.execute(ddl)
+        db.load(demo_data)
+        results.append(sorted(db.query(QUERIES["paper-demo"]).rows))
+    assert results[0] == results[1]
+
+
+def test_repeated_execution_is_stable(demo_session):
+    """Same query, same state, same simulated cost every time."""
+    sql = QUERIES["paper-demo"]
+    demo_session.reset_measurements()
+    first = demo_session.query(sql)
+    demo_session.reset_measurements()
+    second = demo_session.query(sql)
+    assert sorted(first.rows) == sorted(second.rows)
+    assert first.metrics.elapsed_seconds == pytest.approx(
+        second.metrics.elapsed_seconds, rel=1e-9
+    )
+    assert first.metrics.flash_page_reads == second.metrics.flash_page_reads

@@ -1,0 +1,86 @@
+"""Session persistence: save, unplug, replug."""
+
+import pytest
+
+from repro.core.ghostdb import GhostDB
+from repro.core.persistence import PersistenceError, load_session
+from repro.reference import same_rows
+from repro.workload.queries import demo_query
+
+
+@pytest.fixture
+def saved_path(fresh_session, tmp_path):
+    path = tmp_path / "device.ghostdb"
+    fresh_session.save(str(path))
+    return fresh_session, str(path)
+
+
+def test_round_trip_preserves_results(saved_path):
+    original, path = saved_path
+    restored = GhostDB.restore(path)
+    a = original.query(demo_query())
+    b = restored.query(demo_query())
+    assert same_rows(a.rows, b.rows)
+    assert a.columns == b.columns
+
+
+def test_round_trip_preserves_simulated_costs(saved_path):
+    """The restored device has identical storage layout, so identical
+    simulated costs."""
+    original, path = saved_path
+    restored = GhostDB.restore(path)
+    original.reset_measurements()
+    restored.reset_measurements()
+    a = original.query(demo_query())
+    b = restored.query(demo_query())
+    assert a.metrics.flash_page_reads == b.metrics.flash_page_reads
+    assert a.metrics.elapsed_seconds == pytest.approx(
+        b.metrics.elapsed_seconds
+    )
+
+
+def test_wear_counters_survive(fresh_session, tmp_path, demo_data):
+    import datetime
+
+    next_doc = len(demo_data["doctor"]) + 1
+    for i in range(5):
+        fresh_session.append(
+            "doctor",
+            [(next_doc + i, f"Dr {i}", "General", 10000, "France")],
+        )
+    writes = fresh_session.device.ftl.stats.logical_writes
+    path = tmp_path / "worn.ghostdb"
+    fresh_session.save(str(path))
+    restored = GhostDB.restore(str(path))
+    assert restored.device.ftl.stats.logical_writes == writes
+
+
+def test_restored_session_accepts_appends(saved_path, demo_data):
+    import datetime
+
+    _original, path = saved_path
+    restored = GhostDB.restore(path)
+    next_med = len(demo_data["medicine"]) + 1
+    restored.append(
+        "medicine", [(next_med, "PostRestore", "None", "Panacea")]
+    )
+    result = restored.query(
+        "SELECT Name FROM Medicine WHERE Type = 'Panacea'"
+    )
+    assert result.rows == [("PostRestore",)]
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "junk.bin"
+    path.write_bytes(b"not a session at all")
+    with pytest.raises(PersistenceError, match="not a GhostDB session"):
+        load_session(str(path))
+
+
+def test_wrong_version_rejected(tmp_path):
+    from repro.core.persistence import MAGIC
+
+    path = tmp_path / "future.bin"
+    path.write_bytes(MAGIC + (99).to_bytes(2, "big") + b"x")
+    with pytest.raises(PersistenceError, match="version"):
+        load_session(str(path))

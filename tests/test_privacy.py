@@ -1,0 +1,200 @@
+"""Privacy: the spy's view and the leak checker (demo phase 1).
+
+Includes *positive* leak tests: we deliberately inject hidden data into
+the channel and verify the checker catches it -- a leak checker that can
+only say CLEAN proves nothing.
+"""
+
+import pytest
+
+from repro.hardware.usb import Direction
+from repro.optimizer.space import Strategy, enumerate_strategies
+from repro.privacy.leakcheck import LeakChecker
+from repro.privacy.spy import SpyView
+from repro.workload.queries import demo_query
+
+
+@pytest.fixture
+def session(fresh_session):
+    fresh_session.reset_measurements()
+    return fresh_session
+
+
+@pytest.fixture
+def checker(fresh_session, demo_data):
+    return LeakChecker(fresh_session.schema, demo_data)
+
+
+class TestSpyView:
+    def test_requests_are_readable(self, session):
+        session.query(demo_query())
+        spy = SpyView(session.usb_log)
+        requests = spy.requests()
+        assert requests
+        assert any("select_ids" in r for r in requests)
+
+    def test_summary_buckets_by_direction_and_kind(self, session):
+        session.query(demo_query())
+        spy = SpyView(session.usb_log)
+        buckets = {(s.direction, s.kind): s for s in spy.summary()}
+        assert ("host->device", "ids") in buckets
+        assert ("device->host", "request") in buckets
+        total = sum(s.bytes for s in buckets.values())
+        assert total == spy.total_bytes
+
+    def test_transcript_renders_every_message(self, session):
+        session.query(demo_query())
+        spy = SpyView(session.usb_log)
+        transcript = spy.transcript()
+        assert transcript.count("\n") + 1 == len(session.usb_log)
+
+    def test_observed_ids_counted(self, session):
+        session.query(demo_query())
+        spy = SpyView(session.usb_log)
+        counts = spy.observed_ids()
+        assert counts.get("ids", 0) > 0
+
+
+class TestLeakCheckerNegative:
+    """Real executions must come out clean."""
+
+    def test_demo_query_is_clean(self, session, checker):
+        session.query(demo_query())
+        report = checker.check(session.usb_log)
+        assert report.ok, report.summary()
+        assert report.checked_messages == len(session.usb_log)
+        assert report.checked_patterns > 0
+
+    def test_every_strategy_is_clean(self, session, checker):
+        bound = session.bind(demo_query())
+        for strategy in enumerate_strategies(bound):
+            session.reset_measurements()
+            session.query_with_strategy(demo_query(), strategy)
+            report = checker.check(session.usb_log)
+            assert report.ok, report.summary()
+
+    def test_query_on_hidden_string_column_is_clean(self, session, checker):
+        """Selecting ON a hidden value must not push that value out --
+        the climbing index answers it on-device."""
+        session.query(
+            "SELECT Age FROM Patient WHERE Name = 'Marie Martin'"
+        )
+        non_query = [r for r in session.usb_log if r.kind != "query"]
+        report = checker.check(non_query)
+        assert report.ok, report.summary()
+
+
+class TestLeakCheckerPositive:
+    """Injected violations must be caught."""
+
+    def test_hidden_string_in_payload_detected(self, session, checker):
+        purpose = "Sclerosis"  # a hidden Visit.Purpose value
+        session.device.usb.transfer(
+            Direction.TO_HOST, "request",
+            b'{"op": "select_ids", "predicate": null, "x": "' +
+            purpose.encode() + b'"}',
+        )
+        report = checker.check(session.usb_log)
+        assert not report.ok
+        assert any("Sclerosis" in str(v) for v in report.violations)
+
+    def test_unknown_outbound_kind_detected(self, session, checker):
+        session.device.usb.transfer(
+            Direction.TO_HOST, "exfiltrate", b"\x00\x01\x02\x03"
+        )
+        report = checker.check(session.usb_log)
+        assert any("whitelist" in v.reason for v in report.violations)
+
+    def test_opaque_request_detected(self, session, checker):
+        session.device.usb.transfer(
+            Direction.TO_HOST, "request", b"\x80\x81binary-not-json"
+        )
+        report = checker.check(session.usb_log)
+        assert any("transparent" in v.reason for v in report.violations)
+
+    def test_unknown_request_op_detected(self, session, checker):
+        session.device.usb.transfer(
+            Direction.TO_HOST, "request", b'{"op": "dump_hidden"}'
+        )
+        report = checker.check(session.usb_log)
+        assert any("unknown request op" in v.reason for v in report.violations)
+
+    def test_request_naming_hidden_column_detected(self, session, checker):
+        session.device.usb.transfer(
+            Direction.TO_HOST, "request",
+            b'{"op": "fetch_values", "table": "visit", '
+            b'"columns": ["purpose"], "count": 1}',
+        )
+        report = checker.check(session.usb_log)
+        assert any("hidden column" in v.reason for v in report.violations)
+
+    def test_hidden_value_leak_in_host_direction_detected(
+        self, session, checker
+    ):
+        """Even host->device traffic must not carry hidden strings (it
+        would mean the host had them)."""
+        session.device.usb.transfer(
+            Direction.TO_DEVICE, "values", b'{"1": ["Sclerosis"]}'
+        )
+        report = checker.check(session.usb_log)
+        assert not report.ok
+
+    def test_query_text_is_exempt(self, session, checker):
+        """The user's own query may name hidden constants."""
+        session.device.usb.transfer(
+            Direction.TO_DEVICE, "query",
+            b"SELECT ... WHERE Purpose = 'Sclerosis'",
+        )
+        report = checker.check(session.usb_log)
+        assert report.ok
+
+    def test_summary_text_counts_violations(self, session, checker):
+        session.device.usb.transfer(
+            Direction.TO_HOST, "exfiltrate", b"stolen"
+        )
+        report = checker.check(session.usb_log)
+        assert "VIOLATIONS" in report.summary()
+
+
+class TestProtocolContract:
+    """Cross-module consistency: the leak checker's whitelist must match
+    what the link actually emits, or the audit silently rots."""
+
+    def test_outbound_whitelist_matches_link_behaviour(self, session):
+        from repro.privacy.leakcheck import ALLOWED_OUTBOUND_KINDS
+
+        session.query(demo_query())
+        session.query(
+            "SELECT Med.Name FROM Medicine Med WHERE Med.Type = 'Statin'"
+        )
+        emitted = {
+            r.kind for r in session.usb_log
+            if r.direction is Direction.TO_HOST
+        }
+        assert emitted
+        assert emitted <= ALLOWED_OUTBOUND_KINDS
+
+    def test_request_ops_whitelist_matches_link(self, session):
+        import json
+
+        from repro.privacy.leakcheck import ALLOWED_REQUEST_OPS
+
+        session.query(demo_query())
+        ops = {
+            json.loads(r.payload)["op"]
+            for r in session.usb_log
+            if r.direction is Direction.TO_HOST and r.kind == "request"
+        }
+        assert ops
+        assert ops <= ALLOWED_REQUEST_OPS
+
+    def test_documented_kinds_cover_observations(self, session):
+        """docs/PROTOCOL.md lists seven message kinds; the captured
+        traffic must not contain anything undocumented."""
+        documented = {
+            "query", "request", "ids", "ids_end", "count",
+            "fetch_ids", "values",
+        }
+        session.query(demo_query())
+        observed = {r.kind for r in session.usb_log}
+        assert observed <= documented

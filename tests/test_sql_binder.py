@@ -1,0 +1,210 @@
+"""Semantic analysis: resolution, classification, normalisation."""
+
+import datetime
+
+import pytest
+
+from repro.catalog.schema import Schema
+from repro.catalog.tree import SchemaTree
+from repro.sql.binder import EQ, NEQ, RANGE, Binder
+from repro.sql.ddl import create_table
+from repro.sql.errors import BindError
+from repro.sql.parser import parse_statement
+from repro.workload.queries import DEMO_SCHEMA_DDL, demo_query
+
+
+@pytest.fixture(scope="module")
+def binder():
+    schema = Schema()
+    for ddl in DEMO_SCHEMA_DDL:
+        create_table(schema, parse_statement(ddl))
+    return Binder(SchemaTree(schema))
+
+
+def bind(binder, sql):
+    return binder.bind(parse_statement(sql))
+
+
+class TestDemoQuery:
+    def test_classification(self, binder):
+        """The paper's own annotations: Date VISIBLE, Purpose HIDDEN,
+        Type VISIBLE."""
+        bound = bind(binder, demo_query())
+        by_column = {p.column: p for p in bound.predicates}
+        assert not by_column["date"].hidden
+        assert by_column["purpose"].hidden
+        assert not by_column["type"].hidden
+
+    def test_query_root(self, binder):
+        bound = bind(binder, demo_query())
+        assert bound.root == "prescription"
+
+    def test_joins_validated_as_tree_edges(self, binder):
+        bound = bind(binder, demo_query())
+        edges = {(j.parent, j.child) for j in bound.joins}
+        assert edges == {
+            ("prescription", "medicine"),
+            ("prescription", "visit"),
+        }
+
+    def test_projections_resolved(self, binder):
+        bound = bind(binder, demo_query())
+        assert [(t, c.name) for t, c in bound.projections] == [
+            ("medicine", "Name"),
+            ("prescription", "Quantity"),
+            ("visit", "Date"),
+        ]
+
+
+class TestResolution:
+    def test_unqualified_unambiguous_column(self, binder):
+        bound = bind(binder, "SELECT Purpose FROM Visit")
+        assert bound.projections[0][1].name == "Purpose"
+
+    def test_ambiguous_column_rejected(self, binder):
+        """VisID exists in Visit (PK) and Prescription (FK)."""
+        with pytest.raises(BindError, match="ambiguous"):
+            bind(
+                binder,
+                "SELECT VisID FROM Visit V, Prescription P "
+                "WHERE P.VisID = V.VisID",
+            )
+
+    def test_unknown_column_rejected(self, binder):
+        with pytest.raises(BindError, match="unknown column"):
+            bind(binder, "SELECT nothing FROM Visit")
+
+    def test_unknown_alias_rejected(self, binder):
+        with pytest.raises(BindError, match="unknown table or alias"):
+            bind(binder, "SELECT x.Date FROM Visit v")
+
+    def test_duplicate_binding_rejected(self, binder):
+        with pytest.raises(BindError, match="duplicate"):
+            bind(binder, "SELECT Date FROM Visit, Visit")
+
+
+class TestJoinValidation:
+    def test_non_fk_join_rejected(self, binder):
+        with pytest.raises(BindError, match="foreign-key"):
+            bind(
+                binder,
+                "SELECT v.Date FROM Visit v, Prescription p "
+                "WHERE v.VisID = p.PreID",
+            )
+
+    def test_missing_join_predicate_rejected(self, binder):
+        with pytest.raises(BindError, match="missing join predicate"):
+            bind(binder, "SELECT v.Date FROM Visit v, Prescription p")
+
+    def test_disconnected_tables_rejected(self, binder):
+        with pytest.raises(Exception):
+            bind(
+                binder,
+                "SELECT d.Country FROM Doctor d, Medicine m",
+            )
+
+    def test_inequality_join_rejected(self, binder):
+        with pytest.raises(BindError, match="equijoin"):
+            bind(
+                binder,
+                "SELECT v.Date FROM Visit v, Prescription p "
+                "WHERE p.VisID > v.VisID",
+            )
+
+    def test_join_direction_is_irrelevant(self, binder):
+        a = bind(
+            binder,
+            "SELECT p.Quantity FROM Visit v, Prescription p "
+            "WHERE p.VisID = v.VisID",
+        )
+        b = bind(
+            binder,
+            "SELECT p.Quantity FROM Visit v, Prescription p "
+            "WHERE v.VisID = p.VisID",
+        )
+        assert a.joins == b.joins
+
+
+class TestNormalisation:
+    def test_two_inequalities_merge_to_range(self, binder):
+        bound = bind(
+            binder,
+            "SELECT Quantity FROM Prescription "
+            "WHERE Quantity >= 2 AND Quantity < 8",
+        )
+        pred = bound.predicates[0]
+        assert pred.kind == RANGE
+        assert pred.low == 2 and pred.low_inclusive
+        assert pred.high == 8 and not pred.high_inclusive
+
+    def test_tighter_bound_wins(self, binder):
+        bound = bind(
+            binder,
+            "SELECT Quantity FROM Prescription "
+            "WHERE Quantity > 2 AND Quantity > 5",
+        )
+        pred = bound.predicates[0]
+        assert pred.low == 5
+
+    def test_equality_absorbs_ranges(self, binder):
+        bound = bind(
+            binder,
+            "SELECT Quantity FROM Prescription "
+            "WHERE Quantity = 5 AND Quantity > 1",
+        )
+        assert len(bound.predicates) == 1
+        assert bound.predicates[0].kind == EQ
+
+    def test_contradictory_equalities_rejected(self, binder):
+        with pytest.raises(BindError, match="contradictory"):
+            bind(
+                binder,
+                "SELECT Quantity FROM Prescription "
+                "WHERE Quantity = 5 AND Quantity = 6",
+            )
+
+    def test_neq_kept_separate(self, binder):
+        bound = bind(
+            binder,
+            "SELECT Quantity FROM Prescription WHERE Quantity <> 3",
+        )
+        assert bound.predicates[0].kind == NEQ
+
+    def test_type_checking(self, binder):
+        with pytest.raises(BindError, match="does not fit"):
+            bind(binder, "SELECT Date FROM Visit WHERE Date > 5")
+        with pytest.raises(BindError, match="does not fit"):
+            bind(binder, "SELECT Quantity FROM Prescription WHERE Quantity = 'x'")
+
+    def test_int_literal_promoted_for_float_column(self, binder):
+        bound = bind(
+            binder,
+            "SELECT Age FROM Patient WHERE BodyMassIndex > 30",
+        )
+        pred = bound.predicates[0]
+        assert isinstance(pred.low, float)
+
+
+class TestPredicateMatches:
+    def test_eq(self, binder):
+        bound = bind(binder, "SELECT Date FROM Visit WHERE Purpose = 'X'")
+        pred = bound.predicates[0]
+        assert pred.matches("X") and not pred.matches("Y")
+
+    def test_range_inclusivity(self, binder):
+        bound = bind(
+            binder,
+            "SELECT Quantity FROM Prescription "
+            "WHERE Quantity >= 2 AND Quantity < 5",
+        )
+        pred = bound.predicates[0]
+        assert pred.matches(2) and pred.matches(4)
+        assert not pred.matches(1) and not pred.matches(5)
+
+    def test_date_range(self, binder):
+        bound = bind(
+            binder, "SELECT Date FROM Visit WHERE Date > 05-11-2006"
+        )
+        pred = bound.predicates[0]
+        assert pred.matches(datetime.date(2006, 11, 6))
+        assert not pred.matches(datetime.date(2006, 11, 5))

@@ -1,0 +1,70 @@
+"""DDL execution: CREATE TABLE AST into the catalog."""
+
+import pytest
+
+from repro.catalog.schema import Schema, SchemaError
+from repro.sql.ddl import create_table
+from repro.sql.parser import parse_statement
+from repro.storage.types import CharType, IntegerType
+
+
+def apply(schema, sql):
+    return create_table(schema, parse_statement(sql))
+
+
+def test_basic_table():
+    schema = Schema()
+    table = apply(
+        schema,
+        "CREATE TABLE Medicine (MedID INTEGER PRIMARY KEY, "
+        "Name CHAR(30), Type CHAR(20))",
+    )
+    assert table.pk.name == "MedID"
+    assert isinstance(table.column("Name").dtype, CharType)
+    assert schema.has_table("medicine")
+
+
+def test_hidden_flag_applied():
+    schema = Schema()
+    table = apply(
+        schema,
+        "CREATE TABLE T (id INTEGER PRIMARY KEY, secret CHAR(10) HIDDEN)",
+    )
+    assert table.column("secret").hidden
+    assert not table.column("id").hidden
+
+
+def test_reference_inherits_pk_type():
+    schema = Schema()
+    apply(schema, "CREATE TABLE U (uid INTEGER PRIMARY KEY)")
+    table = apply(
+        schema,
+        "CREATE TABLE T (id INTEGER PRIMARY KEY, "
+        "u REFERENCES U(uid) HIDDEN)",
+    )
+    column = table.column("u")
+    assert isinstance(column.dtype, IntegerType)
+    assert column.references.table == "U"
+    assert column.hidden
+
+
+def test_reference_to_missing_table_rejected():
+    schema = Schema()
+    with pytest.raises(SchemaError, match="create referenced tables first"):
+        apply(
+            schema,
+            "CREATE TABLE T (id INTEGER PRIMARY KEY, u REFERENCES U(uid))",
+        )
+
+
+def test_bad_type_rejected():
+    schema = Schema()
+    with pytest.raises(SchemaError, match="unsupported SQL type"):
+        apply(schema, "CREATE TABLE T (id INTEGER PRIMARY KEY, b BLOB)")
+
+
+def test_duplicate_table_rejected():
+    schema = Schema()
+    apply(schema, "CREATE TABLE T (id INTEGER PRIMARY KEY)")
+    with pytest.raises(SchemaError, match="already exists"):
+        apply(schema, "CREATE TABLE T (id INTEGER PRIMARY KEY)")

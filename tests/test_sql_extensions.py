@@ -1,0 +1,380 @@
+"""Extended SQL: IN lists, aggregates, GROUP BY, ORDER BY, LIMIT.
+
+These go beyond the demo paper's SPJ focus (its companion system handles
+aggregation); semantics are checked against the reference evaluator and,
+for the device-side operators, against RAM-pressure behaviour.
+"""
+
+import datetime
+
+import pytest
+
+from repro.core.ghostdb import GhostDB
+from repro.hardware.profiles import TINY_DEVICE
+from repro.reference import evaluate_reference, same_rows
+from repro.sql import ast
+from repro.sql.binder import IN
+from repro.sql.errors import BindError, ParseError
+from repro.sql.parser import parse_statement
+from repro.workload.queries import DEMO_SCHEMA_DDL
+
+
+def norm(rows):
+    return sorted(
+        tuple(round(v, 9) if isinstance(v, float) else v for v in row)
+        for row in rows
+    )
+
+
+class TestParserExtensions:
+    def test_in_list(self):
+        stmt = parse_statement(
+            "SELECT a FROM t WHERE a IN (1, 2, 3)"
+        )
+        condition = stmt.where[0]
+        assert isinstance(condition, ast.InList)
+        assert condition.values == (1, 2, 3)
+
+    def test_in_requires_column(self):
+        with pytest.raises(ParseError, match="column"):
+            parse_statement("SELECT a FROM t WHERE 5 IN (1, 2)")
+
+    def test_aggregates_parse(self):
+        stmt = parse_statement(
+            "SELECT count(*), SUM(x), avg(t.y) FROM t GROUP BY z"
+        )
+        assert stmt.items[0] == ast.AggregateRef("count", None)
+        assert stmt.items[1] == ast.AggregateRef("sum", ast.ColumnRef("x"))
+        assert stmt.items[2] == ast.AggregateRef(
+            "avg", ast.ColumnRef("y", "t")
+        )
+        assert stmt.group_by == [ast.ColumnRef("z")]
+
+    def test_star_only_for_count(self):
+        with pytest.raises(ParseError, match="COUNT"):
+            parse_statement("SELECT sum(*) FROM t")
+
+    def test_column_named_like_function_still_works(self):
+        stmt = parse_statement("SELECT count FROM t")
+        assert stmt.items[0] == ast.ColumnRef("count")
+
+    def test_order_by_and_limit(self):
+        stmt = parse_statement(
+            "SELECT a, b FROM t ORDER BY a DESC, b LIMIT 7"
+        )
+        assert stmt.order_by[0] == ast.OrderItem(ast.ColumnRef("a"), False)
+        assert stmt.order_by[1] == ast.OrderItem(ast.ColumnRef("b"), True)
+        assert stmt.limit == 7
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError, match="integer"):
+            parse_statement("SELECT a FROM t LIMIT 1.5")
+
+
+class TestBinderExtensions:
+    def test_in_predicate_normalised(self, demo_session):
+        bound = demo_session.bind(
+            "SELECT Date FROM Visit "
+            "WHERE Purpose IN ('Sclerosis', 'Neuropathy', 'Sclerosis')"
+        )
+        pred = bound.predicates[0]
+        assert pred.kind == IN
+        assert pred.values == ("Neuropathy", "Sclerosis")
+        assert pred.hidden
+        assert pred.matches("Sclerosis") and not pred.matches("Checkup")
+
+    def test_in_values_type_checked(self, demo_session):
+        with pytest.raises(BindError, match="does not fit"):
+            demo_session.bind(
+                "SELECT Date FROM Visit WHERE Purpose IN ('a', 5)"
+            )
+
+    def test_ungrouped_column_rejected(self, demo_session):
+        with pytest.raises(BindError, match="GROUP BY"):
+            demo_session.bind(
+                "SELECT Purpose, count(*) FROM Visit GROUP BY Date"
+            )
+
+    def test_sum_requires_numeric(self, demo_session):
+        with pytest.raises(BindError, match="numeric"):
+            demo_session.bind("SELECT sum(Purpose) FROM Visit")
+
+    def test_order_by_must_be_selected(self, demo_session):
+        with pytest.raises(BindError, match="select list"):
+            demo_session.bind(
+                "SELECT Date FROM Visit ORDER BY Purpose"
+            )
+
+    def test_output_metadata(self, demo_session):
+        bound = demo_session.bind(
+            "SELECT Purpose, count(*), avg(PatID) FROM Visit "
+            "GROUP BY Purpose"
+        )
+        assert bound.is_grouped
+        assert bound.output_labels == [
+            "visit.Purpose", "count(*)", "avg(visit.PatID)",
+        ]
+        assert [kind for kind, _r in bound.output_items] == [
+            "key", "agg", "agg",
+        ]
+
+
+class TestInExecution:
+    def test_hidden_in_uses_climbing_union(self, demo_session, demo_data):
+        sql = (
+            "SELECT Pre.Quantity FROM Prescription Pre, Visit Vis "
+            "WHERE Vis.Purpose IN ('Sclerosis', 'Neuropathy') "
+            "AND Vis.VisID = Pre.VisID"
+        )
+        bound = demo_session.bind(sql)
+        expected = evaluate_reference(demo_session.tree, demo_data, bound)
+        result = demo_session.query(sql)
+        assert same_rows(result.rows, expected)
+        assert result.rows
+
+    def test_visible_in_delegated(self, demo_session, demo_data):
+        sql = (
+            "SELECT Med.Name, Pre.Quantity FROM Medicine Med, "
+            "Prescription Pre WHERE Med.Type IN ('Statin', 'Insulin') "
+            "AND Med.MedID = Pre.MedID"
+        )
+        bound = demo_session.bind(sql)
+        expected = evaluate_reference(demo_session.tree, demo_data, bound)
+        for strategy in __import__(
+            "repro.optimizer.space", fromlist=["enumerate_strategies"]
+        ).enumerate_strategies(bound):
+            demo_session.reset_measurements()
+            result = demo_session.query_with_strategy(sql, strategy)
+            assert same_rows(result.rows, expected)
+
+    def test_hidden_int_in(self, demo_session, demo_data):
+        sql = (
+            "SELECT Quantity FROM Prescription WHERE Quantity IN (1, 9)"
+        )
+        bound = demo_session.bind(sql)
+        expected = evaluate_reference(demo_session.tree, demo_data, bound)
+        result = demo_session.query(sql)
+        assert same_rows(result.rows, expected)
+
+
+class TestAggregateExecution:
+    CASES = {
+        "count-per-purpose": """
+            SELECT Vis.Purpose, count(*) FROM Prescription Pre, Visit Vis
+            WHERE Vis.VisID = Pre.VisID GROUP BY Vis.Purpose""",
+        "avg-and-sum": """
+            SELECT Med.Type, sum(Pre.Quantity), avg(Pre.Quantity)
+            FROM Medicine Med, Prescription Pre
+            WHERE Med.MedID = Pre.MedID GROUP BY Med.Type""",
+        "min-max-dates": """
+            SELECT Pre.Quantity, min(Pre.WhenWritten), max(Pre.WhenWritten)
+            FROM Prescription Pre GROUP BY Pre.Quantity""",
+        "scalar-count": """
+            SELECT count(*) FROM Visit WHERE Purpose = 'Sclerosis'""",
+        "distinct-via-group": """
+            SELECT Med.Type FROM Medicine Med, Prescription Pre
+            WHERE Med.MedID = Pre.MedID GROUP BY Med.Type""",
+        "grouped-with-hidden-filter": """
+            SELECT Vis.Purpose, count(*) FROM Prescription Pre, Visit Vis
+            WHERE Pre.Quantity > 7 AND Vis.VisID = Pre.VisID
+            GROUP BY Vis.Purpose""",
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_matches_reference(self, demo_session, demo_data, name):
+        sql = self.CASES[name]
+        bound = demo_session.bind(sql)
+        expected = evaluate_reference(demo_session.tree, demo_data, bound)
+        demo_session.reset_measurements()
+        result = demo_session.query(sql)
+        assert norm(result.rows) == norm(expected), name
+
+    def test_aggregation_stays_on_device(self, demo_session, demo_data):
+        """An aggregate over hidden values must not push those values to
+        the host: the spy sees requests and IDs only."""
+        from repro.privacy.leakcheck import LeakChecker
+
+        checker = LeakChecker(demo_session.schema, demo_data)
+        demo_session.reset_measurements()
+        demo_session.query(
+            "SELECT Vis.Purpose, avg(Pre.Quantity) "
+            "FROM Prescription Pre, Visit Vis "
+            "WHERE Vis.VisID = Pre.VisID GROUP BY Vis.Purpose"
+        )
+        report = checker.check(demo_session.usb_log)
+        assert report.ok, report.summary()
+
+    def test_empty_input_yields_no_groups(self, demo_session):
+        """Documented deviation: scalar aggregates over an empty input
+        return zero rows (NULL-free dialect)."""
+        result = demo_session.query(
+            "SELECT count(*) FROM Visit WHERE Purpose = 'No Such'"
+        )
+        assert result.rows == []
+
+    def test_spill_path_under_tiny_ram(self, demo_data):
+        """Too many groups for 16 KB: the operator must spill to a
+        key-ordered external sort and still aggregate correctly."""
+        db = GhostDB(profile=TINY_DEVICE)
+        for ddl in DEMO_SCHEMA_DDL:
+            db.execute(ddl)
+        db.load(demo_data)
+        sql = (
+            "SELECT Pre.WhenWritten, count(*) FROM Prescription Pre "
+            "GROUP BY Pre.WhenWritten"
+        )
+        bound = db.bind(sql)
+        expected = evaluate_reference(db.tree, demo_data, bound)
+        db.reset_measurements()
+        result = db.query(sql)
+        assert norm(result.rows) == norm(expected)
+        aggregate_ops = [
+            op for op in result.metrics.operators if op.name == "aggregate"
+        ]
+        assert aggregate_ops
+        assert result.metrics.flash_page_writes > 0  # the spill
+
+    def test_hash_path_on_roomy_device(self, demo_session, demo_data):
+        sql = (
+            "SELECT Vis.Purpose, count(*) FROM Prescription Pre, "
+            "Visit Vis WHERE Vis.VisID = Pre.VisID GROUP BY Vis.Purpose"
+        )
+        demo_session.reset_measurements()
+        result = demo_session.query(sql)
+        # Nine purposes: tiny hash state, no spill writes at all beyond
+        # what the SPJ part of the plan needs.
+        assert result.metrics.flash_page_writes == 0
+
+
+class TestOrderByLimit:
+    def test_order_by_date_desc(self, demo_session, demo_data):
+        sql = (
+            "SELECT Vis.Date, Pre.Quantity FROM Prescription Pre, "
+            "Visit Vis WHERE Vis.Purpose = 'Sclerosis' "
+            "AND Vis.VisID = Pre.VisID ORDER BY Vis.Date DESC"
+        )
+        result = demo_session.query(sql)
+        dates = [row[0] for row in result.rows]
+        assert dates == sorted(dates, reverse=True)
+        bound = demo_session.bind(sql)
+        expected = evaluate_reference(demo_session.tree, demo_data, bound)
+        assert same_rows(result.rows, expected)
+
+    def test_secondary_key(self, demo_session):
+        sql = (
+            "SELECT Pre.Quantity, Pre.PreID FROM Prescription Pre "
+            "WHERE Pre.Quantity IN (3, 4) "
+            "ORDER BY Pre.Quantity DESC, Pre.PreID ASC"
+        )
+        result = demo_session.query(sql)
+        assert result.rows == sorted(
+            result.rows, key=lambda r: (-r[0], r[1])
+        )
+
+    def test_limit_truncates_and_stops_early(self, demo_session):
+        full = demo_session.query(
+            "SELECT Quantity FROM Prescription WHERE Quantity = 5"
+        )
+        demo_session.reset_measurements()
+        limited = demo_session.query(
+            "SELECT Quantity FROM Prescription WHERE Quantity = 5 LIMIT 3"
+        )
+        assert len(limited.rows) == 3
+        assert len(full.rows) > 3
+        # Early stop: the limited run fetched fewer visible batches /
+        # read less flash than the full one.
+        assert (
+            limited.metrics.flash_page_reads
+            <= full.metrics.flash_page_reads
+        )
+
+    def test_limit_zero(self, demo_session):
+        result = demo_session.query(
+            "SELECT Quantity FROM Prescription LIMIT 0"
+        )
+        assert result.rows == []
+
+    def test_order_by_on_aggregate_keys(self, demo_session, demo_data):
+        sql = (
+            "SELECT Med.Type, count(*) FROM Medicine Med, "
+            "Prescription Pre WHERE Med.MedID = Pre.MedID "
+            "GROUP BY Med.Type ORDER BY Med.Type DESC LIMIT 3"
+        )
+        bound = demo_session.bind(sql)
+        expected = evaluate_reference(demo_session.tree, demo_data, bound)
+        result = demo_session.query(sql)
+        assert norm(result.rows) == norm(expected)
+        types = [row[0] for row in result.rows]
+        assert types == sorted(types, reverse=True)
+
+
+class TestHaving:
+    def test_having_on_aggregate(self, demo_session, demo_data):
+        sql = """
+            SELECT Vis.Purpose, count(*) FROM Prescription Pre, Visit Vis
+            WHERE Vis.VisID = Pre.VisID GROUP BY Vis.Purpose
+            HAVING count(*) > 200"""
+        bound = demo_session.bind(sql)
+        expected = evaluate_reference(demo_session.tree, demo_data, bound)
+        result = demo_session.query(sql)
+        assert norm(result.rows) == norm(expected)
+        assert all(row[1] > 200 for row in result.rows)
+
+    def test_having_aggregate_not_in_select(self, demo_session, demo_data):
+        """HAVING may use an aggregate the select list omits."""
+        sql = """
+            SELECT Med.Type FROM Medicine Med, Prescription Pre
+            WHERE Med.MedID = Pre.MedID GROUP BY Med.Type
+            HAVING avg(Pre.Quantity) >= 5.4"""
+        bound = demo_session.bind(sql)
+        assert len(bound.aggregates) == 1  # registered, output-less
+        expected = evaluate_reference(demo_session.tree, demo_data, bound)
+        result = demo_session.query(sql)
+        assert norm(result.rows) == norm(expected)
+
+    def test_having_on_group_key(self, demo_session, demo_data):
+        sql = """
+            SELECT Vis.Purpose, count(*) FROM Visit Vis
+            GROUP BY Vis.Purpose HAVING Vis.Purpose <> 'Sclerosis'"""
+        result = demo_session.query(sql)
+        assert result.rows
+        assert all(row[0] != "Sclerosis" for row in result.rows)
+
+    def test_having_conjunction(self, demo_session, demo_data):
+        sql = """
+            SELECT Med.Type, count(*) FROM Medicine Med, Prescription Pre
+            WHERE Med.MedID = Pre.MedID GROUP BY Med.Type
+            HAVING count(*) > 50 AND count(*) < 500"""
+        bound = demo_session.bind(sql)
+        expected = evaluate_reference(demo_session.tree, demo_data, bound)
+        result = demo_session.query(sql)
+        assert norm(result.rows) == norm(expected)
+        assert all(50 < row[1] < 500 for row in result.rows)
+
+    def test_having_reuses_select_aggregate(self, demo_session):
+        bound = demo_session.bind(
+            "SELECT Med.Type, count(*) FROM Medicine Med, Prescription "
+            "Pre WHERE Med.MedID = Pre.MedID GROUP BY Med.Type "
+            "HAVING count(*) > 10"
+        )
+        assert len(bound.aggregates) == 1  # not duplicated
+
+    def test_having_without_group_rejected(self, demo_session):
+        with pytest.raises(BindError, match="HAVING requires"):
+            demo_session.bind(
+                "SELECT Date FROM Visit HAVING count(*) > 1"
+            )
+
+    def test_having_on_non_key_column_rejected(self, demo_session):
+        with pytest.raises(BindError, match="GROUP BY key"):
+            demo_session.bind(
+                "SELECT Purpose, count(*) FROM Visit GROUP BY Purpose "
+                "HAVING Date > DATE '2006-01-01'"
+            )
+
+    def test_having_type_checked(self, demo_session):
+        with pytest.raises(BindError, match="does not fit"):
+            demo_session.bind(
+                "SELECT Purpose, count(*) FROM Visit GROUP BY Purpose "
+                "HAVING count(*) > 'many'"
+            )

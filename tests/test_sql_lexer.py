@@ -1,0 +1,163 @@
+"""Tokenizer: literals, dates, comments, errors."""
+
+import datetime
+
+import pytest
+
+from repro.sql.errors import ParseError
+from repro.sql.lexer import DATE, EOF, IDENT, NUMBER, STRING, SYMBOL, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+def test_empty_input_yields_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == EOF
+
+
+def test_identifiers_and_symbols():
+    assert values("SELECT a.b, c") == ["SELECT", "a", ".", "b", ",", "c"]
+
+
+def test_numbers_int_and_float():
+    tokens = tokenize("42 3.5")
+    assert tokens[0].value == 42 and isinstance(tokens[0].value, int)
+    assert tokens[1].value == 3.5 and isinstance(tokens[1].value, float)
+
+
+def test_single_and_double_quoted_strings():
+    assert values("'abc' \"def\"") == ["abc", "def"]
+
+
+def test_doubled_quote_escape():
+    assert values("'it''s'") == ["it's"]
+
+
+def test_unterminated_string():
+    with pytest.raises(ParseError, match="unterminated"):
+        tokenize("'oops")
+
+
+def test_bare_iso_date():
+    tokens = tokenize("2006-11-05")
+    assert tokens[0].kind == DATE
+    assert tokens[0].value == datetime.date(2006, 11, 5)
+
+
+def test_bare_european_date():
+    """The paper writes Vis.Date > 05-11-2006 (DD-MM-YYYY)."""
+    tokens = tokenize("05-11-2006")
+    assert tokens[0].kind == DATE
+    assert tokens[0].value == datetime.date(2006, 11, 5)
+
+
+def test_invalid_date_rejected():
+    with pytest.raises(ParseError, match="invalid date"):
+        tokenize("99-99-2006")
+
+
+def test_comparison_operators():
+    assert values("a <= b >= c <> d != e < f > g = h") == [
+        "a", "<=", "b", ">=", "c", "<>", "d", "!=", "e", "<", "f",
+        ">", "g", "=", "h",
+    ]
+
+
+def test_line_comments_skipped():
+    assert values("a -- comment here\nb") == ["a", "b"]
+
+
+def test_block_comments_skipped():
+    """The paper's own query contains /*VISIBLE*/ annotations."""
+    assert values("a /*VISIBLE*/ b") == ["a", "b"]
+
+
+def test_positions_recorded():
+    tokens = tokenize("ab cd")
+    assert tokens[0].position == 0
+    assert tokens[1].position == 3
+
+
+def test_unexpected_character():
+    with pytest.raises(ParseError, match="unexpected character"):
+        tokenize("a @ b")
+
+
+def test_upper_helper():
+    token = tokenize("select")[0]
+    assert token.upper == "SELECT"
+
+
+def test_paper_query_tokenizes():
+    text = """SELECT Med.Name, Pre.Quantity, Vis.Date
+    FROM Medicine Med, Prescription Pre, Visit Vis
+    WHERE Vis.Date > 05-11-2006 /*VISIBLE*/
+    AND Vis.Purpose = "Sclerosis" /*HIDDEN*/
+    AND Med.MedID = Pre.MedID;"""
+    tokens = tokenize(text)
+    assert tokens[-1].kind == EOF
+    assert any(t.kind == DATE for t in tokens)
+    assert any(t.value == "Sclerosis" for t in tokens)
+
+
+class TestRobustness:
+    """The front end must fail with ParseError, never crash, on
+    arbitrary input."""
+
+    @staticmethod
+    def _try(text):
+        from repro.sql.parser import parse_statement
+
+        try:
+            parse_statement(text)
+        except ParseError:
+            pass  # the acceptable failure mode
+
+    def test_fuzz_with_random_token_soup(self):
+        import random
+
+        from repro.sql.parser import parse_statement  # noqa: F401
+
+        rng = random.Random(42)
+        vocabulary = [
+            "SELECT", "FROM", "WHERE", "AND", "GROUP", "BY", "ORDER",
+            "LIMIT", "HAVING", "IN", "BETWEEN", "count", "(", ")", ",",
+            ".", "=", "<", ">", "<>", "*", ";", "'txt'", "42", "1.5",
+            "2006-11-05", "tbl", "col", "DATE",
+        ]
+        for _ in range(500):
+            soup = " ".join(
+                rng.choice(vocabulary)
+                for _ in range(rng.randint(1, 25))
+            )
+            self._try(soup)
+
+    def test_fuzz_with_mutated_real_query(self):
+        import random
+
+        base = (
+            "SELECT Med.Name, count(*) FROM Medicine Med, Prescription "
+            "Pre WHERE Med.Type IN ('a','b') AND Med.MedID = Pre.MedID "
+            "GROUP BY Med.Name HAVING count(*) > 2 ORDER BY Med.Name "
+            "LIMIT 5"
+        )
+        rng = random.Random(7)
+        for _ in range(300):
+            chars = list(base)
+            for _ in range(rng.randint(1, 6)):
+                position = rng.randrange(len(chars))
+                action = rng.random()
+                if action < 0.4:
+                    del chars[position]
+                elif action < 0.8:
+                    chars[position] = rng.choice("()'\",.<>=*;x9 ")
+                else:
+                    chars.insert(position, rng.choice("()'\" ,;"))
+            self._try("".join(chars))

@@ -1,0 +1,155 @@
+"""Parser: the paper's DDL and query dialect."""
+
+import datetime
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.errors import ParseError
+from repro.sql.parser import parse_statement
+
+
+class TestSelect:
+    def test_minimal(self):
+        stmt = parse_statement("SELECT a FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.items == [ast.ColumnRef("a")]
+        assert stmt.tables == [ast.TableRef("t")]
+        assert stmt.where == []
+
+    def test_qualified_columns_and_aliases(self):
+        stmt = parse_statement(
+            "SELECT v.Date, p.Quantity FROM Visit v, Prescription AS p"
+        )
+        assert stmt.items[0] == ast.ColumnRef("Date", "v")
+        assert stmt.tables[1] == ast.TableRef("Prescription", "p")
+
+    def test_where_conjunction(self):
+        stmt = parse_statement(
+            "SELECT a FROM t WHERE a > 5 AND b = 'x' AND c = d"
+        )
+        assert len(stmt.where) == 3
+        assert stmt.where[0].op == ">"
+        assert stmt.where[1].right == ast.Literal("x")
+        assert stmt.where[2].right == ast.ColumnRef("d")
+
+    def test_between_desugars(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a BETWEEN 3 AND 7")
+        assert len(stmt.where) == 2
+        assert stmt.where[0].op == ">=" and stmt.where[0].right.value == 3
+        assert stmt.where[1].op == "<=" and stmt.where[1].right.value == 7
+
+    def test_bang_equals_normalised(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a != 1")
+        assert stmt.where[0].op == "<>"
+
+    def test_typed_date_literal(self):
+        stmt = parse_statement(
+            "SELECT a FROM t WHERE d > DATE '2006-11-05'"
+        )
+        assert stmt.where[0].right.value == datetime.date(2006, 11, 5)
+
+    def test_bare_date_literal(self):
+        stmt = parse_statement("SELECT a FROM t WHERE d > 05-11-2006")
+        assert stmt.where[0].right.value == datetime.date(2006, 11, 5)
+
+    def test_date_as_column_name_still_works(self):
+        stmt = parse_statement("SELECT Date FROM Visit WHERE Date > 1")
+        assert stmt.items[0].name == "Date"
+
+    def test_paper_query_parses_verbatim(self):
+        stmt = parse_statement(
+            """SELECT Med.Name, Pre.Quantity, Vis.Date
+            FROM Medicine Med, Prescription Pre, Visit Vis
+            WHERE Vis.Date > 05-11-2006 /*VISIBLE*/
+            AND Vis.Purpose = "Sclerosis" /*HIDDEN*/
+            AND Med.Type = "Antibiotic"  /*VISIBLE*/
+            AND Med.MedID = Pre.MedID
+            AND Vis.VisID = Pre.VisID;"""
+        )
+        assert len(stmt.items) == 3
+        assert len(stmt.tables) == 3
+        assert len(stmt.where) == 5
+
+    def test_literal_on_left_side(self):
+        stmt = parse_statement("SELECT a FROM t WHERE 5 < a")
+        assert isinstance(stmt.where[0].left, ast.Literal)
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError, match="FROM"):
+            parse_statement("SELECT a")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_statement("SELECT a FROM t 42")
+
+    def test_keyword_as_table_rejected(self):
+        with pytest.raises(ParseError, match="keyword"):
+            parse_statement("SELECT a FROM where")
+
+
+class TestCreateTable:
+    def test_paper_visit_table(self):
+        """The exact CREATE TABLE from Section 2 of the paper."""
+        stmt = parse_statement(
+            """CREATE TABLE Visit (
+            VisID INTEGER PRIMARY KEY,
+            Date DATE,
+            Purpose CHAR(100) HIDDEN,
+            DocID REFERENCES Doctor(DocID) HIDDEN,
+            PatID REFERENCES Patient(PatID) HIDDEN);"""
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.name == "Visit"
+        cols = {c.name: c for c in stmt.columns}
+        assert cols["VisID"].primary_key
+        assert not cols["VisID"].hidden
+        assert cols["Purpose"].hidden
+        assert cols["Purpose"].type_name == "CHAR"
+        assert cols["Purpose"].type_length == 100
+        assert cols["DocID"].ref_table == "Doctor"
+        assert cols["DocID"].ref_column == "DocID"
+        assert cols["DocID"].hidden
+        assert cols["DocID"].type_name is None
+
+    def test_typed_reference(self):
+        stmt = parse_statement(
+            "CREATE TABLE T (id INTEGER PRIMARY KEY, "
+            "r INTEGER REFERENCES U(uid))"
+        )
+        col = stmt.columns[1]
+        assert col.type_name == "INTEGER"
+        assert col.ref_table == "U"
+
+    def test_column_without_type_or_reference_rejected(self):
+        with pytest.raises(ParseError, match="needs a type"):
+            parse_statement("CREATE TABLE T (id PRIMARY KEY)")
+
+    def test_non_integer_length_rejected(self):
+        with pytest.raises(ParseError, match="length"):
+            parse_statement("CREATE TABLE T (c CHAR(1.5))")
+
+
+class TestInsert:
+    def test_single_row(self):
+        stmt = parse_statement(
+            "INSERT INTO Visit VALUES (1, 2006-01-01, 'Checkup', 3, 4)"
+        )
+        assert isinstance(stmt, ast.Insert)
+        assert stmt.table == "Visit"
+        assert stmt.values == [
+            [1, datetime.date(2006, 1, 1), "Checkup", 3, 4]
+        ]
+
+    def test_multi_row(self):
+        stmt = parse_statement("INSERT INTO T VALUES (1, 'a'), (2, 'b')")
+        assert len(stmt.values) == 2
+
+    def test_non_literal_value_rejected(self):
+        with pytest.raises(ParseError, match="literal"):
+            parse_statement("INSERT INTO T VALUES (a)")
+
+
+def test_unknown_statement_rejected():
+    with pytest.raises(ParseError, match="SELECT, CREATE or INSERT"):
+        parse_statement("DELETE FROM t")

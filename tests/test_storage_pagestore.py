@@ -1,0 +1,142 @@
+"""Record-granular page I/O, RAM-charged buffers, read strategies."""
+
+import pytest
+
+from repro.hardware.flash import FlashError
+from repro.hardware.ram import RamExhaustedError
+from repro.storage.pagestore import PageStore
+
+
+@pytest.fixture
+def store(device):
+    return PageStore(device)
+
+
+def write_records(store, count, width=16):
+    with store.writer(width, "test") as writer:
+        for i in range(count):
+            writer.append(i.to_bytes(4, "big") * (width // 4))
+    return writer
+
+
+def test_write_then_random_read(store):
+    writer = write_records(store, 100)
+    with store.reader(writer.pages, 16, 100, "r") as reader:
+        assert reader.record(0)[:4] == (0).to_bytes(4, "big")
+        assert reader.record(99)[:4] == (99).to_bytes(4, "big")
+
+
+def test_scan_returns_all_records_in_order(store):
+    writer = write_records(store, 500)
+    with store.reader(writer.pages, 16, 500, "r") as reader:
+        values = [int.from_bytes(raw[:4], "big") for raw in reader.scan()]
+    assert values == list(range(500))
+
+
+def test_scan_range(store):
+    writer = write_records(store, 300)
+    with store.reader(writer.pages, 16, 300, "r") as reader:
+        values = [
+            int.from_bytes(raw[:4], "big") for raw in reader.scan(100, 110)
+        ]
+    assert values == list(range(100, 110))
+
+
+def test_records_never_span_pages(store, device):
+    """A width that does not divide the page leaves tail waste; records
+    stay whole."""
+    width = 600  # 2048 // 600 = 3 per page
+    with store.writer(width, "w") as writer:
+        for i in range(7):
+            writer.append(bytes([i]) * width)
+    assert len(writer.pages) == 3  # 3 + 3 + 1
+    with store.reader(writer.pages, width, 7, "r") as reader:
+        assert reader.record(3) == bytes([3]) * width
+        assert reader.record(6) == bytes([6]) * width
+
+
+def test_record_uses_partial_read(store, device):
+    writer = write_records(store, 100)
+    with store.reader(writer.pages, 16, 100, "r") as reader:
+        before = device.flash.stats.snapshot()
+        reader.record(50)
+        after = device.flash.stats
+        assert after.page_reads_partial == before.page_reads_partial + 1
+        assert after.page_reads_full == before.page_reads_full
+
+
+def test_record_cached_amortises_full_reads(store, device):
+    writer = write_records(store, 256)  # 128 records per page
+    with store.reader(writer.pages, 16, 256, "r") as reader:
+        before = device.flash.stats.snapshot()
+        for rowid in range(0, 100):
+            reader.record_cached(rowid)
+        after = device.flash.stats
+        # 100 hits on the same page: one full read total.
+        assert after.page_reads_full == before.page_reads_full + 1
+
+
+def test_field_reads_only_the_slice(store):
+    writer = write_records(store, 10)
+    with store.reader(writer.pages, 16, 10, "r") as reader:
+        assert reader.field(3, 0, 4) == (3).to_bytes(4, "big")
+
+
+def test_buffers_are_ram_charged(store, device):
+    used_before = device.ram.used
+    writer = store.writer(16, "w")
+    assert device.ram.used == used_before + device.profile.page_size
+    writer.close()
+    assert device.ram.used == used_before
+
+
+def test_reader_buffer_released_on_close(store, device):
+    writer = write_records(store, 10)
+    used_before = device.ram.used
+    reader = store.reader(writer.pages, 16, 10, "r")
+    assert device.ram.used > used_before
+    reader.close()
+    assert device.ram.used == used_before
+
+
+def test_no_ram_left_means_no_reader(store, device):
+    writer = write_records(store, 10)
+    hog = device.ram.allocate(device.ram.available, "hog")
+    with pytest.raises(RamExhaustedError):
+        store.reader(writer.pages, 16, 10, "r")
+    hog.release()
+
+
+def test_out_of_range_rowid_rejected(store):
+    writer = write_records(store, 10)
+    with store.reader(writer.pages, 16, 10, "r") as reader:
+        with pytest.raises(IndexError):
+            reader.record(10)
+        with pytest.raises(IndexError):
+            reader.record(-1)
+
+
+def test_record_wider_than_page_rejected(store, device):
+    with pytest.raises(FlashError, match="exceeds"):
+        store.writer(device.profile.page_size + 1, "w")
+
+
+def test_wrong_width_append_rejected(store):
+    writer = store.writer(16, "w")
+    with pytest.raises(ValueError, match="does not match declared width"):
+        writer.append(b"short")
+    writer.close()
+
+
+def test_closed_writer_rejects_appends(store):
+    writer = store.writer(16, "w")
+    writer.close()
+    with pytest.raises(ValueError, match="closed"):
+        writer.append(b"x" * 16)
+
+
+def test_free_pages_returns_extent_to_ftl(store, device):
+    writer = write_records(store, 500)
+    mapped_before = device.ftl.mapped_pages
+    store.free_pages(writer.pages)
+    assert device.ftl.mapped_pages == mapped_before - len(writer.pages)

@@ -1,0 +1,87 @@
+"""Fixed-width record codec."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage.record import RecordCodec
+from repro.storage.types import (
+    CharType,
+    DateType,
+    FloatType,
+    IntegerType,
+    TypeError_,
+)
+
+
+@pytest.fixture
+def codec():
+    return RecordCodec(
+        [IntegerType(), CharType(12), DateType(), FloatType()]
+    )
+
+
+def test_width_is_sum_of_field_widths(codec):
+    assert codec.width == 8 + 12 + 4 + 8
+    assert codec.arity == 4
+
+
+def test_roundtrip(codec):
+    row = (42, "sclerosis", datetime.date(2006, 11, 5), 27.5)
+    assert codec.decode(codec.encode(row)) == row
+
+
+def test_decode_single_field_without_others(codec):
+    row = (42, "purpose", datetime.date(2006, 11, 5), 1.0)
+    raw = codec.encode(row)
+    assert codec.decode_field(raw, 0) == 42
+    assert codec.decode_field(raw, 1) == "purpose"
+    assert codec.decode_field(raw, 2) == datetime.date(2006, 11, 5)
+
+
+def test_field_slice_matches_layout(codec):
+    assert codec.field_slice(0) == (0, 8)
+    assert codec.field_slice(1) == (8, 12)
+    assert codec.field_slice(2) == (20, 4)
+    assert codec.field_slice(3) == (24, 8)
+
+
+def test_field_slice_decodes_standalone(codec):
+    row = (7, "x", datetime.date(2000, 1, 1), 2.5)
+    raw = codec.encode(row)
+    off, width = codec.field_slice(3)
+    assert codec.types[3].decode(raw[off : off + width]) == 2.5
+
+
+def test_wrong_arity_rejected(codec):
+    with pytest.raises(TypeError_, match="expects 4"):
+        codec.encode((1, "a", datetime.date(2000, 1, 1)))
+
+
+def test_wrong_length_decode_rejected(codec):
+    with pytest.raises(TypeError_, match="does not match codec width"):
+        codec.decode(b"\x00" * (codec.width - 1))
+
+
+def test_empty_codec_rejected():
+    with pytest.raises(TypeError_):
+        RecordCodec([])
+
+
+@given(
+    st.tuples(
+        st.integers(-(2**40), 2**40),
+        st.text(
+            alphabet=st.characters(codec="ascii", exclude_characters="\x00"),
+            max_size=12,
+        ),
+        st.dates(),
+        st.floats(allow_nan=False, allow_infinity=False),
+    )
+)
+def test_roundtrip_property(row):
+    codec = RecordCodec(
+        [IntegerType(), CharType(12), DateType(), FloatType()]
+    )
+    assert codec.decode(codec.encode(row)) == row

@@ -1,0 +1,180 @@
+"""SQL value codecs: roundtrips, validation, order preservation."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage.types import (
+    CharType,
+    DateType,
+    FloatType,
+    IntegerType,
+    TypeError_,
+    date_to_days,
+    days_to_date,
+    type_from_sql,
+)
+
+DATES = st.dates(
+    min_value=datetime.date(1, 1, 1), max_value=datetime.date(9999, 12, 31)
+)
+
+
+class TestIntegerType:
+    def test_roundtrip(self):
+        t = IntegerType()
+        for value in (0, 1, -1, 2**40, -(2**40), 2**63 - 1, -(2**63)):
+            assert t.decode(t.encode(value)) == value
+
+    def test_width(self):
+        assert IntegerType().width == 8
+        assert len(IntegerType().encode(12345)) == 8
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError_):
+            IntegerType().encode("5")
+        with pytest.raises(TypeError_):
+            IntegerType().encode(True)  # bools are not SQL integers
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(TypeError_):
+            IntegerType().encode(2**63)
+
+    @given(st.integers(-(2**63), 2**63 - 1), st.integers(-(2**63), 2**63 - 1))
+    def test_encoding_preserves_order(self, a, b):
+        t = IntegerType()
+        assert (t.encode(a) < t.encode(b)) == (a < b)
+
+
+class TestFloatType:
+    def test_roundtrip(self):
+        t = FloatType()
+        for value in (0.0, -1.5, 3.14159, 1e300):
+            assert t.decode(t.encode(value)) == value
+
+    def test_int_promoted(self):
+        assert FloatType().decode(FloatType().encode(7)) == 7.0
+
+    def test_rejects_strings_and_bools(self):
+        with pytest.raises(TypeError_):
+            FloatType().encode("1.0")
+        with pytest.raises(TypeError_):
+            FloatType().encode(False)
+
+    def test_negative_floats_sort_below_positive(self):
+        t = FloatType()
+        assert t.encode(-1.0) < t.encode(0.0) < t.encode(1.0)
+        assert t.encode(-1e300) < t.encode(-1e-300)
+
+    @given(
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.floats(allow_nan=False, allow_infinity=False),
+    )
+    def test_encoding_preserves_order(self, a, b):
+        """The total-order transform: byte order == value order, signs
+        included (ORDER BY and run merging depend on this)."""
+        t = FloatType()
+        if a < b:
+            assert t.encode(a) < t.encode(b)
+        elif a > b:
+            assert t.encode(a) > t.encode(b)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_roundtrip_property(self, value):
+        t = FloatType()
+        assert t.decode(t.encode(value)) == value
+
+
+class TestDateType:
+    def test_roundtrip(self):
+        t = DateType()
+        for value in (
+            datetime.date(1970, 1, 1),
+            datetime.date(2006, 11, 5),
+            datetime.date(1899, 12, 31),
+        ):
+            assert t.decode(t.encode(value)) == value
+
+    def test_width_is_four_bytes(self):
+        assert DateType().width == 4
+
+    def test_datetime_normalised_to_date(self):
+        t = DateType()
+        stamp = datetime.datetime(2006, 11, 5, 14, 30)
+        assert t.decode(t.encode(stamp)) == datetime.date(2006, 11, 5)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError_):
+            DateType().encode("2006-11-05")
+
+    @given(DATES, DATES)
+    def test_encoding_preserves_order(self, a, b):
+        t = DateType()
+        assert (t.encode(a) < t.encode(b)) == (a < b)
+
+    @given(DATES)
+    def test_epoch_day_roundtrip(self, value):
+        assert days_to_date(date_to_days(value)) == value
+
+
+class TestCharType:
+    def test_roundtrip_with_padding(self):
+        t = CharType(10)
+        encoded = t.encode("abc")
+        assert len(encoded) == 10
+        assert t.decode(encoded) == "abc"
+
+    def test_exact_length_fits(self):
+        t = CharType(4)
+        assert t.decode(t.encode("abcd")) == "abcd"
+
+    def test_overflow_rejected(self):
+        with pytest.raises(TypeError_, match="exceeds CHAR"):
+            CharType(3).encode("abcd")
+
+    def test_utf8_multibyte_counts_bytes(self):
+        t = CharType(4)
+        assert t.decode(t.encode("héllo"[:2])) == "hé"  # 3 bytes
+        with pytest.raises(TypeError_):
+            t.encode("ééé")  # 6 bytes > 4
+
+    def test_rejects_non_str(self):
+        with pytest.raises(TypeError_):
+            CharType(5).encode(5)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(TypeError_):
+            CharType(0)
+
+    @given(st.text(alphabet=st.characters(codec="ascii", exclude_characters="\x00"), max_size=20))
+    def test_ascii_roundtrip(self, value):
+        t = CharType(20)
+        assert t.decode(t.encode(value)) == value
+
+
+class TestTypeFromSql:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("INTEGER", IntegerType),
+            ("int", IntegerType),
+            ("BIGINT", IntegerType),
+            ("FLOAT", FloatType),
+            ("real", FloatType),
+            ("DOUBLE", FloatType),
+            ("DATE", DateType),
+        ],
+    )
+    def test_simple_names(self, name, cls):
+        assert isinstance(type_from_sql(name), cls)
+
+    def test_char_requires_length(self):
+        assert type_from_sql("CHAR", 12) == CharType(12)
+        assert type_from_sql("VARCHAR", 30) == CharType(30)
+        with pytest.raises(TypeError_, match="requires a length"):
+            type_from_sql("CHAR")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError_, match="unsupported SQL type"):
+            type_from_sql("BLOB")

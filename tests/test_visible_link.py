@@ -1,0 +1,138 @@
+"""The link protocol: traffic shape, batching, timing, fault handling."""
+
+import datetime
+import json
+
+import pytest
+
+from repro.hardware.usb import Direction
+from repro.sql.binder import EQ, RANGE
+from repro.visible.link import (
+    DeviceLink,
+    ProtocolError,
+    decode_value,
+    encode_value,
+    predicate_matches_wire,
+    predicate_to_wire,
+)
+
+
+@pytest.fixture
+def session(fresh_session):
+    fresh_session.reset_measurements()
+    return fresh_session
+
+
+def date_pred(session, cutoff):
+    return session.bind(
+        f"SELECT Date FROM Visit WHERE Date > DATE '{cutoff}'"
+    ).predicates[0]
+
+
+class TestWireEncoding:
+    def test_dates_marked(self):
+        wire = encode_value(datetime.date(2006, 11, 5))
+        assert wire == {"__date__": "2006-11-05"}
+        assert decode_value(wire) == datetime.date(2006, 11, 5)
+
+    def test_scalars_pass_through(self):
+        for value in (5, 2.5, "text", None):
+            assert decode_value(encode_value(value)) == value
+
+    def test_predicate_roundtrip_evaluates(self, session):
+        pred = date_pred(session, "2006-06-01")
+        wire = json.loads(json.dumps(predicate_to_wire(pred)))
+        assert predicate_matches_wire(wire, datetime.date(2006, 7, 1))
+        assert not predicate_matches_wire(wire, datetime.date(2006, 5, 1))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError):
+            predicate_matches_wire({"kind": "like"}, "x")
+
+
+class TestSelectIds:
+    def test_stream_is_sorted_and_complete(self, session):
+        pred = date_pred(session, "2006-06-01")
+        got = list(session.link.select_ids("visit", pred))
+        expected = session.site.select_ids("visit", pred)
+        assert got == expected
+        assert got == sorted(got)
+
+    def test_request_crosses_to_host_first(self, session):
+        pred = date_pred(session, "2006-06-01")
+        list(session.link.select_ids("visit", pred))
+        log = session.usb_log
+        assert log[0].direction is Direction.TO_HOST
+        assert log[0].kind == "request"
+        body = json.loads(log[0].payload)
+        assert body["op"] == "select_ids"
+        assert body["predicate"]["column"] == "date"
+
+    def test_ids_batched(self, session):
+        # Matches nearly all 2000 prescriptions: several 256-ID batches.
+        pred = session.bind(
+            "SELECT Frequency FROM Prescription WHERE Frequency <> 'nope'"
+        ).predicates[0]
+        expected = session.site.select_ids("prescription", pred)
+        got = list(session.link.select_ids("prescription", pred))
+        assert got == expected
+        batches = [r for r in session.usb_log if r.kind == "ids"]
+        assert len(batches) > 1
+        assert all(r.size <= session.link.id_batch * 4 for r in batches)
+
+    def test_end_marker_sent(self, session):
+        pred = date_pred(session, "2006-06-01")
+        list(session.link.select_ids("visit", pred))
+        kinds = [r.kind for r in session.usb_log]
+        assert kinds[-1] == "ids_end"
+
+    def test_usb_time_charged(self, session):
+        pred = date_pred(session, "2006-06-01")
+        t0 = session.device.clock.breakdown().usb
+        list(session.link.select_ids("visit", pred))
+        assert session.device.clock.breakdown().usb > t0
+
+
+class TestFetchValues:
+    def test_values_roundtrip(self, session):
+        got = session.link.fetch_values("visit", [1, 2, 3], ["date"])
+        raw = {
+            pk: (row[1],)
+            for pk, row in zip(
+                [1, 2, 3],
+                [session.site._tables["visit"].rows[i] for i in (1, 2, 3)],
+            )
+        }
+        assert got == {pk: raw[pk] for pk in got}
+        assert set(got) == {1, 2, 3}
+
+    def test_fetch_batches(self, session):
+        pks = list(range(1, 300))
+        session.link.fetch_values("visit", pks, ["date"])
+        headers = [
+            r for r in session.usb_log
+            if r.kind == "request" and b"fetch_values" in r.payload
+        ]
+        assert len(headers) == 3  # 128 + 128 + 43
+
+    def test_requested_ids_visible_on_wire(self, session):
+        """The accepted revelation: the spy sees which IDs were fetched."""
+        session.link.fetch_values("visit", [7, 9], ["date"])
+        id_messages = [r for r in session.usb_log if r.kind == "fetch_ids"]
+        assert len(id_messages) == 1
+        payload = id_messages[0].payload
+        assert payload == (7).to_bytes(4, "big") + (9).to_bytes(4, "big")
+
+    def test_recheck_drops_failing_ids(self, session):
+        pred = date_pred(session, "2006-06-01")
+        all_ids = [1, 2, 3, 4, 5]
+        got = session.link.fetch_values(
+            "visit", all_ids, ["date"], recheck=[pred]
+        )
+        for pk, (date,) in got.items():
+            assert date > datetime.date(2006, 6, 1)
+
+    def test_corrupted_reply_detected(self, session):
+        session.device.usb.corrupt_every = 3  # third message is the reply
+        with pytest.raises(ProtocolError, match="corrupted"):
+            session.link.fetch_values("visit", [1], ["date"])

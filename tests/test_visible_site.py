@@ -1,0 +1,112 @@
+"""The visible site: splitting, selection, fetches, statistics."""
+
+import datetime
+
+import pytest
+
+from repro.catalog.schema import Schema, SchemaError
+from repro.sql.binder import EQ, RANGE, Predicate
+from repro.sql.ddl import create_table
+from repro.sql.parser import parse_statement
+from repro.visible.site import VisibleSite
+from repro.workload.queries import DEMO_SCHEMA_DDL
+
+
+@pytest.fixture(scope="module")
+def schema():
+    schema = Schema()
+    for ddl in DEMO_SCHEMA_DDL:
+        create_table(schema, parse_statement(ddl))
+    return schema
+
+
+@pytest.fixture
+def site(schema):
+    site = VisibleSite(schema)
+    site.load(
+        "visit",
+        [
+            (1, datetime.date(2006, 1, 10), "Sclerosis", 1, 1),
+            (2, datetime.date(2006, 6, 15), "Checkup", 1, 2),
+            (3, datetime.date(2006, 12, 1), "Checkup", 2, 1),
+        ],
+    )
+    return site
+
+
+def visit_pred(schema, **kwargs):
+    column = schema.table("visit").column(kwargs.pop("column"))
+    return Predicate(
+        table="visit", column=column.name.lower(), column_def=column, **kwargs
+    )
+
+
+def test_hidden_columns_are_dropped_at_load(site, schema):
+    """The visible store must physically not contain hidden values."""
+    rows = site._tables["visit"].rows
+    assert rows[1] == (1, datetime.date(2006, 1, 10))
+    for row in rows.values():
+        assert "Sclerosis" not in map(str, row)
+
+
+def test_select_ids_sorted(site, schema):
+    pred = visit_pred(
+        schema, column="date", kind=RANGE,
+        low=datetime.date(2006, 5, 1), low_inclusive=True,
+    )
+    assert site.select_ids("visit", pred) == [2, 3]
+
+
+def test_select_on_hidden_column_impossible(site, schema):
+    pred = visit_pred(schema, column="purpose", kind=EQ, value="Checkup")
+    with pytest.raises(SchemaError, match="not visible"):
+        site.select_ids("visit", pred)
+
+
+def test_fetch_values(site):
+    got = site.fetch_values("visit", [1, 3, 99], ["date"])
+    assert got == {
+        1: (datetime.date(2006, 1, 10),),
+        3: (datetime.date(2006, 12, 1),),
+    }
+
+
+def test_fetch_with_recheck_filters(site, schema):
+    pred = visit_pred(
+        schema, column="date", kind=RANGE,
+        low=datetime.date(2006, 11, 1), low_inclusive=True,
+    )
+    got = site.fetch_values("visit", [1, 2, 3], ["date"], recheck=[pred])
+    assert set(got) == {3}
+
+
+def test_fetch_empty_columns_gives_presence(site):
+    got = site.fetch_values("visit", [2, 42], [])
+    assert got == {2: ()}
+
+
+def test_statistics_cover_visible_columns_only(site):
+    stats = site.statistics("visit")
+    assert "date" in stats.columns
+    assert "visid" in stats.columns
+    assert "purpose" not in stats.columns
+    assert stats.row_count == 3
+
+
+def test_statistics_before_load_rejected(schema):
+    site = VisibleSite(schema)
+    with pytest.raises(SchemaError, match="no visible data"):
+        site.statistics("visit")
+
+
+def test_row_arity_checked(site):
+    with pytest.raises(SchemaError, match="row has"):
+        site.load("doctor", [(1, "x")])
+
+
+def test_count_ids(site, schema):
+    pred = visit_pred(
+        schema, column="date", kind=RANGE,
+        low=datetime.date(2006, 5, 1), low_inclusive=True,
+    )
+    assert site.count_ids("visit", pred) == 2

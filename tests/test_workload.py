@@ -1,0 +1,116 @@
+"""Synthetic dataset: determinism, shape, referential integrity."""
+
+import datetime
+
+import pytest
+
+from repro.workload.datagen import DatasetConfig, MedicalDataGenerator
+from repro.workload.queries import DEMO_SCHEMA_DDL, demo_query
+from repro.workload import vocab
+
+
+@pytest.fixture(scope="module")
+def data():
+    return MedicalDataGenerator(
+        DatasetConfig(n_prescriptions=3_000)
+    ).generate()
+
+
+def test_deterministic_for_a_seed():
+    a = MedicalDataGenerator(DatasetConfig(n_prescriptions=500)).generate()
+    b = MedicalDataGenerator(DatasetConfig(n_prescriptions=500)).generate()
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = MedicalDataGenerator(
+        DatasetConfig(n_prescriptions=500, seed=1)
+    ).generate()
+    b = MedicalDataGenerator(
+        DatasetConfig(n_prescriptions=500, seed=2)
+    ).generate()
+    assert a != b
+
+
+def test_cardinalities_follow_config(data):
+    config = DatasetConfig(n_prescriptions=3_000)
+    assert len(data["prescription"]) == 3_000
+    assert len(data["visit"]) == config.n_visits
+    assert len(data["patient"]) == config.n_patients
+    assert len(data["doctor"]) == config.n_doctors
+    assert len(data["medicine"]) == config.n_medicines
+
+
+def test_primary_keys_dense_and_sorted(data):
+    for table, rows in data.items():
+        pks = [row[0] for row in rows]
+        assert pks == list(range(1, len(rows) + 1)), table
+
+
+def test_referential_integrity(data):
+    doctors = {r[0] for r in data["doctor"]}
+    patients = {r[0] for r in data["patient"]}
+    visits = {r[0] for r in data["visit"]}
+    medicines = {r[0] for r in data["medicine"]}
+    for visit in data["visit"]:
+        assert visit[3] in doctors
+        assert visit[4] in patients
+    for pre in data["prescription"]:
+        assert pre[4] in medicines
+        assert pre[5] in visits
+
+
+def test_dates_within_configured_window(data):
+    config = DatasetConfig(n_prescriptions=3_000)
+    for visit in data["visit"]:
+        assert config.date_start <= visit[1] <= config.date_end
+
+
+def test_purposes_from_vocabulary_with_sclerosis_rare(data):
+    allowed = {p for p, _w in vocab.PURPOSES}
+    counts = {}
+    for visit in data["visit"]:
+        assert visit[2] in allowed
+        counts[visit[2]] = counts.get(visit[2], 0) + 1
+    total = len(data["visit"])
+    # Sclerosis is the selective value the demo relies on (~2%).
+    assert 0 < counts.get("Sclerosis", 0) < 0.08 * total
+
+
+def test_rows_fit_the_declared_schema(data):
+    """Every generated value must satisfy its declared column type."""
+    from repro.catalog.schema import Schema
+    from repro.sql.ddl import create_table
+    from repro.sql.parser import parse_statement
+
+    schema = Schema()
+    for ddl in DEMO_SCHEMA_DDL:
+        create_table(schema, parse_statement(ddl))
+    for table_name, rows in data.items():
+        table = schema.table(table_name)
+        for row in rows[:50]:
+            for column, value in zip(table.columns, row):
+                column.dtype.encode(value)  # raises on misfit
+
+
+def test_demo_query_has_nonempty_answer(data):
+    """The paper's demo query should actually select something at any
+    reasonable scale, or the demo falls flat."""
+    cutoff = datetime.date(2006, 11, 5)
+    sclerosis_visits = {
+        r[0] for r in data["visit"]
+        if r[2] == "Sclerosis" and r[1] > cutoff
+    }
+    antibiotics = {r[0] for r in data["medicine"] if r[3] == "Antibiotic"}
+    matches = [
+        r for r in data["prescription"]
+        if r[5] in sclerosis_visits and r[4] in antibiotics
+    ]
+    assert matches
+
+
+def test_demo_query_text_round_trips():
+    sql = demo_query()
+    assert "Sclerosis" in sql and "Antibiotic" in sql
+    sql2 = demo_query(med_type="Insulin")
+    assert "Insulin" in sql2
