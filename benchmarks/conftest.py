@@ -10,11 +10,16 @@ Benchmarks report two kinds of numbers:
 ``GHOSTDB_BENCH_SCALE`` (default 20000 prescriptions) scales the dataset;
 set it to 1000000 to reproduce the paper's headline cardinality (slow on
 a laptop, identical in shape).
+
+``GHOSTDB_TRACE=<dir>`` exports each bench session's span tree as Chrome
+trace-event JSON into ``<dir>`` at the end of the run -- open the files
+in Perfetto or ``chrome://tracing`` to see where simulated time went.
 """
 
 from __future__ import annotations
 
 import os
+import re
 
 import pytest
 
@@ -23,6 +28,26 @@ from repro.workload.datagen import DatasetConfig, MedicalDataGenerator
 from repro.workload.queries import DEMO_SCHEMA_DDL
 
 BENCH_SCALE = int(os.environ.get("GHOSTDB_BENCH_SCALE", "20000"))
+TRACE_DIR = os.environ.get("GHOSTDB_TRACE")
+
+_trace_sessions: list[tuple[str, GhostDB]] = []
+
+
+def _watch_for_trace(name: str, db: GhostDB) -> None:
+    """Remember a session so its trace can be exported at exit."""
+    if TRACE_DIR:
+        _trace_sessions.append((name, db))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not TRACE_DIR:
+        return
+    os.makedirs(TRACE_DIR, exist_ok=True)
+    for i, (name, db) in enumerate(_trace_sessions):
+        slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", name)
+        path = os.path.join(TRACE_DIR, f"{i:02d}-{slug}.trace.json")
+        db.export_trace(path)
+        print(f"\n[ghostdb] wrote trace {path}")
 
 
 def load_session(scale: int = BENCH_SCALE, profile=None) -> tuple:
@@ -36,6 +61,7 @@ def load_session(scale: int = BENCH_SCALE, profile=None) -> tuple:
         DatasetConfig(n_prescriptions=scale)
     ).generate()
     db.load(data)
+    _watch_for_trace("load_session", db)
     return db, data
 
 
@@ -52,6 +78,7 @@ def bench_session(bench_data):
     for ddl in DEMO_SCHEMA_DDL:
         db.execute(ddl)
     db.load(bench_data)
+    _watch_for_trace("bench_session", db)
     return db
 
 

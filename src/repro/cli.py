@@ -12,6 +12,8 @@ Commands::
     .plans <sql>        rank every Pre/Post strategy by estimate
     .spy [n]            the last n captured boundary messages (default 20)
     .leaks              leak-check the captured traffic
+    .trace <sql>        run and show the redacted span tree (sim + wall)
+    .metrics            Prometheus-style exposition of session metrics
     .schema             table definitions with hidden markers
     .storage            the device's flash footprint report
     .game [sql]         play the find-the-fastest-plan game
@@ -23,6 +25,7 @@ Commands::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.core.ghostdb import GhostDB
@@ -45,8 +48,9 @@ class Shell:
     """One interactive session over a loaded GhostDB."""
 
     def __init__(self, scale: int = 10_000, profile: str = "demo",
-                 out=None):
+                 out=None, trace_out: str | None = None):
         self.out = out or sys.stdout
+        self.trace_out = trace_out
         self.db = GhostDB(profile=PROFILES[profile])
         for ddl in DEMO_SCHEMA_DDL:
             self.db.execute(ddl)
@@ -108,6 +112,12 @@ class Shell:
             self._print(spy.transcript())
         elif name == ".leaks":
             self._print(self.checker.check(self.db.usb_log).summary())
+        elif name == ".trace":
+            traced = self.db.trace(argument or demo_query())
+            self._print(traced.render())
+            self._print(f"({traced.result.row_count} rows)")
+        elif name == ".metrics":
+            self._print(self.db.metrics_text())
         elif name == ".schema":
             self._show_schema()
         elif name == ".storage":
@@ -196,10 +206,31 @@ class Shell:
                 break
             if not self.handle(line):
                 break
+        self.close()
         self._print("bye")
+
+    def close(self) -> None:
+        """Flush the session trace if ``--trace-out`` was given."""
+        if not self.trace_out:
+            return
+        parent = os.path.dirname(self.trace_out)
+        try:
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self.db.export_trace(self.trace_out)
+        except OSError as exc:
+            self._print(f"error: could not write trace: {exc}")
+            return
+        self._print(
+            f"wrote {self.db.obs.tracer.span_count()} spans to "
+            f"{self.trace_out} (load in Perfetto / chrome://tracing)"
+        )
 
 
 def main(argv=None) -> int:
+    from repro.obs.log import configure_from_env
+
+    configure_from_env()
     parser = argparse.ArgumentParser(
         prog="repro", description="GhostDB interactive shell"
     )
@@ -215,11 +246,19 @@ def main(argv=None) -> int:
         "--query", action="append", default=None,
         help="run this statement and exit (repeatable)",
     )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the session's Chrome trace-event JSON here on exit "
+        "(open in Perfetto or chrome://tracing)",
+    )
     args = parser.parse_args(argv)
-    shell = Shell(scale=args.scale, profile=args.profile)
+    shell = Shell(
+        scale=args.scale, profile=args.profile, trace_out=args.trace_out
+    )
     if args.query:
         for sql in args.query:
             shell.handle(sql)
+        shell.close()
         return 0
     shell.repl()
     return 0

@@ -32,6 +32,9 @@ from repro.engine.executor import ExecConfig, Executor, QueryResult
 from repro.engine.plan import Project
 from repro.hardware.device import SmartUsbDevice
 from repro.hardware.profiles import DEMO_DEVICE, HardwareProfile
+from repro.obs import Observability, get_logger
+from repro.obs.export import chrome_trace_json, render_tree, write_chrome_trace
+from repro.obs.tracer import Span
 from repro.optimizer.explain import explain_plan
 from repro.optimizer.optimizer import Optimizer, RankedPlan
 from repro.optimizer.space import PlanBuilder, Strategy
@@ -42,9 +45,30 @@ from repro.sql.parser import parse_statement
 from repro.visible.link import DeviceLink
 from repro.visible.site import VisibleSite
 
+log = get_logger(__name__)
+
 
 class SessionError(RuntimeError):
     """The session was used out of order (e.g. query before load)."""
+
+
+@dataclass
+class QueryTrace:
+    """One traced query: its result plus the spans it produced."""
+
+    result: QueryResult
+    spans: list[Span]
+
+    def chrome_json(self, indent: int | None = None) -> str:
+        """Chrome trace-event JSON (loads in Perfetto)."""
+        return chrome_trace_json(self.spans, indent=indent)
+
+    def render(self) -> str:
+        """The compact text tree of spans."""
+        return render_tree(self.spans)
+
+    def save(self, path: str) -> None:
+        write_chrome_trace(self.spans, path)
 
 
 @dataclass
@@ -70,7 +94,10 @@ class GhostDB:
     ):
         self.profile = profile
         self.config = config or SessionConfig()
-        self.device = SmartUsbDevice(profile)
+        self.obs = Observability()
+        self.device = SmartUsbDevice(profile, metrics=self.obs.registry)
+        # Spans measure simulated time against this device's clock.
+        self.obs.tracer.clock = self.device.clock
         self.schema = Schema()
         self.tree: SchemaTree | None = None
         self.site: VisibleSite | None = None
@@ -179,7 +206,7 @@ class GhostDB:
             self.device, self.site, id_batch=id_batch, fetch_batch=fetch_batch
         )
         self.executor = Executor(
-            self.device, self.link, self.hidden, exec_config
+            self.device, self.link, self.hidden, exec_config, obs=self.obs
         )
         self.optimizer = Optimizer(
             self.hidden,
@@ -187,9 +214,17 @@ class GhostDB:
             self.profile,
             fan_in=self.config.exec_config.max_fan_in,
             bloom_fp_target=self.config.exec_config.bloom_fp_target,
+            obs=self.obs,
         )
+        # Schema identifiers (names, never values) may appear in traces.
+        self.obs.redactor.allow_schema(self.schema)
         # Loading is not part of any query measurement.
         self.device.reset_measurements()
+        log.info(
+            "session loaded: %d tables, %d rows total",
+            sum(1 for _ in self.schema),
+            sum(len(rows) for rows in rows_by_table.values()),
+        )
 
     def _require_loaded(self) -> None:
         if self.tree is None:
@@ -246,11 +281,18 @@ class GhostDB:
 
     def _run_select(self, statement: ast.Select, sql: str = "") -> QueryResult:
         self._require_loaded()
-        if sql:
-            self._announce_query(sql)
-        bound = Binder(self.tree).bind(statement)
-        ranked = self.optimizer.optimize(bound)
-        return self.executor.execute(ranked.plan)
+        with self.obs.tracer.span("query", category="session") as span:
+            if sql:
+                # The SQL text passes the redaction gate: constants (which
+                # may name hidden values) come out as '?', identifiers stay.
+                span.set("sql", " ".join(sql.split()))
+            if sql:
+                self._announce_query(sql)
+            bound = Binder(self.tree).bind(statement)
+            ranked = self.optimizer.optimize(bound)
+            result = self.executor.execute(ranked.plan)
+            span.set("result_rows", result.row_count)
+        return result
 
     def query(self, sql: str) -> QueryResult:
         """Optimize and execute a SELECT; returns rows plus metrics."""
@@ -262,12 +304,16 @@ class GhostDB:
     def query_with_strategy(self, sql: str, strategy: Strategy) -> QueryResult:
         """Execute with an explicit PRE/POST assignment (the demo GUI's
         ad-hoc plan building)."""
-        self._announce_query(sql)
-        bound = self.bind(sql)
-        builder = PlanBuilder(self.hidden, bound)
-        plan = builder.build(strategy)
-        self.optimizer.annotate(plan)
-        return self.executor.execute(plan)
+        with self.obs.tracer.span("query", category="session") as span:
+            span.set("sql", " ".join(sql.split()))
+            self._announce_query(sql)
+            bound = self.bind(sql)
+            span.set("strategy", strategy.label(bound))
+            builder = PlanBuilder(self.hidden, bound)
+            plan = builder.build(strategy)
+            self.optimizer.annotate(plan)
+            result = self.executor.execute(plan)
+        return result
 
     def execute_plan(self, plan: Project) -> QueryResult:
         """Execute a hand-built plan (demo phase 2/3)."""
@@ -319,9 +365,38 @@ class GhostDB:
     # Observability
     # ------------------------------------------------------------------
 
+    def trace(self, sql: str) -> QueryTrace:
+        """Run a SELECT and return its result together with the trace
+        spans it produced (optimizer candidates, operators, hardware
+        counter attributes) -- the demo's popup view, as data."""
+        mark = len(self.obs.tracer.roots)
+        result = self.query(sql)
+        return QueryTrace(
+            result=result, spans=self.obs.tracer.roots[mark:]
+        )
+
+    def metrics_text(self) -> str:
+        """Prometheus-style text exposition of the session's metrics:
+        query-attributed ``ghostdb_*`` families (counter totals match
+        the summed per-query :class:`ExecutionMetrics` diffs) plus
+        device-lifetime ``ghostdb_device_*`` families."""
+        return self.obs.registry.expose_text()
+
+    def session_spans(self) -> list:
+        """Every trace span recorded since load (or the last reset)."""
+        return list(self.obs.tracer.roots)
+
+    def export_trace(self, path: str) -> None:
+        """Write the whole session's spans as Chrome trace-event JSON
+        (loadable in Perfetto / ``chrome://tracing``)."""
+        write_chrome_trace(self.session_spans(), path)
+
     def reset_measurements(self) -> None:
-        """Zero clock/traffic/counters between measured queries."""
+        """Zero clock/traffic/counters/metrics/trace between measured
+        queries."""
         self.device.reset_measurements()
+        self.obs.registry.reset()
+        self.obs.tracer.clear()
 
     @property
     def usb_log(self):

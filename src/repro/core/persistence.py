@@ -18,6 +18,10 @@ from __future__ import annotations
 
 import pickle
 
+from repro.obs.log import get_logger
+
+log = get_logger(__name__)
+
 MAGIC = b"GHOSTDB-SESSION"
 VERSION = 1
 
@@ -36,6 +40,7 @@ def save_session(session, path: str) -> None:
         f.write(MAGIC)
         f.write(VERSION.to_bytes(2, "big"))
         pickle.dump(session, f, protocol=pickle.HIGHEST_PROTOCOL)
+    log.info("saved session to %s", path)
 
 
 def load_session(path: str):
@@ -56,4 +61,5 @@ def load_session(path: str):
         session = pickle.load(f)
     if not isinstance(session, GhostDB):
         raise PersistenceError("file did not contain a GhostDB session")
+    log.info("loaded session from %s", path)
     return session

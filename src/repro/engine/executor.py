@@ -33,7 +33,10 @@ from repro.engine.operators import (
 )
 from repro.engine.operators.adapt import IdsToTuplesOp
 from repro.hardware.device import SmartUsbDevice
+from repro.obs import Observability, get_logger
 from repro.visible.link import DeviceLink
+
+log = get_logger(__name__)
 
 
 @dataclass
@@ -68,11 +71,13 @@ class Executor:
         link: DeviceLink,
         db: HiddenDatabase,
         config: ExecConfig | None = None,
+        obs: Observability | None = None,
     ):
         self.device = device
         self.link = link
         self.db = db
         self.config = config or ExecConfig()
+        self.obs = obs or Observability(clock=device.clock)
 
     # ------------------------------------------------------------------
     # Public API
@@ -92,12 +97,40 @@ class Executor:
             bloom_fp_target=self.config.bloom_fp_target,
             fetch_batch=self.config.fetch_batch,
         )
+        # Snapshot-reset the RAM high-water mark so each query reports
+        # its *own* peak: without this the second query on a session
+        # inherits the first query's high water from the shared budget.
+        self.device.ram.reset_high_water()
+        tracer = self.obs.tracer
         before = self.device.counters()
-        operator = self.lower(root, ctx)
-        rows = list(operator.rows())
-        after = self.device.counters()
-        metrics = ExecutionMetrics.from_counters(
-            before, after, ctx.operators, len(rows)
+        with tracer.span("executor.execute", category="engine") as span:
+            with tracer.span("executor.lower", category="engine") as lspan:
+                operator = self.lower(root, ctx)
+                lspan.set("operators", len(ctx.operators))
+            rows = list(operator.rows())
+            after = self.device.counters()
+            metrics = ExecutionMetrics.from_counters(
+                before, after, ctx.operators, len(rows)
+            )
+            if tracer.enabled:
+                self._record_operator_spans(root, span, tracer, set())
+            span.set("result_rows", len(rows))
+            span.set("flash_page_reads", metrics.flash_page_reads)
+            span.set("flash_page_writes", metrics.flash_page_writes)
+            span.set("flash_block_erases", metrics.flash_block_erases)
+            span.set("usb_messages", metrics.usb_messages)
+            span.set("usb_bytes_to_device", metrics.usb_bytes_to_device)
+            span.set("usb_bytes_to_host", metrics.usb_bytes_to_host)
+            span.set("ram_high_water", metrics.ram_high_water)
+            for counter, amount in sorted(ctx.counters.items()):
+                span.set(counter, amount)
+        self.obs.record_query_metrics(metrics)
+        self.obs.registry.counter("ghostdb_bloom_false_positives_total").inc(
+            ctx.counters.get("bloom_recheck_dropped", 0)
+        )
+        log.debug(
+            "executed plan: %d operators, %d rows, %.3f ms simulated",
+            len(ctx.operators), len(rows), metrics.elapsed_seconds * 1e3,
         )
         return QueryResult(
             rows=rows,
@@ -105,6 +138,65 @@ class Executor:
             metrics=metrics,
             plan=root,
         )
+
+    def _record_operator_spans(
+        self, node: lp.PlanNode, parent, tracer, seen: set
+    ) -> None:
+        """Rebuild the operator tree as nested trace spans.
+
+        Uses the first-pull / last-exit stamps collected by
+        :class:`~repro.engine.operators.base.TimeAttribution`; those
+        intervals nest by plan structure, so the trace mirrors the plan.
+        A plan node lowered to a no-op shares its child's stats object
+        and is skipped (``seen`` tracks stats identity, not node
+        identity).
+        """
+        stats = getattr(node, "_measured", None)
+        span = None
+        if stats is not None and id(stats) not in seen:
+            seen.add(id(stats))
+            attrs = {
+                "detail": stats.detail,
+                "tuples_out": stats.tuples_out,
+                "self_sim_ms": stats.self_seconds * 1e3,
+                "self_wall_ms": stats.self_wall_seconds * 1e3,
+                "ram_bytes": stats.ram_bytes,
+                "finished": stats.finished,
+            }
+            attrs.update(stats.attrs)
+            if stats.started_sim is None:
+                # Registered but never pulled (e.g. short-circuited by a
+                # parent): a zero-length marker at the parent's start.
+                attrs["pulled"] = False
+                start_sim = end_sim = parent.start_sim
+                start_wall = end_wall = parent.start_wall
+            else:
+                start_sim = stats.started_sim
+                end_sim = (
+                    stats.ended_sim
+                    if stats.ended_sim is not None
+                    else stats.started_sim
+                )
+                start_wall = stats.started_wall
+                end_wall = (
+                    stats.ended_wall
+                    if stats.ended_wall is not None
+                    else stats.started_wall
+                )
+            span = tracer.record(
+                f"op:{stats.name}",
+                "operator",
+                start_sim=start_sim,
+                end_sim=end_sim,
+                start_wall=start_wall,
+                end_wall=end_wall,
+                attrs=attrs,
+                parent=parent,
+            )
+        for child in node.children():
+            self._record_operator_spans(
+                child, span if span is not None else parent, tracer, seen
+            )
 
     # ------------------------------------------------------------------
     # Lowering

@@ -22,7 +22,10 @@ from repro.catalog.statistics import StatisticsCollector
 from repro.engine.database import HiddenDatabase
 from repro.index.climbing import ClimbingIndex
 from repro.index.skt import SubtreeKeyTable
+from repro.obs.log import get_logger
 from repro.storage.heap import HeapTable
+
+log = get_logger(__name__)
 
 
 class MaintenanceError(ValueError):
@@ -131,6 +134,10 @@ def append_rows(
             )
             rebuilt_indexes.append(f"kidx:{name}")
 
+    log.info(
+        "appended %d rows to %s (rebuilt %d SKTs, %d indexes)",
+        len(reduced), table, len(rebuilt_skts), len(rebuilt_indexes),
+    )
     return MaintenanceReport(
         table=table,
         appended_rows=len(reduced),

@@ -25,9 +25,23 @@ class OperatorStats:
     #: Simulated seconds attributable to this operator alone (its own
     #: flash/USB/CPU charges, excluding time spent inside its children).
     self_seconds: float = 0.0
+    #: Host wall seconds spent inside this operator alone -- what the
+    #: *simulator* paid, as opposed to what the simulated device paid.
+    self_wall_seconds: float = 0.0
     #: Peak bytes of device RAM this operator allocated for itself.
     ram_bytes: int = 0
     finished: bool = False
+    #: Simulated-clock timestamps of the first pull and the last exit,
+    #: stamped by :class:`~repro.engine.operators.base.TimeAttribution`;
+    #: ``None`` until the operator is first pulled.  These intervals nest
+    #: by plan structure, which is what turns the stats into trace spans.
+    started_sim: float | None = None
+    ended_sim: float | None = None
+    started_wall: float | None = None
+    ended_wall: float | None = None
+    #: Operator-specific shape/count attributes (Bloom filter geometry,
+    #: merge fan-in, ...) surfaced on the operator's trace span.
+    attrs: dict = field(default_factory=dict)
 
     def line(self) -> str:
         return (

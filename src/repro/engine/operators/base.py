@@ -10,6 +10,7 @@ accumulates only its *own* time.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.engine.metrics import OperatorStats
@@ -22,21 +23,30 @@ class PlanExecutionError(RuntimeError):
 
 
 class TimeAttribution:
-    """Attributes simulated-clock advances to the active operator."""
+    """Attributes simulated-clock (and wall-clock) advances to the
+    active operator, and stamps each operator's first-pull / last-exit
+    times on both timelines so the tracer can rebuild nested spans."""
 
     def __init__(self, device: SmartUsbDevice):
         self.device = device
         self._stack: list[OperatorStats] = []
         self._last = device.clock.now
+        self._last_wall = time.perf_counter()
 
     def _mark(self) -> None:
         now = self.device.clock.now
+        wall = time.perf_counter()
         if self._stack:
             self._stack[-1].self_seconds += now - self._last
+            self._stack[-1].self_wall_seconds += wall - self._last_wall
         self._last = now
+        self._last_wall = wall
 
     def enter(self, stats: OperatorStats) -> None:
         self._mark()
+        if stats.started_sim is None:
+            stats.started_sim = self._last
+            stats.started_wall = self._last_wall
         self._stack.append(stats)
 
     def exit(self, stats: OperatorStats) -> None:
@@ -45,6 +55,8 @@ class TimeAttribution:
             raise PlanExecutionError(
                 f"time-attribution stack corrupted around {stats.name!r}"
             )
+        stats.ended_sim = self._last
+        stats.ended_wall = self._last_wall
         self._stack.pop()
 
 
@@ -57,6 +69,10 @@ class ExecContext:
     db: "HiddenDatabase"  # noqa: F821 - circular import avoided
     attribution: TimeAttribution = None
     operators: list[OperatorStats] = field(default_factory=list)
+    #: Free-form execution counters operators bump (Bloom probe counts,
+    #: recheck drops, ...); the executor folds them into the metrics
+    #: registry and the query span.
+    counters: dict[str, int] = field(default_factory=dict)
     #: Hard cap on merge fan-in regardless of free RAM.
     max_fan_in: int = 16
     #: Target false-positive rate when sizing Bloom filters.
@@ -77,6 +93,10 @@ class ExecContext:
 
     def register(self, stats: OperatorStats) -> None:
         self.operators.append(stats)
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Accumulate one named execution counter for this query."""
+        self.counters[counter] = self.counters.get(counter, 0) + amount
 
 
 class Operator:

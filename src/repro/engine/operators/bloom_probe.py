@@ -65,13 +65,21 @@ class BloomProbeOp(Operator):
             "expected_fp_rate": bloom.expected_fp_rate(),
             "ram_bytes": bloom.ram_bytes,
         }
+        self.stats.attrs.update(self.bloom_stats)
         return bloom
 
     def _produce(self):
         bloom = self._build_filter()
+        probed = passed = 0
         try:
             for row in self.child.rows():
+                probed += 1
                 if bloom.may_contain(row[self.key_position]):
+                    passed += 1
                     yield row
         finally:
             bloom.close()
+            self.stats.attrs["probed"] = probed
+            self.stats.attrs["passed"] = passed
+            self.ctx.bump("bloom_probed", probed)
+            self.ctx.bump("bloom_passed", passed)

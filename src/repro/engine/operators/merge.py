@@ -23,6 +23,7 @@ class MergeIntersectOp(Operator):
         if len(children) < 2:
             raise PlanExecutionError("intersection needs at least 2 inputs")
         self.children = children
+        self.stats.attrs["inputs"] = len(children)
 
     def _produce(self):
         streams = [child.rows() for child in self.children]
@@ -63,6 +64,7 @@ class MergeUnionOp(Operator):
         if not children:
             raise PlanExecutionError("union needs at least 1 input")
         self.children = children
+        self.stats.attrs["inputs"] = len(children)
 
     def _produce(self):
         import heapq

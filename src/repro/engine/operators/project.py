@@ -130,6 +130,11 @@ class ProjectOp(Operator):
                     dropped = True
                     break
             if dropped:
+                # Under a recheck this is (almost always) a Bloom false
+                # positive surviving post-filtering; count it for the
+                # cross-query metrics.
+                if self.visible_recheck:
+                    self.ctx.bump("bloom_recheck_dropped")
                 continue
             for predicate in self.residual_hidden:
                 value = self._hidden_value(

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.hardware.clock import SimClock
 from repro.hardware.profiles import HardwareProfile
+from repro.obs.registry import MetricsRegistry
 
 #: Default cycle costs for the primitive per-tuple operations the engine
 #: performs.  These feed both execution (charged on the clock) and the
@@ -50,6 +51,8 @@ class SecureChip:
     profile: HardwareProfile
     clock: SimClock
     stats: CpuStats = field(default_factory=CpuStats)
+    #: Optional device-lifetime metrics sink (monotonic; includes load).
+    metrics: MetricsRegistry | None = None
 
     def charge(self, op: str, count: int = 1) -> None:
         """Charge ``count`` occurrences of primitive ``op``."""
@@ -62,6 +65,10 @@ class SecureChip:
         self.stats.cycles_by_op[op] = (
             self.stats.cycles_by_op.get(op, 0) + cycles
         )
+        if self.metrics is not None:
+            self.metrics.counter("ghostdb_device_cpu_cycles_total").inc(
+                cycles, op=op
+            )
         self.clock.advance(cycles / self.profile.cpu_hz, "cpu")
 
     def charge_cycles(self, cycles: int) -> None:
@@ -71,4 +78,8 @@ class SecureChip:
         self.stats.cycles_by_op["raw"] = (
             self.stats.cycles_by_op.get("raw", 0) + cycles
         )
+        if self.metrics is not None:
+            self.metrics.counter("ghostdb_device_cpu_cycles_total").inc(
+                cycles, op="raw"
+            )
         self.clock.advance(cycles / self.profile.cpu_hz, "cpu")

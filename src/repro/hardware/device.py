@@ -35,14 +35,24 @@ class DeviceCounters:
 class SmartUsbDevice:
     """A simulated tamper-resistant smart USB device."""
 
-    def __init__(self, profile: HardwareProfile = DEMO_DEVICE):
+    def __init__(
+        self,
+        profile: HardwareProfile = DEMO_DEVICE,
+        metrics=None,
+    ):
         self.profile = profile
         self.clock = SimClock()
-        self.ram = RamBudget(capacity=profile.ram_bytes)
-        self.flash = NandFlash(profile=profile, clock=self.clock)
+        self.ram = RamBudget(capacity=profile.ram_bytes, metrics=metrics)
+        self.flash = NandFlash(
+            profile=profile, clock=self.clock, metrics=metrics
+        )
         self.ftl = FlashTranslationLayer(flash=self.flash)
-        self.chip = SecureChip(profile=profile, clock=self.clock)
-        self.usb = UsbChannel(profile=profile, clock=self.clock)
+        self.chip = SecureChip(
+            profile=profile, clock=self.clock, metrics=metrics
+        )
+        self.usb = UsbChannel(
+            profile=profile, clock=self.clock, metrics=metrics
+        )
 
     def counters(self) -> DeviceCounters:
         """Snapshot every counter (cheap; used to diff around a query)."""

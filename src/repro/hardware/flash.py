@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.hardware.clock import SimClock
 from repro.hardware.profiles import HardwareProfile
+from repro.obs.registry import MetricsRegistry
 
 
 class FlashError(Exception):
@@ -82,8 +83,15 @@ class NandFlash:
     profile: HardwareProfile
     clock: SimClock
     stats: FlashStats = field(default_factory=FlashStats)
+    #: Optional device-lifetime metrics sink (monotonic; includes load,
+    #: unlike the query-attributed ``ghostdb_flash_*`` family).
+    metrics: MetricsRegistry | None = None
     _pages: dict[int, bytes] = field(default_factory=dict)
     _erase_counts: dict[int, int] = field(default_factory=dict)
+
+    def _count(self, name: str, amount: int = 1, **labels) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount, **labels)
 
     @property
     def num_pages(self) -> int:
@@ -118,9 +126,11 @@ class NandFlash:
         if length <= page_size * PARTIAL_READ_FRACTION:
             self.stats.page_reads_partial += 1
             self.clock.advance(self.profile.flash_read_partial_s, "flash_read")
+            self._count("ghostdb_device_flash_reads_total", kind="partial")
         else:
             self.stats.page_reads_full += 1
             self.clock.advance(self.profile.flash_read_full_s, "flash_read")
+            self._count("ghostdb_device_flash_reads_total", kind="full")
         data = self._pages.get(page, b"\xff" * page_size)
         return data[offset : offset + length]
 
@@ -141,6 +151,7 @@ class NandFlash:
         self._pages[page] = padded
         self.stats.page_writes += 1
         self.clock.advance(self.profile.flash_write_s, "flash_write")
+        self._count("ghostdb_device_flash_writes_total")
 
     def erase_block(self, block: int) -> None:
         """Erase every page of ``block``; counts toward wear."""
@@ -158,6 +169,7 @@ class NandFlash:
             self._pages.pop(page, None)
         self.stats.block_erases += 1
         self.clock.advance(self.profile.flash_erase_s, "flash_erase")
+        self._count("ghostdb_device_flash_erases_total")
 
     def charge_partial_reads(self, count: int) -> None:
         """Charge ``count`` modeled partial reads without moving data.
@@ -170,6 +182,7 @@ class NandFlash:
             raise FlashError("negative read count")
         self.stats.page_reads_partial += count
         self.clock.advance(count * self.profile.flash_read_partial_s, "flash_read")
+        self._count("ghostdb_device_flash_reads_total", count, kind="partial")
 
     def erase_count(self, block: int) -> int:
         return self._erase_counts.get(block, 0)

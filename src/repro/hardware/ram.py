@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.registry import MetricsRegistry
+
 
 class RamExhaustedError(MemoryError):
     """An allocation would exceed the secure chip's RAM budget."""
@@ -85,6 +87,8 @@ class RamBudget:
     allocation_count: int = 0
     #: label -> currently reserved bytes, for per-operator reporting.
     by_label: dict[str, int] = field(default_factory=dict)
+    #: Optional device-lifetime metrics sink.
+    metrics: MetricsRegistry | None = None
 
     @property
     def available(self) -> int:
@@ -105,6 +109,11 @@ class RamBudget:
             raise RamExhaustedError(size, self.available, label)
         self.used += size
         self.high_water = max(self.high_water, self.used)
+        if self.metrics is not None:
+            self.metrics.gauge("ghostdb_device_ram_used_bytes").set(self.used)
+            self.metrics.gauge(
+                "ghostdb_device_ram_high_water_bytes"
+            ).set_max(self.high_water)
 
     def _unreserve(self, size: int) -> None:
         if size > self.used:
@@ -112,6 +121,8 @@ class RamBudget:
                 f"releasing {size} B but only {self.used} B are reserved"
             )
         self.used -= size
+        if self.metrics is not None:
+            self.metrics.gauge("ghostdb_device_ram_used_bytes").set(self.used)
 
     def reset_high_water(self) -> None:
         """Restart high-water tracking (e.g. between benchmarked queries)."""

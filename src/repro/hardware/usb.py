@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.hardware.clock import SimClock
 from repro.hardware.profiles import HardwareProfile
+from repro.obs.registry import MetricsRegistry
 
 
 class UsbError(Exception):
@@ -64,6 +65,8 @@ class UsbChannel:
     bytes_to_host: int = 0
     #: Optional fault injection: corrupt every Nth message (tests only).
     corrupt_every: int | None = None
+    #: Optional device-lifetime metrics sink (monotonic; includes load).
+    metrics: MetricsRegistry | None = None
 
     def transfer(
         self,
@@ -91,6 +94,19 @@ class UsbChannel:
             self.bytes_to_device += len(payload)
         else:
             self.bytes_to_host += len(payload)
+        if self.metrics is not None:
+            label = (
+                "to_device" if direction is Direction.TO_DEVICE else "to_host"
+            )
+            self.metrics.counter("ghostdb_device_usb_messages_total").inc(
+                direction=label
+            )
+            self.metrics.counter("ghostdb_device_usb_bytes_total").inc(
+                len(payload), direction=label
+            )
+            self.metrics.histogram(
+                "ghostdb_device_usb_message_bytes"
+            ).observe(len(payload), direction=label)
         delivered = payload
         seq = len(self.log)
         if self.corrupt_every and (seq + 1) % self.corrupt_every == 0 and payload:

@@ -1,0 +1,172 @@
+"""Privacy-safe observability: tracing, metrics, logging, redaction.
+
+The paper's demo *is* an observability pitch -- clicking an operator pops
+up its statistics, Figure 6 plots per-plan execution time.  This package
+is that idea grown into a subsystem:
+
+* :mod:`repro.obs.tracer` -- nested spans over the simulated device
+  clock *and* the host wall clock;
+* :mod:`repro.obs.export` -- Chrome trace-event JSON (loads in
+  Perfetto / ``chrome://tracing``) and a compact text tree;
+* :mod:`repro.obs.registry` -- counters/gauges/histograms with
+  Prometheus-style text exposition, aggregated across queries;
+* :mod:`repro.obs.log` -- stdlib logging wiring for the whole package;
+* :mod:`repro.obs.redact` -- the gate every span attribute passes
+  through, so hidden column values can never enter a trace.
+
+:class:`Observability` bundles one of each per session and is threaded
+through the optimizer, executor and hardware layers by
+:class:`~repro.core.ghostdb.GhostDB`.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    chrome_trace_json,
+    render_tree,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.log import configure, configure_from_env, get_logger
+from repro.obs.redact import Redactor
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "Observability",
+    "Redactor",
+    "Span",
+    "Tracer",
+    "chrome_trace_json",
+    "configure",
+    "configure_from_env",
+    "get_logger",
+    "render_tree",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+class Observability:
+    """One session's tracer + registry + redactor, wired together."""
+
+    def __init__(self, clock=None, enabled: bool = True):
+        self.redactor = Redactor()
+        self.tracer = Tracer(
+            clock=clock, redactor=self.redactor, enabled=enabled
+        )
+        self.registry = MetricsRegistry()
+        self._register_session_metrics()
+
+    def _register_session_metrics(self) -> None:
+        """Pre-register the query-attributed metric families so the
+        exposition is complete (at zero) before the first query."""
+        reg = self.registry
+        reg.counter(
+            "ghostdb_queries_total", "SELECTs executed this session"
+        )
+        reg.counter(
+            "ghostdb_result_rows_total", "result rows across all queries"
+        )
+        reg.counter(
+            "ghostdb_flash_page_reads_total",
+            "flash page reads attributed to queries",
+        )
+        reg.counter(
+            "ghostdb_flash_page_writes_total",
+            "flash page writes attributed to queries",
+        )
+        reg.counter(
+            "ghostdb_flash_block_erases_total",
+            "flash block erases attributed to queries",
+        )
+        reg.counter(
+            "ghostdb_usb_messages_total",
+            "USB messages attributed to queries",
+        )
+        reg.counter(
+            "ghostdb_usb_bytes_total",
+            "USB payload bytes attributed to queries, by direction",
+        )
+        reg.counter(
+            "ghostdb_sim_seconds_total",
+            "simulated device seconds attributed to queries, by category",
+        )
+        reg.gauge(
+            "ghostdb_ram_high_water_bytes",
+            "largest per-query device RAM peak seen this session",
+        )
+        reg.counter(
+            "ghostdb_plans_considered_total",
+            "candidate plans priced by the optimizer",
+        )
+        reg.counter(
+            "ghostdb_bloom_false_positives_total",
+            "tuples that passed a Bloom filter but failed the host recheck",
+        )
+        reg.counter(
+            "ghostdb_operator_sim_seconds_total",
+            "per-operator simulated self time, by operator name",
+        )
+        reg.counter(
+            "ghostdb_trace_redactions_total",
+            "span attribute tokens scrubbed by the redaction gate",
+        )
+        reg.gauge(
+            "ghostdb_trace_spans", "spans currently held by the tracer"
+        )
+
+    # ------------------------------------------------------------------
+
+    def record_query_metrics(self, metrics) -> None:
+        """Fold one query's :class:`ExecutionMetrics` diff into the
+        cross-query registry totals."""
+        reg = self.registry
+        reg.counter("ghostdb_queries_total").inc()
+        reg.counter("ghostdb_result_rows_total").inc(metrics.result_rows)
+        reg.counter("ghostdb_flash_page_reads_total").inc(
+            metrics.flash_page_reads
+        )
+        reg.counter("ghostdb_flash_page_writes_total").inc(
+            metrics.flash_page_writes
+        )
+        reg.counter("ghostdb_flash_block_erases_total").inc(
+            metrics.flash_block_erases
+        )
+        reg.counter("ghostdb_usb_messages_total").inc(metrics.usb_messages)
+        reg.counter("ghostdb_usb_bytes_total").inc(
+            metrics.usb_bytes_to_device, direction="to_device"
+        )
+        reg.counter("ghostdb_usb_bytes_total").inc(
+            metrics.usb_bytes_to_host, direction="to_host"
+        )
+        for category, seconds in metrics.time.as_dict().items():
+            reg.counter("ghostdb_sim_seconds_total").inc(
+                max(0.0, seconds), category=category
+            )
+        reg.gauge("ghostdb_ram_high_water_bytes").set_max(
+            metrics.ram_high_water
+        )
+        for op in metrics.operators:
+            reg.counter("ghostdb_operator_sim_seconds_total").inc(
+                max(0.0, op.self_seconds), operator=op.name
+            )
+        reg.counter("ghostdb_trace_redactions_total").inc(
+            max(
+                0,
+                self.redactor.redacted_tokens
+                - reg.counter("ghostdb_trace_redactions_total").total(),
+            )
+        )
+        reg.gauge("ghostdb_trace_spans").set(self.tracer.span_count())

@@ -1,0 +1,103 @@
+"""Trace exporters: Chrome trace-event JSON and a compact text tree.
+
+The JSON form follows the Trace Event Format's ``X`` (complete) events
+and loads directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.  Each span is emitted twice, on two process
+tracks:
+
+* ``pid 1`` -- **simulated device time**, the paper's metric; spans with
+  zero simulated duration (e.g. optimizer costing) appear as instants;
+* ``pid 2`` -- **host wall time**, which measures the simulator itself.
+
+Timestamps are microseconds from the session clock's zero (simulated
+track) or from the first span's start (wall track).  Span attributes ride
+in ``args``; they have already passed the redaction gate, so the file as
+a whole is safe to share -- the test suite feeds it through the
+:class:`~repro.privacy.leakcheck.LeakChecker` to prove it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.tracer import Span
+
+SIM_PID = 1
+WALL_PID = 2
+
+
+def _walk_roots(spans):
+    for root in spans:
+        yield from root.walk()
+
+
+def _wall_zero(spans) -> float:
+    starts = [s.start_wall for s in _walk_roots(spans)]
+    return min(starts, default=0.0)
+
+
+def to_chrome_trace(spans: list[Span]) -> dict:
+    """Render finished spans as a Trace Event Format document."""
+    events = [
+        {
+            "ph": "M",
+            "pid": SIM_PID,
+            "name": "process_name",
+            "args": {"name": "GhostDB simulated device time"},
+        },
+        {
+            "ph": "M",
+            "pid": WALL_PID,
+            "name": "process_name",
+            "args": {"name": "GhostDB host wall time"},
+        },
+    ]
+    wall_zero = _wall_zero(spans)
+    for span in _walk_roots(spans):
+        if not span.finished:
+            continue
+        args = dict(span.attrs)
+        args["sim_ms"] = round(span.sim_seconds * 1e3, 6)
+        args["wall_ms"] = round(span.wall_seconds * 1e3, 6)
+        common = {
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "tid": 1,
+            "args": args,
+        }
+        events.append(
+            {
+                **common,
+                "pid": SIM_PID,
+                "ts": round(span.start_sim * 1e6, 3),
+                "dur": round(span.sim_seconds * 1e6, 3),
+            }
+        )
+        events.append(
+            {
+                **common,
+                "pid": WALL_PID,
+                "ts": round((span.start_wall - wall_zero) * 1e6, 3),
+                "dur": round(span.wall_seconds * 1e6, 3),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(spans: list[Span], indent: int | None = None) -> str:
+    return json.dumps(to_chrome_trace(spans), indent=indent)
+
+
+def write_chrome_trace(spans: list[Span], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(chrome_trace_json(spans))
+
+
+def render_tree(spans: list[Span]) -> str:
+    """An indented text view of the span forest, for terminals."""
+    lines = []
+    for root in spans:
+        for span in root.walk():
+            lines.append("  " * span.depth + span.line())
+    return "\n".join(lines)

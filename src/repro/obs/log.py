@@ -1,0 +1,73 @@
+"""Structured logging for the whole ``repro`` package.
+
+Library code must never write to stdout unconditionally -- the CLI owns
+its output stream, benchmarks own theirs, and a library user embedding
+GhostDB owns both.  Every module therefore logs through a stdlib logger
+obtained from :func:`get_logger`; the package root carries a
+``NullHandler`` so nothing is emitted unless the *application* opted in
+via :func:`configure` (or the ``GHOSTDB_LOG`` environment variable).
+
+Log messages follow the same rule as spans: shapes and counts only,
+never data values.  Anything quoted into a message should be a schema
+identifier or an engine label.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+#: Root of the package logger hierarchy.
+ROOT = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+#: Marker attribute on handlers installed by :func:`configure`, so
+#: reconfiguration replaces them instead of stacking duplicates.
+_MANAGED = "_ghostdb_managed"
+
+logging.getLogger(ROOT).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The logger for one module, under the ``repro`` hierarchy.
+
+    Pass ``__name__``; absolute module paths already live under the
+    hierarchy, anything else is nested beneath it.
+    """
+    if name == ROOT or name.startswith(ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT}.{name}")
+
+
+def configure(
+    level: int | str = logging.INFO, stream=None
+) -> logging.Logger:
+    """Opt in: attach one stream handler to the package root.
+
+    Idempotent -- calling again replaces the previously installed
+    handler (changed level/stream included) rather than duplicating it.
+    """
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown log level {level!r}")
+    root = logging.getLogger(ROOT)
+    for handler in list(root.handlers):
+        if getattr(handler, _MANAGED, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    setattr(handler, _MANAGED, True)
+    root.addHandler(handler)
+    root.setLevel(level)
+    return root
+
+
+def configure_from_env(env: str = "GHOSTDB_LOG") -> logging.Logger | None:
+    """Honour ``GHOSTDB_LOG=debug|info|warning|...`` when present."""
+    value = os.environ.get(env)
+    if not value:
+        return None
+    return configure(level=value)

@@ -1,0 +1,262 @@
+"""Named counters, gauges and histograms with Prometheus-style text
+exposition.
+
+The demo's popups show one query at a time; the registry is the
+cross-query view: flash page reads/writes/erases, USB messages and bytes
+by direction, RAM high-water, plans considered, Bloom false positives --
+accumulated over the whole session and rendered in the standard
+``# HELP`` / ``# TYPE`` / sample-line text format, so the numbers drop
+straight into any Prometheus-compatible tooling.
+
+Metric *values* are only ever counts, sizes and durations; label values
+are structural identifiers (category names, directions, operator names).
+Hidden data has no path into the registry by construction.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class MetricError(ValueError):
+    """Invalid metric name, label, or type conflict."""
+
+
+def _check_name(name: str) -> str:
+    if not _NAME.match(name):
+        raise MetricError(f"invalid metric name {name!r}")
+    return name
+
+
+def _label_key(labels: dict) -> tuple:
+    for label in labels:
+        if not _LABEL.match(label):
+            raise MetricError(f"invalid label name {label!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(key: tuple, extra: tuple = ()) -> str:
+    items = list(key) + list(extra)
+    if not items:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in items)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total, optionally labelled."""
+
+    name: str
+    help: str
+    _values: dict[tuple, float] = field(default_factory=dict)
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if amount < 0:
+            raise MetricError(f"{self.name}: counters cannot decrease")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0)
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        return sum(self._values.values())
+
+    def expose(self) -> list[str]:
+        lines = []
+        for key in sorted(self._values):
+            lines.append(
+                f"{self.name}{_render_labels(key)} "
+                f"{_format_value(self._values[key])}"
+            )
+        return lines or [f"{self.name} 0"]
+
+    def reset(self) -> None:
+        self._values.clear()
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down (or track a maximum)."""
+
+    name: str
+    help: str
+    _values: dict[tuple, float] = field(default_factory=dict)
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        self._values[_label_key(labels)] = value
+
+    def set_max(self, value: float, **labels) -> None:
+        """Keep the largest value seen (e.g. session RAM high-water)."""
+        key = _label_key(labels)
+        self._values[key] = max(self._values.get(key, value), value)
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0)
+
+    def expose(self) -> list[str]:
+        lines = []
+        for key in sorted(self._values):
+            lines.append(
+                f"{self.name}{_render_labels(key)} "
+                f"{_format_value(self._values[key])}"
+            )
+        return lines or [f"{self.name} 0"]
+
+    def reset(self) -> None:
+        self._values.clear()
+
+
+#: Default histogram buckets, tuned for byte sizes and small counts.
+DEFAULT_BUCKETS = (64, 256, 1024, 4096, 16384, 65536)
+
+
+@dataclass
+class Histogram:
+    """Cumulative-bucket histogram (``le`` convention)."""
+
+    name: str
+    help: str
+    buckets: tuple = DEFAULT_BUCKETS
+    _counts: dict[tuple, list[int]] = field(default_factory=dict)
+    _sums: dict[tuple, float] = field(default_factory=dict)
+    _totals: dict[tuple, int] = field(default_factory=dict)
+
+    kind = "histogram"
+
+    def __post_init__(self):
+        self.buckets = tuple(sorted(self.buckets))
+        if not self.buckets:
+            raise MetricError(f"{self.name}: histogram needs buckets")
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        counts = self._counts.setdefault(key, [0] * len(self.buckets))
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[i] += 1
+        self._sums[key] = self._sums.get(key, 0) + value
+        self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels) -> int:
+        return self._totals.get(_label_key(labels), 0)
+
+    def sum(self, **labels) -> float:
+        return self._sums.get(_label_key(labels), 0)
+
+    def expose(self) -> list[str]:
+        lines = []
+        for key in sorted(self._totals):
+            counts = self._counts[key]
+            for bound, count in zip(self.buckets, counts):
+                lines.append(
+                    f"{self.name}_bucket"
+                    f"{_render_labels(key, (('le', _format_value(float(bound))),))}"
+                    f" {count}"
+                )
+            lines.append(
+                f"{self.name}_bucket"
+                f"{_render_labels(key, (('le', '+Inf'),))}"
+                f" {self._totals[key]}"
+            )
+            lines.append(
+                f"{self.name}_sum{_render_labels(key)} "
+                f"{_format_value(self._sums[key])}"
+            )
+            lines.append(
+                f"{self.name}_count{_render_labels(key)} {self._totals[key]}"
+            )
+        return lines or [f"{self.name}_count 0"]
+
+    def reset(self) -> None:
+        self._counts.clear()
+        self._sums.clear()
+        self._totals.clear()
+
+
+class MetricsRegistry:
+    """Get-or-create metric store with text exposition."""
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        _check_name(name)
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise MetricError(
+                    f"{name!r} is already registered as a "
+                    f"{existing.kind}, not a {cls.kind}"
+                )
+            return existing
+        metric = cls(name=name, help=help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple | None = None
+    ) -> Histogram:
+        if buckets is not None:
+            return self._get_or_create(
+                Histogram, name, help, buckets=tuple(buckets)
+            )
+        return self._get_or_create(Histogram, name, help)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def expose_text(self) -> str:
+        """The full registry in Prometheus text exposition format."""
+        lines = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            lines.extend(metric.expose())
+        return "\n".join(lines) + "\n"
+
+    def reset(self) -> None:
+        """Zero every value; registrations and help text survive."""
+        for metric in self._metrics.values():
+            metric.reset()

@@ -14,10 +14,13 @@ from dataclasses import dataclass
 from repro.engine import plan as lp
 from repro.engine.database import HiddenDatabase
 from repro.hardware.profiles import HardwareProfile
+from repro.obs import Observability, get_logger
 from repro.optimizer.cost import CostEstimate, CostModel, StatsProvider
 from repro.optimizer.space import PlanBuilder, Strategy, enumerate_strategies
 from repro.sql.binder import BoundQuery
 from repro.visible.site import VisibleSite
+
+log = get_logger(__name__)
 
 
 @dataclass
@@ -42,9 +45,11 @@ class Optimizer:
         profile: HardwareProfile,
         fan_in: int = 16,
         bloom_fp_target: float = 0.01,
+        obs: Observability | None = None,
     ):
         self.db = db
         self.profile = profile
+        self.obs = obs or Observability()
         self.stats = StatsProvider(db, site)
         # The executor adapts merge fan-in to free RAM at run time, so
         # the cost model must price with the fan-in the device can
@@ -61,14 +66,28 @@ class Optimizer:
     def rank(self, query: BoundQuery) -> list[RankedPlan]:
         """All candidates, cheapest first."""
         builder = PlanBuilder(self.db, query)
+        tracer = self.obs.tracer
         ranked = []
-        for strategy in enumerate_strategies(query):
-            plan = builder.build(strategy)
-            self.annotate(plan)
-            estimate = self.cost_model.estimate(plan)
-            ranked.append(
-                RankedPlan(strategy=strategy, plan=plan, estimate=estimate)
-            )
+        with tracer.span("optimizer.rank", category="optimizer") as span:
+            for strategy in enumerate_strategies(query):
+                with tracer.span(
+                    "optimizer.candidate", category="optimizer"
+                ) as cspan:
+                    plan = builder.build(strategy)
+                    self.annotate(plan)
+                    estimate = self.cost_model.estimate(plan)
+                    cspan.set("strategy", strategy.label(query))
+                    cspan.set("est_ms", estimate.seconds * 1e3)
+                    cspan.set("est_ram_bytes", estimate.ram_bytes)
+                ranked.append(
+                    RankedPlan(
+                        strategy=strategy, plan=plan, estimate=estimate
+                    )
+                )
+            span.set("candidates", len(ranked))
+        self.obs.registry.counter("ghostdb_plans_considered_total").inc(
+            len(ranked)
+        )
         ranked.sort(key=lambda r: r.estimate.seconds)
         return ranked
 
@@ -81,12 +100,25 @@ class Optimizer:
         exists precisely for this).  If nothing is estimated to fit, the
         smallest-footprint candidate is returned as a best effort.
         """
-        ranked = self.rank(query)
-        budget = 0.8 * self.profile.ram_bytes
-        fitting = [r for r in ranked if r.estimate.ram_bytes <= budget]
-        if fitting:
-            return fitting[0]
-        return min(ranked, key=lambda r: r.estimate.ram_bytes)
+        with self.obs.tracer.span(
+            "optimizer.choose", category="optimizer"
+        ) as span:
+            ranked = self.rank(query)
+            budget = 0.8 * self.profile.ram_bytes
+            fitting = [r for r in ranked if r.estimate.ram_bytes <= budget]
+            chosen = (
+                fitting[0]
+                if fitting
+                else min(ranked, key=lambda r: r.estimate.ram_bytes)
+            )
+            span.set("chosen", chosen.strategy.label(query))
+            span.set("fitting", len(fitting))
+            span.set("est_ms", chosen.estimate.seconds * 1e3)
+        log.debug(
+            "optimizer chose 1 of %d candidates (%d fit the RAM budget)",
+            len(ranked), len(fitting),
+        )
+        return chosen
 
     def annotate(self, plan: lp.Project) -> None:
         """Fill expected-cardinality hints the executor uses at run time

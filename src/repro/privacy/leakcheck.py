@@ -117,6 +117,25 @@ class LeakChecker:
             self._scan_payload(record, report)
         return report
 
+    def check_bytes(self, payload: bytes, kind: str = "blob") -> LeakReport:
+        """Scan one arbitrary byte blob for hidden values.
+
+        Used for artefacts other than USB traffic -- exported traces,
+        metric expositions, log captures -- which must uphold the same
+        invariant: no hidden string value may appear anywhere in them.
+        """
+        report = LeakReport(
+            checked_messages=1, checked_patterns=len(self._patterns)
+        )
+        for pattern, where in self._patterns:
+            if pattern in payload:
+                report.violations.append(
+                    LeakViolation(
+                        0, kind, f"payload contains hidden value {where}"
+                    )
+                )
+        return report
+
     def _check_structure(self, record: TrafficRecord, report: LeakReport) -> None:
         if record.direction is not Direction.TO_HOST:
             return
