@@ -46,8 +46,13 @@ def test_d3_plan_game(bench_session, benchmark):
         f"  naive guess right: {outcome.guess_was_right} | "
         f"optimizer right: {outcome.optimizer_was_right}"
     )
-    # The optimizer's pick must land in the top half of the leaderboard
-    # and within 50% of the measured winner.
-    winner_ms = outcome.measured_ms[outcome.winner_index]
-    optimizer_ms = outcome.measured_ms[outcome.optimizer_index]
-    assert optimizer_ms <= winner_ms * 1.5
+    # The outcome carries the whole priced field -- losers included --
+    # so the check asserts on the object, not on captured stdout.
+    assert len(outcome.estimated_ms) == len(outcome.labels)
+    assert all(ms > 0 for ms in outcome.estimated_ms)
+    # The optimizer's own estimate ranks its pick cheapest.
+    assert outcome.estimated_ms[outcome.optimizer_index] == min(
+        outcome.estimated_ms
+    )
+    # And the pick must land within 50% of the measured winner.
+    assert outcome.chosen_vs_best_ratio <= 1.5

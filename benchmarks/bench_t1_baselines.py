@@ -8,7 +8,7 @@ a large factor over the hash join, which pays full scans (and, under
 RAM pressure, flash-written partitions); join indices sit between.
 """
 
-from benchmarks.conftest import print_series
+from benchmarks.conftest import BENCH_SCALE, print_series
 from repro.baselines import run_hash_join_query, run_join_index_query
 from repro.reference import evaluate_reference, same_rows
 from repro.workload.queries import demo_query
@@ -61,8 +61,11 @@ def test_t1_baseline_comparison(bench_session, bench_data, benchmark):
     )
     print(f"  GhostDB speedup over hash join: {speedup:.1f}x")
     # The paper's "unacceptable" shape: a decisive factor, driven by
-    # scans/writes the indexed plan never performs.
-    assert speedup > 3.0
+    # scans/writes the indexed plan never performs.  The gap widens with
+    # cardinality (hash join scans everything; the indexed plan touches
+    # only matches): >5x from 10k prescriptions on (13x at 20k), with a
+    # weaker floor at smoke-test scales.
+    assert speedup > (5.0 if BENCH_SCALE >= 10_000 else 3.0)
     assert hashjoin.metrics.flash_page_reads > ghost.metrics.flash_page_reads
     assert (
         joinindex.metrics.elapsed_seconds

@@ -55,6 +55,14 @@ def test_t3_fp_rate_vs_bits_per_key(benchmark):
     # ~10 bits/key gives ~1%.
     ten = next(float(r[3]) for r in rows if r[0] == 10)
     assert ten < 0.03
+    # Every point tracks the textbook formula within 2x either way (the
+    # probe set is fixed, so this is deterministic, not statistical).
+    for row in rows:
+        observed, theoretical = float(row[3]), float(row[4])
+        assert theoretical / 2 <= observed <= theoretical * 2, (
+            f"{row[0]} bits/key: measured FP {observed} vs "
+            f"theoretical {theoretical}"
+        )
 
 
 def test_t3_compactness_vs_exact_list(bench_session, bench_data, benchmark):

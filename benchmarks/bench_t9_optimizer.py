@@ -8,7 +8,7 @@ the ranking accuracy the plan game depends on.
 
 from benchmarks.conftest import print_series
 from repro.optimizer.space import enumerate_strategies
-from tests.test_integration_queries import QUERIES
+from repro.workload.queries import QUERY_FAMILIES as QUERIES
 
 
 def test_t9_estimate_accuracy_and_ranking(bench_session, benchmark):

@@ -1,0 +1,142 @@
+"""Schema-versioned benchmark artifacts (``BENCH_<date>.json``).
+
+One bench run produces one JSON artifact: per-scenario simulated-device
+measurements (deterministic -- same code, same scale, same numbers),
+host wall times (informational only), and the optimizer estimate-quality
+scorecard.  The comparator in :mod:`repro.bench.compare` diffs two
+artifacts; CI commits one as ``benchmarks/baseline.json`` and gates on
+the diff.
+
+Artifacts are observable execution artefacts, so they pass through the
+same :mod:`repro.obs.redact` gate as trace spans before serialization:
+every string is tokenised and out-of-vocabulary tokens scrub to ``?``.
+The runner then verifies the serialized payload CLEAN with the
+adversarial :class:`~repro.privacy.leakcheck.LeakChecker`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.redact import Redactor
+
+#: Bump on any incompatible change to the artifact layout.  The
+#: comparator refuses to diff artifacts of different versions.
+SCHEMA_VERSION = 1
+
+#: Artifact discriminator, so tooling can reject arbitrary JSON.
+KIND = "ghostdb-bench"
+
+#: Per-scenario metrics the comparator gates on.  All are deterministic
+#: functions of the code and the scenario (simulated device time and
+#: event counts); ``wall_seconds`` is deliberately absent -- host speed
+#: is informational, never a regression signal.
+GATED_METRICS = (
+    "sim_seconds",
+    "flash_page_reads",
+    "flash_page_writes",
+    "flash_block_erases",
+    "usb_messages",
+    "usb_bytes_to_device",
+    "usb_bytes_to_host",
+    "ram_high_water",
+)
+
+
+def scenario_record(metrics, wall_seconds: float, family: str) -> dict:
+    """One scenario's measurements as a plain JSON-ready dict.
+
+    ``metrics`` is the :class:`~repro.engine.metrics.ExecutionMetrics`
+    diff of the scenario's single measured execution.
+    """
+    return {
+        "family": family,
+        "sim_seconds": metrics.elapsed_seconds,
+        "sim_breakdown": metrics.time.as_dict(),
+        "flash_page_reads": metrics.flash_page_reads,
+        "flash_page_writes": metrics.flash_page_writes,
+        "flash_block_erases": metrics.flash_block_erases,
+        "usb_messages": metrics.usb_messages,
+        "usb_bytes_to_device": metrics.usb_bytes_to_device,
+        "usb_bytes_to_host": metrics.usb_bytes_to_host,
+        "ram_high_water": metrics.ram_high_water,
+        "result_rows": metrics.result_rows,
+        "wall_seconds": wall_seconds,
+    }
+
+
+def build_artifact(
+    *,
+    scale: int,
+    profile: str,
+    created: str,
+    scenarios: dict[str, dict],
+    scorecard: dict[str, dict],
+) -> dict:
+    """Assemble the full artifact dict (pre-redaction)."""
+    return {
+        "kind": KIND,
+        "schema_version": SCHEMA_VERSION,
+        "created": created,
+        "config": {"scale": scale, "profile": profile},
+        "scenarios": scenarios,
+        "scorecard": scorecard,
+        "leak_check": "CLEAN",
+    }
+
+
+def _allow_structure(redactor: Redactor, artifact: dict) -> None:
+    """Register the artifact's *structural* tokens with the gate.
+
+    Dict keys are authored by this code base (scenario names, family
+    slugs, metric names) and are therefore safe vocabulary.  String
+    *values* stay default-deny except the three known structural fields
+    (kind / created / profile); anything else that sneaks in as a string
+    value scrubs to ``?`` and shows up in review instead of leaking.
+    """
+    redactor.allow(
+        artifact.get("kind", ""),
+        artifact.get("created", ""),
+        artifact.get("config", {}).get("profile", ""),
+        artifact.get("leak_check", ""),
+    )
+
+    def _keys(value) -> None:
+        if isinstance(value, dict):
+            for key, sub in value.items():
+                redactor.allow(str(key))
+                _keys(sub)
+        elif isinstance(value, (list, tuple)):
+            for sub in value:
+                _keys(sub)
+
+    _keys(artifact)
+
+
+def to_payload(artifact: dict, redactor: Redactor | None = None) -> bytes:
+    """Gate the artifact through redaction and serialize it.
+
+    A fresh default-deny :class:`Redactor` is used unless one is given
+    (the runner passes the session's, which already knows the schema
+    vocabulary).
+    """
+    redactor = redactor or Redactor()
+    _allow_structure(redactor, artifact)
+    scrubbed = redactor.value(artifact)
+    text = json.dumps(scrubbed, indent=2, sort_keys=True) + "\n"
+    return text.encode("utf-8")
+
+
+def load_artifact(path: str) -> dict:
+    """Read one artifact back, refusing foreign or future JSON."""
+    with open(path, "r", encoding="utf-8") as handle:
+        artifact = json.load(handle)
+    if not isinstance(artifact, dict) or artifact.get("kind") != KIND:
+        raise ValueError(f"{path}: not a {KIND} artifact")
+    version = artifact.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: artifact schema_version {version!r}, "
+            f"this tool speaks {SCHEMA_VERSION}"
+        )
+    return artifact

@@ -1,0 +1,226 @@
+"""The bench runner: ``python -m repro bench``.
+
+Builds a fresh session at a fixed scale, executes every registered
+scenario once (resetting the measurement state around each), grades the
+optimizer with the T9 scorecard, and writes one redacted, leak-checked
+``BENCH_<date>.json`` artifact.  With ``--baseline`` it additionally
+diffs the run against a committed artifact and exits nonzero on
+regression -- the CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.artifact import build_artifact, scenario_record, to_payload
+from repro.bench.compare import (
+    DEFAULT_TOLERANCE,
+    compare_artifacts,
+    load_artifact,
+)
+from repro.bench.scenarios import select_scenarios
+from repro.bench.scorecard import build_scorecard, render_scorecard
+from repro.core.ghostdb import GhostDB
+from repro.hardware.profiles import PROFILES
+from repro.obs import get_logger
+from repro.privacy.leakcheck import LeakChecker
+from repro.workload.datagen import DatasetConfig, MedicalDataGenerator
+from repro.workload.queries import DEMO_SCHEMA_DDL
+
+log = get_logger(__name__)
+
+#: Default dataset size: small enough for a sub-minute CI run, large
+#: enough that every crossover the scenarios exercise has happened.
+DEFAULT_SCALE = 2000
+
+
+class BenchError(RuntimeError):
+    """A bench run could not produce a trustworthy artifact."""
+
+
+@dataclass
+class BenchConfig:
+    """One bench run's knobs."""
+
+    scale: int = DEFAULT_SCALE
+    profile: str = "demo"
+    #: Exact scenario names to run; ``None`` runs the full registry.
+    scenario_names: list[str] | None = None
+    #: Skip the (comparatively slow) estimate-quality scorecard.
+    scorecard: bool = True
+
+
+@dataclass
+class BenchRun:
+    """A finished run: the artifact plus its vetted serialization."""
+
+    artifact: dict
+    #: Redacted JSON bytes, already verified CLEAN by the leak checker.
+    payload: bytes
+    leak_summary: str
+    lines: list[str] = field(default_factory=list)
+
+    def write(self, path: str) -> None:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(self.payload)
+
+
+def default_artifact_name(
+    today: datetime.date | None = None,
+) -> str:
+    today = today or datetime.date.today()
+    return f"BENCH_{today.strftime('%Y%m%d')}.json"
+
+
+def run_bench(config: BenchConfig | None = None) -> BenchRun:
+    """Execute one full bench run; see the module docstring."""
+    config = config or BenchConfig()
+    if config.profile not in PROFILES:
+        raise BenchError(
+            f"unknown profile {config.profile!r}; "
+            f"known: {', '.join(sorted(PROFILES))}"
+        )
+    scenarios = select_scenarios(config.scenario_names)
+    log.info(
+        "bench run: %d scenarios at scale %d on %s",
+        len(scenarios), config.scale, config.profile,
+    )
+    session = GhostDB(profile=PROFILES[config.profile])
+    for ddl in DEMO_SCHEMA_DDL:
+        session.execute(ddl)
+    data = MedicalDataGenerator(
+        DatasetConfig(n_prescriptions=config.scale)
+    ).generate()
+    session.load(data)
+
+    lines: list[str] = []
+    records: dict[str, dict] = {}
+    for scenario in scenarios:
+        session.reset_measurements()
+        wall_start = time.perf_counter()
+        result = scenario.run(session)
+        wall = time.perf_counter() - wall_start
+        records[scenario.name] = scenario_record(
+            result.metrics, wall, scenario.family
+        )
+        lines.append(
+            f"{scenario.name:<24} "
+            f"{result.metrics.elapsed_seconds * 1e3:9.2f} ms sim  "
+            f"{result.metrics.flash_page_reads:6d} fr "
+            f"{result.metrics.flash_page_writes:5d} fw  "
+            f"{result.metrics.usb_messages:5d} usb  "
+            f"{result.metrics.ram_high_water:6d} B ram  "
+            f"({wall * 1e3:.0f} ms wall)"
+        )
+
+    card = build_scorecard(session) if config.scorecard else {}
+
+    artifact = build_artifact(
+        scale=config.scale,
+        profile=config.profile,
+        created=datetime.datetime.now().isoformat(timespec="seconds"),
+        scenarios=records,
+        scorecard=card,
+    )
+    payload = to_payload(artifact, session.obs.redactor)
+    checker = LeakChecker(session.schema, data)
+    leak = checker.check_bytes(payload, kind="bench-artifact")
+    if not leak.ok:
+        raise BenchError(f"artifact failed leak check: {leak.summary()}")
+    return BenchRun(
+        artifact=artifact,
+        payload=payload,
+        leak_summary=leak.summary(),
+        lines=lines,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="run the GhostDB figure/table scenarios and write a "
+        "schema-versioned benchmark artifact",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=DEFAULT_SCALE,
+        help=f"prescriptions in the dataset (default {DEFAULT_SCALE})",
+    )
+    parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default="demo",
+        help="hardware profile of the simulated device",
+    )
+    parser.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="run only this scenario (repeatable)",
+    )
+    parser.add_argument(
+        "--bench-out", default=None, metavar="PATH",
+        help="artifact path (default BENCH_<date>.json in the cwd)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="compare against this committed artifact and exit nonzero "
+        "on regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="relative headroom before a gated metric regresses "
+        f"(default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--no-scorecard", action="store_true",
+        help="skip the optimizer estimate-quality scorecard",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        run = run_bench(BenchConfig(
+            scale=args.scale,
+            profile=args.profile,
+            scenario_names=args.scenario,
+            scorecard=not args.no_scorecard,
+        ))
+    except (BenchError, KeyError) as exc:
+        print(f"error: {exc}")
+        return 2
+
+    for line in run.lines:
+        print(line)
+    if run.artifact["scorecard"]:
+        print()
+        print(render_scorecard(run.artifact["scorecard"]))
+    print()
+    print(run.leak_summary)
+
+    out_path = args.bench_out or default_artifact_name()
+    try:
+        run.write(out_path)
+    except OSError as exc:
+        print(f"error: could not write artifact: {exc}")
+        return 2
+    print(f"wrote {out_path} ({len(run.payload)} bytes)")
+
+    if args.baseline:
+        try:
+            baseline = load_artifact(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: could not read baseline: {exc}")
+            return 2
+        report = compare_artifacts(
+            baseline, run.artifact, tolerance=args.tolerance
+        )
+        print()
+        print(report.render())
+        return 0 if report.ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,143 @@
+"""The figure/table scenarios the bench runner measures.
+
+Each scenario reproduces one bar/point of a paper figure or table as a
+single measured execution on a loaded session: the runner resets the
+device counters, calls :attr:`Scenario.run`, and records the resulting
+:class:`~repro.engine.metrics.ExecutionMetrics` diff.  Scenario names
+are stable identifiers -- they key the artifact and the committed
+baseline, so renaming one is a baseline change.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines import run_hash_join_query, run_join_index_query
+from repro.optimizer.space import Strategy
+from repro.workload.queries import QUERY_FAMILIES, demo_query
+
+#: T8's hospital-statistics aggregate over hidden columns.
+AGGREGATE_SQL = """
+    SELECT Vis.Purpose, count(*), avg(Pre.Quantity)
+    FROM Prescription Pre, Visit Vis
+    WHERE Vis.VisID = Pre.VisID
+    GROUP BY Vis.Purpose
+"""
+
+
+def _sweep_sql(cutoff: datetime.date) -> str:
+    """The D2 Pre-vs-Post sweep query at one visible selectivity."""
+    return f"""
+        SELECT Pre.Quantity FROM Prescription Pre, Visit Vis
+        WHERE Vis.Date > DATE '{cutoff.isoformat()}'
+        AND Pre.Quantity = 7
+        AND Pre.WhenWritten > DATE '2007-04-01'
+        AND Vis.VisID = Pre.VisID
+    """
+
+
+#: D2 sweep endpoints: a selective (~1%) and a wide (~80%) date cut.
+SELECTIVE_CUT = datetime.date(2007, 6, 20)
+WIDE_CUT = datetime.date(2005, 7, 1)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, single-execution measurement."""
+
+    name: str
+    #: Which reproduced figure/table this point belongs to.
+    family: str
+    run: Callable
+
+    def __call__(self, session):
+        return self.run(session)
+
+
+def _query(sql: str):
+    return lambda session: session.query(sql)
+
+
+def _strategy(sql: str, steps: tuple):
+    return lambda session: session.query_with_strategy(sql, Strategy(steps))
+
+
+def _fig5_plan(session):
+    from repro.demo.plans import figure5_postfilter_plan
+
+    bound = session.bind(demo_query())
+    plan = figure5_postfilter_plan(session.hidden, bound)
+    session.optimizer.annotate(plan)
+    return session.executor.execute(plan)
+
+
+def _fig6_p1_plan(session):
+    from repro.demo.plans import named_demo_plans
+
+    bound = session.bind(demo_query())
+    plan = named_demo_plans(session.hidden, bound)["P1 (pre-filtering)"]
+    session.optimizer.annotate(plan)
+    return session.executor.execute(plan)
+
+
+SCENARIOS: tuple[Scenario, ...] = (
+    # Figure 1 / Section 4: the demo query under the optimizer's plan.
+    Scenario("fig1-demo-query", "fig1", _query(demo_query())),
+    # T1: the same query under the baseline execution models.
+    Scenario(
+        "t1-join-index",
+        "t1",
+        lambda session: run_join_index_query(session, demo_query()),
+    ),
+    Scenario(
+        "t1-hash-join",
+        "t1",
+        lambda session: run_hash_join_query(session, demo_query()),
+    ),
+    # Figure 4: deep hidden selection through the climbing index.
+    Scenario(
+        "fig4-deep-climbing", "fig4", _query(QUERY_FAMILIES["deep-hidden"])
+    ),
+    # Figure 5: the Post-filtering QEP exactly as drawn.
+    Scenario("fig5-post-plan", "fig5", _fig5_plan),
+    # Figure 6: the P1 pre-filtering bar.
+    Scenario("fig6-p1-pre-plan", "fig6", _fig6_p1_plan),
+    # D2: the Pre-vs-Post sweep's endpoints, both strategies each.
+    Scenario(
+        "d2-pre-selective", "d2", _strategy(_sweep_sql(SELECTIVE_CUT), ("pre",))
+    ),
+    Scenario(
+        "d2-post-selective",
+        "d2",
+        _strategy(_sweep_sql(SELECTIVE_CUT), ("post",)),
+    ),
+    Scenario("d2-pre-wide", "d2", _strategy(_sweep_sql(WIDE_CUT), ("pre",))),
+    Scenario("d2-post-wide", "d2", _strategy(_sweep_sql(WIDE_CUT), ("post",))),
+    # T8: device-side aggregation.
+    Scenario("t8-group-aggregate", "t8", _query(AGGREGATE_SQL)),
+    # Query-battery representatives that stress distinct machinery.
+    Scenario(
+        "battery-five-way-join",
+        "battery",
+        _query(QUERY_FAMILIES["five-way-join"]),
+    ),
+    Scenario(
+        "battery-hidden-range",
+        "battery",
+        _query(QUERY_FAMILIES["hidden-range"]),
+    ),
+)
+
+
+def select_scenarios(names: list[str] | None = None) -> list[Scenario]:
+    """The scenarios to run, optionally filtered by exact name."""
+    if not names:
+        return list(SCENARIOS)
+    by_name = {s.name: s for s in SCENARIOS}
+    unknown = [n for n in names if n not in by_name]
+    if unknown:
+        known = ", ".join(sorted(by_name))
+        raise KeyError(f"unknown scenario(s) {unknown}; known: {known}")
+    return [by_name[n] for n in names]

@@ -1,0 +1,137 @@
+"""The T9 estimate-quality scorecard: cost model vs simulator.
+
+For every query family the engine supports, every Pre/Post strategy is
+executed and its measured simulated time compared with the cost model's
+estimate for the very plan that ran.  The per-family summary is the T9
+table of the benchmark suite, written into the bench artifact; every
+per-candidate est/meas ratio is also fed into the session's
+``ghostdb_optimizer_est_over_meas`` histogram so the exposition shows
+the distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.optimizer.explain import MISESTIMATE_THRESHOLD
+from repro.optimizer.space import enumerate_strategies
+from repro.workload.queries import QUERY_FAMILIES
+
+#: Measurements below this are treated as free (no meaningful ratio).
+_MIN_MEASURABLE_S = 1e-9
+
+
+@dataclass
+class FamilyScore:
+    """Estimate quality over one query family's candidate plans."""
+
+    family: str
+    candidates: int
+    est_over_meas_min: float
+    est_over_meas_max: float
+    est_over_meas_geomean: float
+    #: Measured time of the optimizer's pick over the best candidate's
+    #: (1.0 means the optimizer chose the fastest plan).
+    chosen_vs_best: float
+    #: Candidates whose ratio falls outside the misestimate threshold.
+    misestimates: int
+
+    def as_dict(self) -> dict:
+        return {
+            "candidates": self.candidates,
+            "est_over_meas_min": self.est_over_meas_min,
+            "est_over_meas_max": self.est_over_meas_max,
+            "est_over_meas_geomean": self.est_over_meas_geomean,
+            "chosen_vs_best": self.chosen_vs_best,
+            "misestimates": self.misestimates,
+        }
+
+
+def _geomean(values: list[float]) -> float:
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1 / max(1, len(values)))
+
+
+def score_family(session, sql: str, family: str) -> tuple[FamilyScore, list]:
+    """Grade one family; returns its score and the raw ratios."""
+    bound = session.bind(sql)
+    measured: list[float] = []
+    estimated: list[float] = []
+    ratios: list[float] = []
+    for strategy in enumerate_strategies(bound):
+        session.reset_measurements()
+        result = session.query_with_strategy(sql, strategy)
+        seconds = result.metrics.elapsed_seconds
+        estimate = session.optimizer.cost_model.estimate(result.plan).seconds
+        measured.append(seconds)
+        estimated.append(estimate)
+        if seconds > _MIN_MEASURABLE_S:
+            ratios.append(estimate / seconds)
+    best = min(measured)
+    chosen = estimated.index(min(estimated))
+    chosen_vs_best = (
+        measured[chosen] / best if best > _MIN_MEASURABLE_S else 1.0
+    )
+    score = FamilyScore(
+        family=family,
+        candidates=len(measured),
+        est_over_meas_min=min(ratios, default=1.0),
+        est_over_meas_max=max(ratios, default=1.0),
+        est_over_meas_geomean=_geomean(ratios),
+        chosen_vs_best=chosen_vs_best,
+        misestimates=sum(
+            1
+            for ratio in ratios
+            if not (
+                1 / MISESTIMATE_THRESHOLD
+                <= ratio
+                <= MISESTIMATE_THRESHOLD
+            )
+        ),
+    )
+    return score, ratios
+
+
+def build_scorecard(session, families: dict[str, str] | None = None) -> dict:
+    """The full per-family scorecard as an artifact-ready dict.
+
+    Executes every candidate strategy of every family (resetting the
+    measurement state around each), then -- after the *last* reset, so
+    the values survive -- feeds every est/meas ratio into the session's
+    ``ghostdb_optimizer_est_over_meas`` histogram.
+    """
+    families = families if families is not None else QUERY_FAMILIES
+    card: dict[str, dict] = {}
+    all_ratios: list[float] = []
+    for name in sorted(families):
+        score, ratios = score_family(session, families[name], name)
+        card[name] = score.as_dict()
+        all_ratios.extend(ratios)
+    histogram = session.obs.registry.histogram(
+        "ghostdb_optimizer_est_over_meas"
+    )
+    for ratio in all_ratios:
+        histogram.observe(ratio)
+    return card
+
+
+def render_scorecard(card: dict) -> str:
+    """The scorecard as an aligned text table (the ``.bench`` view)."""
+    header = (
+        f"{'family':<22} {'cands':>5} {'est/meas range':>16} "
+        f"{'geomean':>8} {'chosen/best':>11} {'misest':>6}"
+    )
+    lines = [header]
+    for name in sorted(card):
+        row = card[name]
+        lines.append(
+            f"{name:<22} {row['candidates']:>5} "
+            f"{row['est_over_meas_min']:>7.2f}-"
+            f"{row['est_over_meas_max']:<8.2f} "
+            f"{row['est_over_meas_geomean']:>8.2f} "
+            f"{row['chosen_vs_best']:>10.2f}x "
+            f"{row['misestimates']:>6}"
+        )
+    return "\n".join(lines)

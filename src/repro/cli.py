@@ -4,12 +4,17 @@
 medical dataset and drops into a small REPL: type SQL to run it, or a
 dot-command for the demo-style views.
 
+``python -m repro bench`` instead runs the benchmark regression harness
+(see :mod:`repro.bench.runner`).
+
 Commands::
 
     <sql>;              run a statement (SELECT / INSERT before load)
     .explain <sql>      show the chosen plan with cost estimates
+    .explain analyze <sql>  alias for .analyze
     .analyze <sql>      run and show estimated-vs-measured per node
     .plans <sql>        rank every Pre/Post strategy by estimate
+    .bench              the optimizer estimate-quality scorecard (T9)
     .spy [n]            the last n captured boundary messages (default 20)
     .leaks              leak-check the captured traffic
     .trace <sql>        run and show the redacted span tree (sim + wall)
@@ -30,27 +35,22 @@ import sys
 
 from repro.core.ghostdb import GhostDB
 from repro.engine.executor import QueryResult
-from repro.hardware import profiles
+from repro.hardware.profiles import PROFILES
 from repro.privacy.leakcheck import LeakChecker
 from repro.privacy.spy import SpyView
 from repro.workload.datagen import DatasetConfig, MedicalDataGenerator
 from repro.workload.queries import DEMO_SCHEMA_DDL, demo_query
-
-PROFILES = {
-    "demo": profiles.DEMO_DEVICE,
-    "harsh-flash": profiles.HARSH_FLASH_DEVICE,
-    "high-speed": profiles.HIGH_SPEED_DEVICE,
-    "tiny": profiles.TINY_DEVICE,
-}
 
 
 class Shell:
     """One interactive session over a loaded GhostDB."""
 
     def __init__(self, scale: int = 10_000, profile: str = "demo",
-                 out=None, trace_out: str | None = None):
+                 out=None, trace_out: str | None = None,
+                 metrics_out: str | None = None):
         self.out = out or sys.stdout
         self.trace_out = trace_out
+        self.metrics_out = metrics_out
         self.db = GhostDB(profile=PROFILES[profile])
         for ddl in DEMO_SCHEMA_DDL:
             self.db.execute(ddl)
@@ -91,6 +91,10 @@ class Shell:
         if name == ".help":
             self._print(__doc__)
         elif name == ".explain":
+            # ".explain analyze <sql>" is the conventional spelling.
+            first, _, rest = argument.partition(" ")
+            if first.lower() == "analyze":
+                return self._command(f".analyze {rest}".rstrip())
             self._print(self.db.explain(argument or demo_query()))
         elif name == ".analyze":
             report, result = self.db.explain_analyze(
@@ -106,6 +110,10 @@ class Shell:
                     f"  {ranked.estimate.seconds * 1e3:9.3f} ms est  "
                     f"{ranked.strategy.label(bound)}"
                 )
+        elif name == ".bench":
+            from repro.bench.scorecard import render_scorecard
+
+            self._print(render_scorecard(self.db.bench_report()))
         elif name == ".spy":
             count = int(argument) if argument else 20
             spy = SpyView(self.db.usb_log[-count:])
@@ -210,7 +218,11 @@ class Shell:
         self._print("bye")
 
     def close(self) -> None:
-        """Flush the session trace if ``--trace-out`` was given."""
+        """Flush the session trace and metrics if requested."""
+        self._flush_trace()
+        self._flush_metrics()
+
+    def _flush_trace(self) -> None:
         if not self.trace_out:
             return
         parent = os.path.dirname(self.trace_out)
@@ -226,11 +238,34 @@ class Shell:
             f"{self.trace_out} (load in Perfetto / chrome://tracing)"
         )
 
+    def _flush_metrics(self) -> None:
+        if not self.metrics_out:
+            return
+        parent = os.path.dirname(self.metrics_out)
+        try:
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(self.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(self.db.metrics_text())
+        except OSError as exc:
+            self._print(f"error: could not write metrics: {exc}")
+            return
+        self._print(
+            f"wrote metrics exposition to {self.metrics_out} "
+            f"(Prometheus text format)"
+        )
+
 
 def main(argv=None) -> int:
     from repro.obs.log import configure_from_env
 
     configure_from_env()
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        from repro.bench.runner import main as bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="GhostDB interactive shell"
     )
@@ -251,9 +286,15 @@ def main(argv=None) -> int:
         help="write the session's Chrome trace-event JSON here on exit "
         "(open in Perfetto or chrome://tracing)",
     )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the session's Prometheus-style metrics exposition "
+        "here on exit",
+    )
     args = parser.parse_args(argv)
     shell = Shell(
-        scale=args.scale, profile=args.profile, trace_out=args.trace_out
+        scale=args.scale, profile=args.profile, trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
     )
     if args.query:
         for sql in args.query:

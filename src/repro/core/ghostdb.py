@@ -341,6 +341,12 @@ class GhostDB:
         best = self.optimizer.optimize(bound)
         result = self.executor.execute(best.plan)
         report = explain_analyze(best.plan, self.optimizer.cost_model)
+        measured = result.metrics.elapsed_seconds
+        if measured > 1e-9:
+            estimated = self.optimizer.cost_model.estimate(best.plan).seconds
+            self.obs.registry.histogram(
+                "ghostdb_optimizer_est_over_meas"
+            ).observe(estimated / measured)
         return report, result
 
     # ------------------------------------------------------------------
@@ -381,6 +387,19 @@ class GhostDB:
         the summed per-query :class:`ExecutionMetrics` diffs) plus
         device-lifetime ``ghostdb_device_*`` families."""
         return self.obs.registry.expose_text()
+
+    def bench_report(self) -> dict:
+        """Grade the optimizer's estimates on this loaded session.
+
+        Runs every candidate strategy of every query family (resetting
+        the measurement state around each execution), returns the
+        per-family T9 scorecard dict and feeds the per-candidate
+        est/meas ratios into the ``ghostdb_optimizer_est_over_meas``
+        histogram.  See :mod:`repro.bench.scorecard`.
+        """
+        from repro.bench.scorecard import build_scorecard
+
+        return build_scorecard(self)
 
     def session_spans(self) -> list:
         """Every trace span recorded since load (or the last reset)."""

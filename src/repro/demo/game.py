@@ -27,6 +27,9 @@ class GameOutcome:
     winner_index: int
     guess_index: int | None
     optimizer_index: int
+    #: The cost model's price for every candidate -- losers included, so
+    #: the scorecard can grade the whole ranking, not just the pick.
+    estimated_ms: list[float] = field(default_factory=list)
 
     @property
     def guess_was_right(self) -> bool:
@@ -35,6 +38,15 @@ class GameOutcome:
     @property
     def optimizer_was_right(self) -> bool:
         return self.optimizer_index == self.winner_index
+
+    @property
+    def chosen_vs_best_ratio(self) -> float:
+        """Measured time of the optimizer's pick over the winner's
+        (1.0 means the optimizer picked the fastest plan)."""
+        best = self.measured_ms[self.winner_index]
+        if best <= 0:
+            return 1.0
+        return self.measured_ms[self.optimizer_index] / best
 
     def leaderboard(self) -> str:
         order = sorted(
@@ -48,9 +60,14 @@ class GameOutcome:
             if i == self.optimizer_index:
                 marks.append("optimizer")
             suffix = f"   <- {', '.join(marks)}" if marks else ""
+            estimate = (
+                f"  (est {self.estimated_ms[i]:9.3f} ms)"
+                if self.estimated_ms
+                else ""
+            )
             lines.append(
                 f"  {rank}. {self.labels[i]:55s} "
-                f"{self.measured_ms[i]:9.3f} ms{suffix}"
+                f"{self.measured_ms[i]:9.3f} ms{estimate}{suffix}"
             )
         return "\n".join(lines)
 
@@ -86,6 +103,9 @@ class PlanGame:
         ranked = self.db.optimizer.rank(bound)
         optimizer_strategy = ranked[0].strategy
         optimizer_index = self.strategies.index(optimizer_strategy)
+        estimates_by_strategy = {
+            r.strategy: r.estimate.seconds * 1000 for r in ranked
+        }
         measured: list[float] = []
         for strategy in self.strategies:
             self.db.reset_measurements()
@@ -98,4 +118,7 @@ class PlanGame:
             winner_index=winner,
             guess_index=guess_index,
             optimizer_index=optimizer_index,
+            estimated_ms=[
+                estimates_by_strategy[s] for s in self.strategies
+            ],
         )

@@ -28,6 +28,14 @@ class OperatorStats:
     #: Host wall seconds spent inside this operator alone -- what the
     #: *simulator* paid, as opposed to what the simulated device paid.
     self_wall_seconds: float = 0.0
+    #: Slices of :attr:`self_seconds` by hardware category, plus the raw
+    #: flash/USB event counts this operator alone triggered.  These feed
+    #: the EXPLAIN ANALYZE estimated-vs-actual scorecard.
+    self_flash_seconds: float = 0.0
+    self_usb_seconds: float = 0.0
+    flash_page_reads: int = 0
+    flash_page_writes: int = 0
+    usb_messages: int = 0
     #: Peak bytes of device RAM this operator allocated for itself.
     ram_bytes: int = 0
     finished: bool = False

@@ -30,17 +30,48 @@ class TimeAttribution:
     def __init__(self, device: SmartUsbDevice):
         self.device = device
         self._stack: list[OperatorStats] = []
-        self._last = device.clock.now
+        # The totals dict is stable across clock.reset(), so reading it
+        # directly keeps this hot path allocation-free.
+        self._totals = device.clock.totals
         self._last_wall = time.perf_counter()
+        self._last = 0.0
+        self._last_flash = 0.0
+        self._last_usb = 0.0
+        self._last_reads = 0
+        self._last_writes = 0
+        self._last_msgs = 0
+        self._mark()
 
     def _mark(self) -> None:
-        now = self.device.clock.now
+        totals = self._totals
+        flash_now = (
+            totals["flash_read"]
+            + totals["flash_write"]
+            + totals["flash_erase"]
+        )
+        usb_now = totals["usb"]
+        now = flash_now + usb_now + totals["cpu"]
         wall = time.perf_counter()
+        flash_stats = self.device.flash.stats
+        reads = flash_stats.page_reads
+        writes = flash_stats.page_writes
+        msgs = self.device.usb.message_count
         if self._stack:
-            self._stack[-1].self_seconds += now - self._last
-            self._stack[-1].self_wall_seconds += wall - self._last_wall
+            top = self._stack[-1]
+            top.self_seconds += now - self._last
+            top.self_wall_seconds += wall - self._last_wall
+            top.self_flash_seconds += flash_now - self._last_flash
+            top.self_usb_seconds += usb_now - self._last_usb
+            top.flash_page_reads += reads - self._last_reads
+            top.flash_page_writes += writes - self._last_writes
+            top.usb_messages += msgs - self._last_msgs
         self._last = now
         self._last_wall = wall
+        self._last_flash = flash_now
+        self._last_usb = usb_now
+        self._last_reads = reads
+        self._last_writes = writes
+        self._last_msgs = msgs
 
     def enter(self, stats: OperatorStats) -> None:
         self._mark()

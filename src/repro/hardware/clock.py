@@ -81,6 +81,15 @@ class SimClock:
         """Total simulated seconds elapsed."""
         return sum(self._totals.values())
 
+    @property
+    def totals(self) -> dict[str, float]:
+        """Live per-category totals (read-only by convention).
+
+        The dict object is stable across :meth:`reset`, so hot paths may
+        hold a reference instead of re-fetching snapshots.
+        """
+        return self._totals
+
     def breakdown(self) -> TimeBreakdown:
         """A snapshot of the per-category totals."""
         return TimeBreakdown(**self._totals)

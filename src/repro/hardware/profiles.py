@@ -104,3 +104,12 @@ TINY_DEVICE = DEMO_DEVICE.with_overrides(
     name="tiny-device",
     ram_bytes=16 * 1024,
 )
+
+#: The named profiles surfaces accept (``--profile`` on the CLI, the
+#: bench runner's config): short alias -> profile.
+PROFILES = {
+    "demo": DEMO_DEVICE,
+    "harsh-flash": HARSH_FLASH_DEVICE,
+    "high-speed": HIGH_SPEED_DEVICE,
+    "tiny": TINY_DEVICE,
+}

@@ -126,6 +126,12 @@ class Observability:
         reg.gauge(
             "ghostdb_trace_spans", "spans currently held by the tracer"
         )
+        reg.histogram(
+            "ghostdb_optimizer_est_over_meas",
+            "cost-model estimated over measured simulated seconds, "
+            "per executed plan",
+            buckets=(0.25, 0.5, 0.8, 1.25, 2.0, 4.0),
+        )
 
     # ------------------------------------------------------------------
 

@@ -2,12 +2,27 @@
 
 The demo GUI shows the operator tree and, per operator, estimated and
 measured statistics; this module produces the textual equivalent.
+``EXPLAIN ANALYZE`` additionally grades the cost model per node: the
+model's estimates are cumulative (each node's estimate absorbs its
+children), so the node's *own* predicted cost is the estimate minus the
+children's, which is then lined up against the per-operator flash/USB/
+RAM measurements attributed by the executor.  Nodes whose own time was
+mispredicted by more than :data:`MISESTIMATE_THRESHOLD` either way are
+flagged -- the scorecard in :mod:`repro.bench.scorecard` applies the
+same threshold per candidate plan.
 """
 
 from __future__ import annotations
 
 from repro.engine import plan as lp
-from repro.optimizer.cost import CostModel
+from repro.optimizer.cost import CostEstimate, CostModel
+
+#: Estimate and measurement disagreeing by more than this factor either
+#: way flags the node (and counts a scorecard misestimate).
+MISESTIMATE_THRESHOLD = 2.0
+
+#: Self times below this (seconds) are too small to grade honestly.
+_MIN_FLAG_SECONDS = 1e-4
 
 
 def explain_plan(plan: lp.PlanNode, cost_model: CostModel | None = None) -> str:
@@ -37,6 +52,37 @@ def _render(
         _render(child, cost_model, depth + 1, lines)
 
 
+def self_estimate(node: lp.PlanNode, cost_model: CostModel) -> CostEstimate:
+    """The node's *own* estimated cost: cumulative minus children.
+
+    Clamped at zero per category -- the model prices a parent from its
+    children's output cardinalities, so small negative residues can
+    appear when a child over-absorbs.
+    """
+    est = cost_model.estimate(node)
+    own = CostEstimate(
+        flash_read_s=est.flash_read_s,
+        flash_write_s=est.flash_write_s,
+        usb_s=est.usb_s,
+        cpu_s=est.cpu_s,
+        out_count=est.out_count,
+        ram_bytes=est.ram_bytes,
+    )
+    for child in node.children():
+        sub = cost_model.estimate(child)
+        own.flash_read_s -= sub.flash_read_s
+        own.flash_write_s -= sub.flash_write_s
+        own.usb_s -= sub.usb_s
+        own.cpu_s -= sub.cpu_s
+        own.ram_bytes -= sub.ram_bytes
+    own.flash_read_s = max(0.0, own.flash_read_s)
+    own.flash_write_s = max(0.0, own.flash_write_s)
+    own.usb_s = max(0.0, own.usb_s)
+    own.cpu_s = max(0.0, own.cpu_s)
+    own.ram_bytes = max(0.0, own.ram_bytes)
+    return own
+
+
 def explain_analyze(plan: lp.PlanNode, cost_model: CostModel) -> str:
     """Estimated vs measured, per node, after the plan has executed.
 
@@ -57,18 +103,37 @@ def _render_analyzed(
 ) -> None:
     prefix = "  " * depth
     est = cost_model.estimate(node)
+    own = self_estimate(node, cost_model)
+    est_flash_ms = (own.flash_read_s + own.flash_write_s) * 1000
+    estimate = (
+        f"est ~{est.out_count:.0f} out, ~{own.seconds * 1000:.2f} ms self, "
+        f"flash ~{est_flash_ms:.2f} ms, usb ~{own.usb_s * 1000:.2f} ms, "
+        f"ram ~{own.ram_bytes / 1024:.1f} KiB"
+    )
     measured = getattr(node, "_measured", None)
     if measured is None:
-        actual = "(not executed)"
+        lines.append(f"{prefix}{node.label()}  [{estimate} | (not executed)]")
     else:
         actual = (
             f"actual {measured.tuples_out} out, "
-            f"{measured.self_seconds * 1000:.2f} ms self"
+            f"{measured.self_seconds * 1000:.2f} ms self, "
+            f"flash {measured.self_flash_seconds * 1000:.2f} ms "
+            f"({measured.flash_page_reads}r/{measured.flash_page_writes}w), "
+            f"usb {measured.self_usb_seconds * 1000:.2f} ms "
+            f"({measured.usb_messages} msgs), "
+            f"ram {measured.ram_bytes} B"
         )
-    lines.append(
-        f"{prefix}{node.label()}  "
-        f"[est ~{est.out_count:.0f} out, ~{est.seconds * 1000:.2f} ms | "
-        f"{actual}]"
-    )
+        flag = _misestimate_flag(own.seconds, measured.self_seconds)
+        lines.append(f"{prefix}{node.label()}  [{estimate} | {actual}]{flag}")
     for child in node.children():
         _render_analyzed(child, cost_model, depth + 1, lines)
+
+
+def _misestimate_flag(est_seconds: float, meas_seconds: float) -> str:
+    """`` <- MISESTIMATE (Nx)`` when the node's own time was badly off."""
+    if max(est_seconds, meas_seconds) < _MIN_FLAG_SECONDS:
+        return ""
+    ratio = est_seconds / max(meas_seconds, 1e-12)
+    if 1 / MISESTIMATE_THRESHOLD <= ratio <= MISESTIMATE_THRESHOLD:
+        return ""
+    return f"  <- MISESTIMATE ({ratio:.2f}x est/meas)"

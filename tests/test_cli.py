@@ -67,6 +67,11 @@ class TestShellCommands:
         assert alive
         assert "error:" in out
 
+    def test_explain_analyze_alias(self, shell):
+        _alive, out = run(shell, f".explain analyze {demo_query()}")
+        assert "est ~" in out and "actual" in out
+        assert "rows)" in out
+
     def test_unknown_command(self, shell):
         _alive, out = run(shell, ".bogus")
         assert "unknown command" in out
@@ -79,6 +84,30 @@ class TestShellCommands:
     def test_quit(self, shell):
         alive, _out = run(shell, ".quit")
         assert not alive
+
+
+class TestMetricsOut:
+    def test_metrics_out_writes_exposition(self, tmp_path):
+        out = io.StringIO()
+        path = tmp_path / "nested" / "metrics.prom"
+        sh = Shell(scale=300, out=out, metrics_out=str(path))
+        sh.handle("SELECT Country FROM Doctor LIMIT 1")
+        sh.close()
+        text = path.read_text()
+        assert "# TYPE ghostdb_queries_total counter" in text
+        assert "ghostdb_queries_total 1" in text
+        assert "wrote metrics exposition" in out.getvalue()
+
+    def test_metrics_out_unwritable_errors_cleanly(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        out = io.StringIO()
+        sh = Shell(
+            scale=300, out=out,
+            metrics_out=str(blocker / "sub" / "metrics.prom"),
+        )
+        sh.close()  # must not raise
+        assert "error: could not write metrics" in out.getvalue()
 
 
 class TestExplainAnalyze:
