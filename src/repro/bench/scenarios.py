@@ -82,6 +82,86 @@ def _fig6_p1_plan(session):
     return session.executor.execute(plan)
 
 
+#: Attempts a chaos scenario gets before the run is declared broken.
+#: The schedules are fixed-seed, so in practice each scenario needs the
+#: same number of attempts on every run.
+CHAOS_MAX_ATTEMPTS = 8
+
+
+def _chaos(profile_name: str, seed: int):
+    """Run the demo query under a fixed-seed fault schedule.
+
+    A clean reference answer is taken first; the faulted run must then
+    produce the identical rows (retrying and remounting as needed) or
+    the scenario raises -- silent wrong answers under faults are exactly
+    what the bench gate exists to catch.
+    """
+
+    def run(session):
+        from repro.faults import GhostDBFaultError
+
+        sql = demo_query()
+        reference = session.query(sql)
+        session.set_faults(profile_name, seed)
+        result = None
+        try:
+            for _ in range(CHAOS_MAX_ATTEMPTS):
+                try:
+                    result = session.query(sql)
+                    break
+                except GhostDBFaultError:
+                    if session.needs_remount:
+                        session.remount()
+        finally:
+            session.clear_faults()
+            if session.needs_remount:
+                session.remount()
+        if result is None:
+            raise RuntimeError(
+                f"chaos scenario gave up after {CHAOS_MAX_ATTEMPTS} "
+                f"attempts (profile={profile_name}, seed={seed})"
+            )
+        if result.rows != reference.rows:
+            raise RuntimeError(
+                f"chaos answer diverged from the clean reference "
+                f"(profile={profile_name}, seed={seed})"
+            )
+        return result
+
+    return run
+
+
+def _chaos_powercut(session):
+    """Guaranteed power cut mid-query, then remount and re-answer.
+
+    Exercises the full recovery path: the scheduled cut kills the query
+    at a fixed flash-op index, the remount's recovery scan rebuilds the
+    FTL map, and the re-run must reproduce the clean answer."""
+    from repro.faults import PowerCutError
+
+    sql = demo_query()
+    reference = session.query(sql)
+    injector = session.set_faults("none", seed=0)
+    # Early enough that the demo query reaches it even at the smallest
+    # scale the bench tests use (13 flash ops at scale 300).
+    injector.schedule_power_cut(at_flash_op=8)
+    cut = False
+    try:
+        try:
+            session.query(sql)
+        except PowerCutError:
+            cut = True
+    finally:
+        session.clear_faults()
+    if not cut:
+        raise RuntimeError("scheduled power cut never fired")
+    session.remount()
+    result = session.query(sql)
+    if result.rows != reference.rows:
+        raise RuntimeError("post-remount answer diverged from reference")
+    return result
+
+
 SCENARIOS: tuple[Scenario, ...] = (
     # Figure 1 / Section 4: the demo query under the optimizer's plan.
     Scenario("fig1-demo-query", "fig1", _query(demo_query())),
@@ -128,6 +208,13 @@ SCENARIOS: tuple[Scenario, ...] = (
         "battery",
         _query(QUERY_FAMILIES["hidden-range"]),
     ),
+    # Chaos: the demo query under fixed-seed fault schedules.  Gated
+    # like every other scenario -- the fault path's cost is part of the
+    # contract, and a changed schedule shows up as a metric diff.
+    Scenario("chaos-usb-demo", "chaos", _chaos("usb", seed=1)),
+    Scenario("chaos-flash-demo", "chaos", _chaos("flash", seed=2)),
+    Scenario("chaos-mixed-demo", "chaos", _chaos("mixed", seed=3)),
+    Scenario("chaos-powercut-remount", "chaos", _chaos_powercut),
 )
 
 

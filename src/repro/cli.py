@@ -22,6 +22,12 @@ Commands::
     .schema             table definitions with hidden markers
     .storage            the device's flash footprint report
     .game [sql]         play the find-the-fastest-plan game
+    .fault              show the fault-injection status
+    .fault <profile> [seed]  attach a fault profile (usb, flash, mixed,
+                        powercut; deterministic per seed)
+    .fault events [n]   the last n injected-fault decisions (default 10)
+    .fault remount      remount after a power cut (recovery scan)
+    .fault off          detach the injector
     .reset              clear measurements and the traffic log
     .help               this text
     .quit               leave
@@ -47,7 +53,8 @@ class Shell:
 
     def __init__(self, scale: int = 10_000, profile: str = "demo",
                  out=None, trace_out: str | None = None,
-                 metrics_out: str | None = None):
+                 metrics_out: str | None = None,
+                 fault_profile: str | None = None, fault_seed: int = 0):
         self.out = out or sys.stdout
         self.trace_out = trace_out
         self.metrics_out = metrics_out
@@ -58,6 +65,8 @@ class Shell:
             DatasetConfig(n_prescriptions=scale)
         ).generate()
         self.db.load(self.data)
+        if fault_profile and fault_profile != "none":
+            self.db.set_faults(fault_profile, fault_seed)
         self.checker = LeakChecker(self.db.schema, self.data)
         self._print(
             f"GhostDB shell -- {scale} prescriptions on "
@@ -132,6 +141,8 @@ class Shell:
             self._show_storage()
         elif name == ".game":
             self._play_game(argument or demo_query())
+        elif name == ".fault":
+            self._fault_command(argument)
         elif name == ".reset":
             self.db.reset_measurements()
             self._print("measurements and traffic log cleared")
@@ -191,6 +202,61 @@ class Shell:
             f"  total base {report.base_total / 1024:.0f} KiB, "
             f"indexes {report.index_total / 1024:.0f} KiB"
         )
+
+    def _fault_command(self, argument: str) -> None:
+        from repro.faults import FAULT_PROFILES
+
+        parts = argument.split()
+        word = parts[0].lower() if parts else "status"
+        if word in ("", "status"):
+            injector = self.db.fault_injector
+            if injector is None:
+                self._print("fault injection: off")
+            else:
+                self._print(
+                    f"fault injection: profile={injector.profile.name} "
+                    f"seed={injector.seed} events={len(injector.events)} "
+                    f"usb_ops={injector.usb_ops} "
+                    f"flash_ops={injector.flash_ops}"
+                )
+            if self.db.needs_remount:
+                self._print("device lost power: '.fault remount' to recover")
+        elif word == "off":
+            self.db.clear_faults()
+            self._print("fault injection detached")
+        elif word == "remount":
+            if not self.db.needs_remount:
+                self._print("device is powered; nothing to recover")
+                return
+            self.db.remount()
+            self._print("remounted: recovery scan rebuilt the FTL map")
+        elif word == "events":
+            injector = self.db.fault_injector
+            if injector is None:
+                self._print("fault injection: off")
+                return
+            count = int(parts[1]) if len(parts) > 1 else 10
+            events = injector.events[-count:]
+            if not events:
+                self._print("no faults injected yet")
+            for event in events:
+                self._print(
+                    f"  #{event.op_index:<6d} {event.site:5s} {event.kind}"
+                )
+        elif word in FAULT_PROFILES:
+            seed = int(parts[1]) if len(parts) > 1 else 0
+            if word == "none":
+                self.db.clear_faults()
+                self._print("fault injection detached")
+                return
+            self.db.set_faults(word, seed)
+            self._print(f"fault injection: profile={word} seed={seed}")
+        else:
+            names = ", ".join(sorted(FAULT_PROFILES))
+            self._print(
+                f"unknown fault subcommand {word!r}; "
+                f"profiles: {names}; or status/events/remount/off"
+            )
 
     def _play_game(self, sql: str) -> None:
         from repro.demo.game import PlanGame
@@ -291,10 +357,21 @@ def main(argv=None) -> int:
         help="write the session's Prometheus-style metrics exposition "
         "here on exit",
     )
+    from repro.faults import FAULT_PROFILES
+
+    parser.add_argument(
+        "--fault-profile", choices=sorted(FAULT_PROFILES), default=None,
+        help="attach this deterministic fault-injection profile at start",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the fault schedule (same seed, same faults)",
+    )
     args = parser.parse_args(argv)
     shell = Shell(
         scale=args.scale, profile=args.profile, trace_out=args.trace_out,
         metrics_out=args.metrics_out,
+        fault_profile=args.fault_profile, fault_seed=args.fault_seed,
     )
     if args.query:
         for sql in args.query:

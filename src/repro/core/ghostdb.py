@@ -29,6 +29,13 @@ from repro.catalog.schema import Schema, SchemaError
 from repro.catalog.tree import SchemaTree
 from repro.engine.database import HiddenDatabase
 from repro.engine.executor import ExecConfig, Executor, QueryResult
+from repro.faults import (
+    FAULT_PROFILES,
+    FaultInjector,
+    FaultProfile,
+    GhostDBFaultError,
+    PowerCutError,
+)
 from repro.engine.plan import Project
 from repro.hardware.device import SmartUsbDevice
 from repro.hardware.profiles import DEMO_DEVICE, HardwareProfile
@@ -78,6 +85,10 @@ class SessionConfig:
     exec_config: ExecConfig = None
     id_batch: int = 256
     index_columns: list | None = None
+    #: Fault-injection regime to attach after load (a name from
+    #: :data:`repro.faults.FAULT_PROFILES`), or None for a healthy device.
+    fault_profile: str | None = None
+    fault_seed: int = 0
 
     def __post_init__(self):
         if self.exec_config is None:
@@ -106,6 +117,8 @@ class GhostDB:
         self.executor: Executor | None = None
         self.optimizer: Optimizer | None = None
         self._pending_inserts: dict[str, list[tuple]] = {}
+        self.fault_injector: FaultInjector | None = None
+        self._needs_remount = False
 
     # ------------------------------------------------------------------
     # DDL / DML
@@ -220,6 +233,8 @@ class GhostDB:
         self.obs.redactor.allow_schema(self.schema)
         # Loading is not part of any query measurement.
         self.device.reset_measurements()
+        if self.config.fault_profile:
+            self.set_faults(self.config.fault_profile, self.config.fault_seed)
         log.info(
             "session loaded: %d tables, %d rows total",
             sum(1 for _ in self.schema),
@@ -229,6 +244,74 @@ class GhostDB:
     def _require_loaded(self) -> None:
         if self.tree is None:
             raise SessionError("load data before querying")
+
+    # ------------------------------------------------------------------
+    # Fault injection and recovery
+    # ------------------------------------------------------------------
+
+    def set_faults(
+        self,
+        profile: str | FaultProfile | None,
+        seed: int = 0,
+    ) -> FaultInjector | None:
+        """Attach a deterministic fault injector to the device.
+
+        ``profile`` is a name from :data:`repro.faults.FAULT_PROFILES`
+        (or a :class:`FaultProfile`); ``None`` or ``"none"``-with-no-rates
+        still attaches, which is useful for scheduled power cuts.  The
+        same (workload, profile, seed) triple always reproduces the
+        identical fault schedule.  Returns the injector.
+        """
+        if profile is None:
+            self.clear_faults()
+            return None
+        if isinstance(profile, str):
+            try:
+                profile = FAULT_PROFILES[profile]
+            except KeyError:
+                raise SessionError(
+                    f"unknown fault profile {profile!r}; choose from "
+                    f"{sorted(FAULT_PROFILES)}"
+                ) from None
+        self.fault_injector = FaultInjector(profile=profile, seed=seed)
+        self.device.attach_faults(self.fault_injector)
+        return self.fault_injector
+
+    def clear_faults(self) -> None:
+        """Detach the fault injector; the device is healthy again."""
+        self.fault_injector = None
+        self.device.detach_faults()
+
+    @property
+    def needs_remount(self) -> bool:
+        """True after a power cut or unplug, until :meth:`remount`."""
+        return self._needs_remount
+
+    def remount(self) -> None:
+        """Plug the key back in after power loss.
+
+        Rebuilds the FTL map from the flash spare-area journal (rolling
+        back torn writes to the last committed state) and resets the
+        volatile RAM budget.  Idempotent; safe to call on a healthy
+        device.
+        """
+        self.device.remount()
+        self._needs_remount = False
+
+    def _guard_powered(self) -> None:
+        if self._needs_remount:
+            raise SessionError(
+                "device lost power mid-operation; call remount() before "
+                "querying again"
+            )
+
+    def _abort_on_fault(self, exc: GhostDBFaultError) -> None:
+        """Record a fault-aborted query; power loss demands a remount."""
+        self.obs.registry.counter(
+            "ghostdb_recovery_aborted_queries_total"
+        ).inc(reason=type(exc).__name__)
+        if isinstance(exc, PowerCutError):
+            self._needs_remount = True
 
     def append(self, table: str, rows: list[tuple]):
         """Append rows after the initial load (a re-synchronisation
@@ -272,25 +355,26 @@ class GhostDB:
         The paper accepts that the spy learns "the queries he poses";
         this makes that observable in the captured traffic.
         """
-        from repro.hardware.usb import Direction
-
-        self.device.usb.transfer(
-            Direction.TO_DEVICE, "query", sql.strip().encode("utf-8"),
-            description="query text from the terminal",
-        )
+        self.link.announce(sql)
 
     def _run_select(self, statement: ast.Select, sql: str = "") -> QueryResult:
         self._require_loaded()
+        self._guard_powered()
         with self.obs.tracer.span("query", category="session") as span:
             if sql:
                 # The SQL text passes the redaction gate: constants (which
                 # may name hidden values) come out as '?', identifiers stay.
                 span.set("sql", " ".join(sql.split()))
-            if sql:
-                self._announce_query(sql)
-            bound = Binder(self.tree).bind(statement)
-            ranked = self.optimizer.optimize(bound)
-            result = self.executor.execute(ranked.plan)
+            try:
+                if sql:
+                    self._announce_query(sql)
+                bound = Binder(self.tree).bind(statement)
+                ranked = self.optimizer.optimize(bound)
+                result = self.executor.execute(ranked.plan)
+            except GhostDBFaultError as exc:
+                span.set("aborted", type(exc).__name__)
+                self._abort_on_fault(exc)
+                raise
             span.set("result_rows", result.row_count)
         return result
 
@@ -304,15 +388,21 @@ class GhostDB:
     def query_with_strategy(self, sql: str, strategy: Strategy) -> QueryResult:
         """Execute with an explicit PRE/POST assignment (the demo GUI's
         ad-hoc plan building)."""
+        self._guard_powered()
         with self.obs.tracer.span("query", category="session") as span:
             span.set("sql", " ".join(sql.split()))
-            self._announce_query(sql)
-            bound = self.bind(sql)
-            span.set("strategy", strategy.label(bound))
-            builder = PlanBuilder(self.hidden, bound)
-            plan = builder.build(strategy)
-            self.optimizer.annotate(plan)
-            result = self.executor.execute(plan)
+            try:
+                self._announce_query(sql)
+                bound = self.bind(sql)
+                span.set("strategy", strategy.label(bound))
+                builder = PlanBuilder(self.hidden, bound)
+                plan = builder.build(strategy)
+                self.optimizer.annotate(plan)
+                result = self.executor.execute(plan)
+            except GhostDBFaultError as exc:
+                span.set("aborted", type(exc).__name__)
+                self._abort_on_fault(exc)
+                raise
         return result
 
     def execute_plan(self, plan: Project) -> QueryResult:
@@ -336,10 +426,15 @@ class GhostDB:
         statistics per node (plus the result itself)."""
         from repro.optimizer.explain import explain_analyze
 
-        self._announce_query(sql)
-        bound = self.bind(sql)
-        best = self.optimizer.optimize(bound)
-        result = self.executor.execute(best.plan)
+        self._guard_powered()
+        try:
+            self._announce_query(sql)
+            bound = self.bind(sql)
+            best = self.optimizer.optimize(bound)
+            result = self.executor.execute(best.plan)
+        except GhostDBFaultError as exc:
+            self._abort_on_fault(exc)
+            raise
         report = explain_analyze(best.plan, self.optimizer.cost_model)
         measured = result.metrics.elapsed_seconds
         if measured > 1e-9:

@@ -6,24 +6,42 @@ Persisting both lets a program close and reopen the "key" with every
 byte, index and erase-count intact, which is how the physical artifact
 behaves.
 
-The on-disk format is a version-tagged pickle of the session object.
+The on-disk format is a version-tagged, checksummed pickle of the
+session object, written crash-safely:
+
+* the payload is pickled in memory first, then written to a temporary
+  file in the target directory, flushed and fsynced, and atomically
+  renamed over the destination -- a crash mid-save leaves either the old
+  file or the new one, never a torn mix;
+* the header carries the payload length and a CRC32, both verified on
+  load *before* any unpickling, so a truncated or bit-flipped file
+  raises :class:`PersistenceError` instead of feeding garbage to pickle.
+
 That is appropriate here because the file *is* the device: on real
 hardware the flash image lives inside the tamper-resistant chip and
 never leaves it; in the simulation, the file inherits whatever
 protection the host gives it.  Do not load session files from untrusted
-sources (standard pickle caveat).
+sources (standard pickle caveat -- the CRC detects corruption, not
+malice).
 """
 
 from __future__ import annotations
 
+import os
 import pickle
+import tempfile
+import zlib
 
 from repro.obs.log import get_logger
 
 log = get_logger(__name__)
 
 MAGIC = b"GHOSTDB-SESSION"
-VERSION = 1
+VERSION = 2
+
+#: Header after MAGIC: version (2 B) + payload length (8 B) + CRC32 (4 B).
+_LEN_BYTES = 8
+_CRC_BYTES = 4
 
 
 class PersistenceError(RuntimeError):
@@ -36,15 +54,39 @@ def save_session(session, path: str) -> None:
 
     if not isinstance(session, GhostDB):
         raise PersistenceError("only GhostDB sessions can be saved")
-    with open(path, "wb") as f:
-        f.write(MAGIC)
-        f.write(VERSION.to_bytes(2, "big"))
-        pickle.dump(session, f, protocol=pickle.HIGHEST_PROTOCOL)
-    log.info("saved session to %s", path)
+    payload = pickle.dumps(session, protocol=pickle.HIGHEST_PROTOCOL)
+    header = (
+        MAGIC
+        + VERSION.to_bytes(2, "big")
+        + len(payload).to_bytes(_LEN_BYTES, "big")
+        + zlib.crc32(payload).to_bytes(_CRC_BYTES, "big")
+    )
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=".ghostdb-session-", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(header)
+            f.write(payload)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    log.info("saved session to %s (%d B payload)", path, len(payload))
 
 
 def load_session(path: str):
-    """Reopen a session saved by :func:`save_session`."""
+    """Reopen a session saved by :func:`save_session`.
+
+    The header's length and CRC are verified before unpickling; any
+    mismatch (truncation, bit rot) raises :class:`PersistenceError`.
+    """
     from repro.core.ghostdb import GhostDB
 
     with open(path, "rb") as f:
@@ -58,7 +100,23 @@ def load_session(path: str):
             raise PersistenceError(
                 f"unsupported session format version {version}"
             )
-        session = pickle.load(f)
+        length_raw = f.read(_LEN_BYTES)
+        crc_raw = f.read(_CRC_BYTES)
+        if len(length_raw) != _LEN_BYTES or len(crc_raw) != _CRC_BYTES:
+            raise PersistenceError(f"{path!r} is truncated (header)")
+        length = int.from_bytes(length_raw, "big")
+        crc = int.from_bytes(crc_raw, "big")
+        payload = f.read(length + 1)
+        if len(payload) != length:
+            raise PersistenceError(
+                f"{path!r} is truncated or padded: header announces "
+                f"{length} B, file holds {len(payload)}"
+            )
+        if zlib.crc32(payload) != crc:
+            raise PersistenceError(
+                f"{path!r} failed its checksum; the file is corrupted"
+            )
+        session = pickle.loads(payload)
     if not isinstance(session, GhostDB):
         raise PersistenceError("file did not contain a GhostDB session")
     log.info("loaded session from %s", path)

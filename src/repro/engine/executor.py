@@ -32,6 +32,7 @@ from repro.engine.operators import (
     VisibleSelectOp,
 )
 from repro.engine.operators.adapt import IdsToTuplesOp
+from repro.faults.errors import GhostDBFaultError
 from repro.hardware.device import SmartUsbDevice
 from repro.obs import Observability, get_logger
 from repro.visible.link import DeviceLink
@@ -107,7 +108,14 @@ class Executor:
             with tracer.span("executor.lower", category="engine") as lspan:
                 operator = self.lower(root, ctx)
                 lspan.set("operators", len(ctx.operators))
-            rows = list(operator.rows())
+            try:
+                rows = list(operator.rows())
+            except GhostDBFaultError as exc:
+                # A clean abort: generator unwinding releases every RAM
+                # allocation; the caller decides whether a remount is
+                # needed.  The span records what killed the query.
+                span.set("aborted", type(exc).__name__)
+                raise
             after = self.device.counters()
             metrics = ExecutionMetrics.from_counters(
                 before, after, ctx.operators, len(rows)

@@ -1,0 +1,29 @@
+"""Deterministic fault injection and typed failure modes.
+
+See :mod:`repro.faults.injector` for the decision engine and
+``docs/ROBUSTNESS.md`` for the fault model and recovery invariants.
+"""
+
+from repro.faults.errors import (
+    DeviceUnpluggedError,
+    GhostDBFaultError,
+    PowerCutError,
+    UsbTransferError,
+)
+from repro.faults.injector import (
+    FAULT_PROFILES,
+    FaultDecision,
+    FaultInjector,
+    FaultProfile,
+)
+
+__all__ = [
+    "DeviceUnpluggedError",
+    "GhostDBFaultError",
+    "PowerCutError",
+    "UsbTransferError",
+    "FAULT_PROFILES",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultProfile",
+]

@@ -1,0 +1,37 @@
+"""Typed failure modes of the simulated device.
+
+Every fault the injector can manifest surfaces to callers as one of
+these exceptions (or is absorbed by a recovery mechanism and never
+surfaces at all).  The engine's contract under failure is:
+
+* a query either returns the correct result or raises a
+  :class:`GhostDBFaultError` subclass -- never a corrupted result, never
+  a foreign exception from deep inside an operator;
+* after :class:`UsbTransferError` the device is still consistent and the
+  next query works immediately;
+* after :class:`PowerCutError` / :class:`DeviceUnpluggedError` the
+  device's volatile state is gone and the session must be remounted
+  (:meth:`repro.core.ghostdb.GhostDB.remount`) before the next query.
+"""
+
+from __future__ import annotations
+
+
+class GhostDBFaultError(RuntimeError):
+    """Base class for injected-fault failures surfaced to callers."""
+
+
+class UsbTransferError(GhostDBFaultError):
+    """A USB message could not be delivered intact within the retry
+    budget.  The device is still powered and consistent."""
+
+
+class PowerCutError(GhostDBFaultError):
+    """Power was lost mid-operation.  Volatile device state (FTL map,
+    RAM) is gone; flash retains whatever was physically committed.
+    Remount the device to run the recovery scan."""
+
+
+class DeviceUnpluggedError(PowerCutError):
+    """The key was unplugged mid-query.  Semantically a power cut (the
+    device is USB-powered) that additionally kills the link."""

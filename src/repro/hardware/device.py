@@ -41,6 +41,7 @@ class SmartUsbDevice:
         metrics=None,
     ):
         self.profile = profile
+        self.metrics = metrics
         self.clock = SimClock()
         self.ram = RamBudget(capacity=profile.ram_bytes, metrics=metrics)
         self.flash = NandFlash(
@@ -53,6 +54,37 @@ class SmartUsbDevice:
         self.usb = UsbChannel(
             profile=profile, clock=self.clock, metrics=metrics
         )
+        self.faults = None
+
+    def attach_faults(self, injector) -> None:
+        """Wire a :class:`~repro.faults.FaultInjector` into every
+        hardware layer (USB link and NAND flash)."""
+        if injector is not None and injector.metrics is None:
+            injector.metrics = self.metrics
+        self.faults = injector
+        self.usb.faults = injector
+        self.flash.faults = injector
+
+    def detach_faults(self) -> None:
+        self.attach_faults(None)
+
+    def remount(self) -> None:
+        """Recover after a power cut or unplug.
+
+        Volatile state (RAM contents, the in-memory FTL map) is gone;
+        the flash array survives.  A fresh RAM budget is allocated and
+        the FTL map is rebuilt from the spare-area journal
+        (:meth:`~repro.hardware.ftl.FlashTranslationLayer.recover`),
+        which rolls back torn writes to the last committed state.
+        """
+        self.ram = RamBudget(
+            capacity=self.profile.ram_bytes, metrics=self.metrics
+        )
+        self.ftl = FlashTranslationLayer.recover(
+            self.flash, spare_blocks=self.ftl.spare_blocks
+        )
+        if self.metrics is not None:
+            self.metrics.counter("ghostdb_recovery_remounts_total").inc()
 
     def counters(self) -> DeviceCounters:
         """Snapshot every counter (cheap; used to diff around a query)."""

@@ -23,8 +23,11 @@ this into an ordinary "write any logical page" interface.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
+from repro.faults.errors import PowerCutError
+from repro.faults.injector import FaultInjector
 from repro.hardware.clock import SimClock
 from repro.hardware.profiles import HardwareProfile
 from repro.obs.registry import MetricsRegistry
@@ -41,8 +44,26 @@ class PageProgrammedError(FlashError):
     """
 
 
+class ProgramFailedError(FlashError):
+    """A page program was torn: the page now holds garbage with an
+    invalid spare-area checksum.  The device is still powered; the FTL
+    must mark the page unusable and relocate the write."""
+
+
+class BadBlockError(FlashError):
+    """A block failed a program or erase and is now marked bad.
+
+    Real NAND ships with (and grows) bad blocks; they can still be read
+    but must be retired from the write rotation."""
+
+
 class WearOutError(FlashError):
     """A block exceeded its program/erase cycle endurance."""
+
+
+#: XOR mask applied to the stored spare-area CRC of a torn page, so a
+#: torn program is detectable but deterministic.
+_TORN_CRC_MASK = 0x5A5A5A5A
 
 
 @dataclass
@@ -86,7 +107,14 @@ class NandFlash:
     #: Optional device-lifetime metrics sink (monotonic; includes load,
     #: unlike the query-attributed ``ghostdb_flash_*`` family).
     metrics: MetricsRegistry | None = None
+    #: Optional deterministic fault injector (see :mod:`repro.faults`).
+    faults: FaultInjector | None = None
     _pages: dict[int, bytes] = field(default_factory=dict)
+    #: Spare-area ("out of band") metadata per programmed page:
+    #: ``(logical_page, write_seq, crc32)``.  This is the journal the
+    #: mount-time recovery scan rebuilds the FTL map from.
+    _oob: dict[int, tuple[int, int, int]] = field(default_factory=dict)
+    _bad_blocks: set[int] = field(default_factory=set)
     _erase_counts: dict[int, int] = field(default_factory=dict)
 
     def _count(self, name: str, amount: int = 1, **labels) -> None:
@@ -123,7 +151,8 @@ class NandFlash:
             raise FlashError(
                 f"read of [{offset}, {offset + length}) exceeds page size"
             )
-        if length <= page_size * PARTIAL_READ_FRACTION:
+        partial = length <= page_size * PARTIAL_READ_FRACTION
+        if partial:
             self.stats.page_reads_partial += 1
             self.clock.advance(self.profile.flash_read_partial_s, "flash_read")
             self._count("ghostdb_device_flash_reads_total", kind="partial")
@@ -131,45 +160,149 @@ class NandFlash:
             self.stats.page_reads_full += 1
             self.clock.advance(self.profile.flash_read_full_s, "flash_read")
             self._count("ghostdb_device_flash_reads_total", kind="full")
+        if self.faults is not None:
+            decision = self.faults.flash_decision("read", length)
+            if decision is not None:
+                if decision.kind == "power_cut":
+                    raise PowerCutError(
+                        f"power lost during read of page {page}"
+                    )
+                if decision.kind == "bitflip":
+                    # Transient bit flip caught by the spare-area ECC:
+                    # the controller re-reads the page (charged at the
+                    # same rate class) and delivers corrected data.
+                    if partial:
+                        self.stats.page_reads_partial += 1
+                        self.clock.advance(
+                            self.profile.flash_read_partial_s, "flash_read"
+                        )
+                        self._count(
+                            "ghostdb_device_flash_reads_total", kind="partial"
+                        )
+                    else:
+                        self.stats.page_reads_full += 1
+                        self.clock.advance(
+                            self.profile.flash_read_full_s, "flash_read"
+                        )
+                        self._count(
+                            "ghostdb_device_flash_reads_total", kind="full"
+                        )
+                    self._count("ghostdb_flash_ecc_corrections_total")
         data = self._pages.get(page, b"\xff" * page_size)
         return data[offset : offset + length]
 
-    def program(self, page: int, data: bytes) -> None:
-        """Program (write) a whole page.  The page must be erased."""
+    def program(
+        self,
+        page: int,
+        data: bytes,
+        oob: tuple[int, int] | None = None,
+    ) -> None:
+        """Program (write) a whole page.  The page must be erased.
+
+        ``oob`` is the spare-area journal entry ``(logical_page,
+        write_seq)`` stamped by the FTL; together with a CRC32 of the
+        page content it is what the mount-time recovery scan trusts.
+        Pages programmed without ``oob`` are invisible to recovery.
+        """
         self._check_page(page)
         if len(data) > self.profile.page_size:
             raise FlashError(
                 f"page data of {len(data)} B exceeds page size "
                 f"{self.profile.page_size}"
             )
+        block = self.block_of(page)
+        if block in self._bad_blocks:
+            raise BadBlockError(f"block {block} is marked bad")
         if page in self._pages:
             raise PageProgrammedError(
                 f"page {page} is already programmed; erase block "
                 f"{self.block_of(page)} first (no in-place writes)"
             )
         padded = data + b"\xff" * (self.profile.page_size - len(data))
-        self._pages[page] = padded
         self.stats.page_writes += 1
         self.clock.advance(self.profile.flash_write_s, "flash_write")
         self._count("ghostdb_device_flash_writes_total")
+        if self.faults is not None:
+            decision = self.faults.flash_decision("program")
+            if decision is not None:
+                if decision.kind == "power_cut":
+                    # Power died mid-program: the page holds the data
+                    # but its spare-area CRC never committed -- a torn
+                    # page the recovery scan must roll back.
+                    self._tear_page(page, padded, oob)
+                    raise PowerCutError(
+                        f"power lost while programming page {page}"
+                    )
+                if decision.kind == "bad_block":
+                    self._bad_blocks.add(block)
+                    self._count(
+                        "ghostdb_device_flash_bad_blocks_total"
+                    )
+                    raise BadBlockError(
+                        f"block {block} failed to program and is now bad"
+                    )
+                if decision.kind == "torn":
+                    self._tear_page(page, padded, oob)
+                    raise ProgramFailedError(
+                        f"program of page {page} was torn"
+                    )
+        self._pages[page] = padded
+        if oob is not None:
+            lpage, seq = oob
+            self._oob[page] = (lpage, seq, zlib.crc32(padded))
+
+    def _tear_page(self, page: int, padded: bytes, oob) -> None:
+        """Leave ``page`` in the state a torn program produces: content
+        present, spare-area CRC invalid (deterministically)."""
+        self._pages[page] = padded
+        if oob is not None:
+            lpage, seq = oob
+            self._oob[page] = (
+                lpage, seq, zlib.crc32(padded) ^ _TORN_CRC_MASK
+            )
 
     def erase_block(self, block: int) -> None:
         """Erase every page of ``block``; counts toward wear."""
         if not 0 <= block < self.profile.num_blocks:
             raise FlashError(f"block {block} out of range")
+        if block in self._bad_blocks:
+            raise BadBlockError(f"block {block} is marked bad")
         count = self._erase_counts.get(block, 0) + 1
         limit = self.profile.max_erase_cycles
         if limit is not None and count > limit:
             raise WearOutError(
                 f"block {block} exceeded its {limit} erase-cycle endurance"
             )
-        self._erase_counts[block] = count
-        first = block * self.profile.pages_per_block
-        for page in range(first, first + self.profile.pages_per_block):
-            self._pages.pop(page, None)
+        per_block = self.profile.pages_per_block
+        first = block * per_block
         self.stats.block_erases += 1
         self.clock.advance(self.profile.flash_erase_s, "flash_erase")
         self._count("ghostdb_device_flash_erases_total")
+        if self.faults is not None:
+            decision = self.faults.flash_decision("erase", per_block)
+            if decision is not None:
+                if decision.kind == "power_cut":
+                    # Mid-erase cut: a prefix of the block's pages was
+                    # physically wiped before power died.  Surviving
+                    # pages are stale copies (GC relocates live pages
+                    # before erasing), so recovery discards them by seq.
+                    self._erase_counts[block] = count
+                    for page in range(first, first + decision.length):
+                        self._pages.pop(page, None)
+                        self._oob.pop(page, None)
+                    raise PowerCutError(
+                        f"power lost while erasing block {block}"
+                    )
+                if decision.kind == "bad_block":
+                    self._bad_blocks.add(block)
+                    self._count("ghostdb_device_flash_bad_blocks_total")
+                    raise BadBlockError(
+                        f"block {block} failed to erase and is now bad"
+                    )
+        self._erase_counts[block] = count
+        for page in range(first, first + per_block):
+            self._pages.pop(page, None)
+            self._oob.pop(page, None)
 
     def charge_partial_reads(self, count: int) -> None:
         """Charge ``count`` modeled partial reads without moving data.
@@ -183,6 +316,36 @@ class NandFlash:
         self.stats.page_reads_partial += count
         self.clock.advance(count * self.profile.flash_read_partial_s, "flash_read")
         self._count("ghostdb_device_flash_reads_total", count, kind="partial")
+
+    # ------------------------------------------------------------------
+    # Spare-area journal and bad-block marks (recovery interface)
+    # ------------------------------------------------------------------
+
+    def programmed_pages(self) -> list[int]:
+        """All physically programmed page numbers, ascending."""
+        return sorted(self._pages)
+
+    def oob(self, page: int) -> tuple[int, int, int] | None:
+        """Spare-area entry ``(lpage, seq, crc)`` of ``page``, if any."""
+        return self._oob.get(page)
+
+    def page_crc_ok(self, page: int) -> bool:
+        """Does the stored CRC match the page content?  A torn program
+        leaves this False, which is how recovery detects it."""
+        entry = self._oob.get(page)
+        if entry is None or page not in self._pages:
+            return False
+        return entry[2] == zlib.crc32(self._pages[page])
+
+    def mark_bad(self, block: int) -> None:
+        self._bad_blocks.add(block)
+
+    def is_bad(self, block: int) -> bool:
+        return block in self._bad_blocks
+
+    @property
+    def bad_blocks(self) -> frozenset[int]:
+        return frozenset(self._bad_blocks)
 
     def erase_count(self, block: int) -> int:
         return self._erase_counts.get(block, 0)

@@ -24,7 +24,12 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.hardware.flash import FlashError, NandFlash
+from repro.hardware.flash import (
+    BadBlockError,
+    FlashError,
+    NandFlash,
+    ProgramFailedError,
+)
 
 
 class FlashFullError(FlashError):
@@ -57,6 +62,10 @@ class FlashTranslationLayer:
     _next_logical: int = 0
     _free_logical: list[int] = field(default_factory=list)
     _in_gc: bool = False
+    #: Monotonic write sequence stamped into each page's spare area; the
+    #: recovery scan keeps, per logical page, the copy with the highest
+    #: sequence whose CRC verifies.
+    _next_seq: int = 0
 
     def __post_init__(self) -> None:
         if not self._free_blocks:
@@ -98,15 +107,51 @@ class FlashTranslationLayer:
 
     def write(self, lpage: int, data: bytes) -> None:
         """Write (or overwrite) a logical page, out of place."""
-        phys = self._claim_physical_page()
-        self.flash.program(phys, data)
-        old = self._map.get(lpage)
-        if old is not None:
-            self._reverse.pop(old, None)
-            self._stale.add(old)
-        self._map[lpage] = phys
-        self._reverse[phys] = lpage
+        self._program_page(lpage, data)
         self.stats.logical_writes += 1
+
+    def _program_page(self, lpage: int, data: bytes) -> int:
+        """Program ``lpage``'s new content somewhere, surviving torn
+        writes and bad blocks by remapping; returns the physical page.
+
+        The spare area is stamped with ``(lpage, seq)`` *before* the old
+        mapping is released, so a power cut at any point leaves either
+        the old committed copy or a newer valid copy winning the
+        recovery scan -- never neither.
+        """
+        while True:
+            phys = self._claim_physical_page()
+            seq = self._next_seq
+            self._next_seq += 1
+            try:
+                self.flash.program(phys, data, oob=(lpage, seq))
+            except ProgramFailedError:
+                # Torn page: garbage with an invalid CRC.  Leave it for
+                # GC and retry on the next physical page.
+                self._stale.add(phys)
+                self._remap_count("torn")
+                continue
+            except BadBlockError:
+                # The open block just went bad.  Its programmed pages
+                # are still readable (mappings stay valid); its unused
+                # tail is abandoned and the block leaves the rotation.
+                self._open_block = None
+                self._next_in_open = 0
+                self._remap_count("bad_block")
+                continue
+            old = self._map.get(lpage)
+            if old is not None and old != phys:
+                self._reverse.pop(old, None)
+                self._stale.add(old)
+            self._map[lpage] = phys
+            self._reverse[phys] = lpage
+            return phys
+
+    def _remap_count(self, reason: str) -> None:
+        if self.flash.metrics is not None:
+            self.flash.metrics.counter("ghostdb_flash_remaps_total").inc(
+                reason=reason
+            )
 
     # ------------------------------------------------------------------
     # Space management
@@ -168,15 +213,24 @@ class FlashTranslationLayer:
             if lpage is None:
                 self._stale.discard(phys)
                 continue
-            # Relocate a still-valid page: read it and append elsewhere.
+            # Relocate a still-valid page: read it and append elsewhere
+            # with a fresh sequence number, so even if power dies before
+            # the erase below, recovery prefers the relocated copy.
             data = self.flash.read(phys)
-            new_phys = self._claim_physical_page()
-            self.flash.program(new_phys, data)
-            self._map[lpage] = new_phys
-            self._reverse[new_phys] = lpage
             del self._reverse[phys]
+            self._program_page(lpage, data)
             self.stats.gc_relocations += 1
-        self.flash.erase_block(victim)
+        try:
+            self.flash.erase_block(victim)
+        except BadBlockError:
+            # The block died on erase.  Everything in it is garbage or
+            # already relocated; retire it from the rotation for good.
+            for phys in range(first, first + per_block):
+                self._stale.discard(phys)
+            self._remap_count("bad_block")
+            return
+        for phys in range(first, first + per_block):
+            self._stale.discard(phys)
         self._free_blocks.append(victim)
 
     def _pick_victim_block(self) -> int | None:
@@ -214,6 +268,75 @@ class FlashTranslationLayer:
         if not candidates:
             return None
         return max(candidates, key=stale_per_block.get)
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        flash: NandFlash,
+        spare_blocks: int = 2,
+    ) -> "FlashTranslationLayer":
+        """Rebuild an FTL from the spare-area journal after power loss.
+
+        The scan reads every programmed page's spare area (charged as
+        one partial read each -- the OOB area is a few bytes), keeps the
+        highest-sequence copy with a valid CRC per logical page, and
+        marks everything else (torn pages, superseded copies) stale for
+        GC.  Because writes stamp the new copy before releasing the old
+        one, and GC relocates with fresh sequence numbers before
+        erasing, the surviving map is exactly the last committed state:
+        no torn page is ever exposed, no committed write is lost.
+        """
+        ftl = cls(flash=flash, spare_blocks=spare_blocks)
+        per_block = flash.profile.pages_per_block
+        programmed = flash.programmed_pages()
+        best: dict[int, tuple[int, int]] = {}  # lpage -> (seq, phys)
+        touched_blocks: set[int] = set()
+        torn = 0
+        max_seq = -1
+        max_lpage = -1
+        for phys in programmed:
+            touched_blocks.add(phys // per_block)
+            entry = flash.oob(phys)
+            if entry is None or not flash.page_crc_ok(phys):
+                ftl._stale.add(phys)
+                torn += 1
+                continue
+            lpage, seq, _crc = entry
+            max_seq = max(max_seq, seq)
+            max_lpage = max(max_lpage, lpage)
+            prev = best.get(lpage)
+            if prev is None or seq > prev[0]:
+                if prev is not None:
+                    ftl._stale.add(prev[1])
+                best[lpage] = (seq, phys)
+            else:
+                ftl._stale.add(phys)
+        flash.charge_partial_reads(len(programmed))
+        for lpage, (_seq, phys) in best.items():
+            ftl._map[lpage] = phys
+            ftl._reverse[phys] = lpage
+        ftl._next_logical = max_lpage + 1
+        ftl._next_seq = max_seq + 1
+        ftl._free_blocks = deque(
+            block
+            for block in range(flash.profile.num_blocks)
+            if block not in touched_blocks and not flash.is_bad(block)
+        )
+        ftl._open_block = None
+        ftl._next_in_open = 0
+        if flash.metrics is not None:
+            flash.metrics.counter("ghostdb_recovery_scans_total").inc()
+            flash.metrics.counter(
+                "ghostdb_recovery_pages_scanned_total"
+            ).inc(len(programmed))
+            flash.metrics.counter(
+                "ghostdb_recovery_torn_pages_total"
+            ).inc(torn)
+        return ftl
 
     @property
     def mapped_pages(self) -> int:

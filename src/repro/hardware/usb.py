@@ -21,6 +21,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.faults.errors import DeviceUnpluggedError, GhostDBFaultError
+from repro.faults.injector import FaultInjector
 from repro.hardware.clock import SimClock
 from repro.hardware.profiles import HardwareProfile
 from repro.obs.registry import MetricsRegistry
@@ -28,6 +30,12 @@ from repro.obs.registry import MetricsRegistry
 
 class UsbError(Exception):
     """Malformed use of the USB channel."""
+
+
+class UsbDroppedError(GhostDBFaultError):
+    """A message was lost on the bus (receiver timed out waiting).
+
+    Transient: the link layer retries the transfer."""
 
 
 class Direction(enum.Enum):
@@ -48,6 +56,11 @@ class TrafficRecord:
     #: Simulated time at which the transfer completed.
     completed_at: float
     description: str = ""
+    #: Fault kinds the injector applied to this message ("corrupt",
+    #: "truncate", "drop", "stall", "unplug").  Empty for clean
+    #: transfers.  The spy still sees faulted bytes; the leak checker
+    #: uses the tags to skip structural parsing of mangled frames.
+    faults: tuple[str, ...] = ()
 
     @property
     def size(self) -> int:
@@ -63,8 +76,8 @@ class UsbChannel:
     log: list[TrafficRecord] = field(default_factory=list)
     bytes_to_device: int = 0
     bytes_to_host: int = 0
-    #: Optional fault injection: corrupt every Nth message (tests only).
-    corrupt_every: int | None = None
+    #: Optional deterministic fault injector (see :mod:`repro.faults`).
+    faults: FaultInjector | None = None
     #: Optional device-lifetime metrics sink (monotonic; includes load).
     metrics: MetricsRegistry | None = None
 
@@ -108,11 +121,22 @@ class UsbChannel:
                 "ghostdb_device_usb_message_bytes"
             ).observe(len(payload), direction=label)
         delivered = payload
+        fault_tags: tuple[str, ...] = ()
+        decision = None
+        if self.faults is not None:
+            decision = self.faults.usb_decision(len(payload))
+        if decision is not None:
+            fault_tags = (decision.kind,)
+            if decision.kind == "corrupt" and payload:
+                corrupted = bytearray(payload)
+                corrupted[decision.position] ^= decision.xor_mask
+                delivered = bytes(corrupted)
+            elif decision.kind == "truncate" and payload:
+                delivered = payload[: decision.length]
+            elif decision.kind == "stall":
+                # The bus hiccupped; the message arrives intact but late.
+                self.clock.advance(decision.seconds, "usb")
         seq = len(self.log)
-        if self.corrupt_every and (seq + 1) % self.corrupt_every == 0 and payload:
-            corrupted = bytearray(payload)
-            corrupted[0] ^= 0xFF
-            delivered = bytes(corrupted)
         self.log.append(
             TrafficRecord(
                 seq=seq,
@@ -121,8 +145,18 @@ class UsbChannel:
                 payload=delivered,
                 completed_at=self.clock.now,
                 description=description,
+                faults=fault_tags,
             )
         )
+        if decision is not None:
+            if decision.kind == "drop":
+                raise UsbDroppedError(
+                    f"message #{seq} ({kind}) was lost on the bus"
+                )
+            if decision.kind == "unplug":
+                raise DeviceUnpluggedError(
+                    f"device unplugged during message #{seq} ({kind})"
+                )
         return delivered
 
     @property

@@ -132,6 +132,49 @@ class Observability:
             "per executed plan",
             buckets=(0.25, 0.5, 0.8, 1.25, 2.0, 4.0),
         )
+        # Fault injection and crash recovery (see docs/ROBUSTNESS.md).
+        reg.counter(
+            "ghostdb_faults_injected_total",
+            "faults manifested by the deterministic injector, "
+            "by site and kind",
+        )
+        reg.counter(
+            "ghostdb_usb_retries_total",
+            "USB frame retransmissions, by reason (corrupt, dropped)",
+        )
+        reg.counter(
+            "ghostdb_flash_remaps_total",
+            "FTL write remaps after torn pages or bad blocks, by reason",
+        )
+        reg.counter(
+            "ghostdb_flash_ecc_corrections_total",
+            "transient flash read bit-flips corrected by the spare-area "
+            "ECC (charged as an extra read)",
+        )
+        reg.counter(
+            "ghostdb_device_flash_bad_blocks_total",
+            "blocks that manifested as bad and were retired",
+        )
+        reg.counter(
+            "ghostdb_recovery_remounts_total",
+            "device remounts after a power cut or unplug",
+        )
+        reg.counter(
+            "ghostdb_recovery_scans_total",
+            "mount-time FTL recovery scans over the spare-area journal",
+        )
+        reg.counter(
+            "ghostdb_recovery_pages_scanned_total",
+            "programmed pages visited by recovery scans",
+        )
+        reg.counter(
+            "ghostdb_recovery_torn_pages_total",
+            "torn or unjournaled pages rolled back by recovery scans",
+        )
+        reg.counter(
+            "ghostdb_recovery_aborted_queries_total",
+            "queries aborted by an injected fault, by reason",
+        )
 
     # ------------------------------------------------------------------
 

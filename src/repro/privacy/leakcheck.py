@@ -27,9 +27,17 @@ from dataclasses import dataclass, field
 
 from repro.catalog.schema import Schema
 from repro.hardware.usb import Direction, TrafficRecord
+from repro.visible.frame import payload_of
 
 #: Byte patterns shorter than this are too unspecific to scan for.
 MIN_PATTERN_LEN = 3
+
+#: Fault tags that mangle a frame in flight.  Such records are copies of
+#: traffic that failed its CRC and was retransmitted; the intact
+#: retransmission is also captured and fully checked, so the mangled
+#: copy is exempt from *structural* parsing (its bytes are still
+#: pattern-scanned -- corruption must not be a leak loophole).
+MANGLING_FAULTS = {"corrupt", "truncate"}
 
 ALLOWED_OUTBOUND_KINDS = {"request", "fetch_ids"}
 ALLOWED_REQUEST_OPS = {"select_ids", "count_ids", "fetch_values"}
@@ -149,11 +157,15 @@ class LeakChecker:
             )
             return
         if record.kind == "request":
+            if MANGLING_FAULTS.intersection(record.faults):
+                # An injected fault garbled this frame in flight; the
+                # link retransmitted it and the intact copy is checked.
+                return
             self._check_request(record, report)
 
     def _check_request(self, record: TrafficRecord, report: LeakReport) -> None:
         try:
-            body = json.loads(record.payload.decode("utf-8"))
+            body = json.loads(payload_of(record.payload).decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
             report.violations.append(
                 LeakViolation(

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hardware.usb import Direction, TrafficRecord
+from repro.visible.frame import payload_of
 
 
 @dataclass
@@ -50,7 +51,9 @@ class SpyView:
         out = []
         for record in self.records:
             if record.direction is Direction.TO_HOST and record.kind == "request":
-                out.append(record.payload.decode("utf-8", errors="replace"))
+                out.append(
+                    payload_of(record.payload).decode("utf-8", errors="replace")
+                )
         return out
 
     def observed_ids(self) -> dict[str, int]:
@@ -58,7 +61,8 @@ class SpyView:
         counts: dict[str, int] = {}
         for record in self.records:
             if record.kind in ("ids", "fetch_ids"):
-                counts[record.kind] = counts.get(record.kind, 0) + record.size // 4
+                ids = len(payload_of(record.payload)) // 4
+                counts[record.kind] = counts.get(record.kind, 0) + ids
         return counts
 
     def transcript(self, max_payload: int = 60) -> str:

@@ -23,9 +23,11 @@ import datetime
 import json
 import struct
 
+from repro.faults.errors import UsbTransferError
 from repro.hardware.device import SmartUsbDevice
-from repro.hardware.usb import Direction
+from repro.hardware.usb import Direction, UsbDroppedError
 from repro.sql.binder import EQ, IN, NEQ, RANGE, Predicate
+from repro.visible.frame import FrameError, frame, unframe
 from repro.visible.site import VisibleSite
 
 _PACK = struct.Struct(">I")
@@ -35,6 +37,14 @@ DEFAULT_ID_BATCH = 256
 
 #: Rows per fetch_values batch.
 DEFAULT_FETCH_BATCH = 128
+
+#: How many times a corrupted or dropped frame is retransmitted before
+#: the transfer is abandoned with :class:`UsbTransferError`.
+MAX_RETRIES = 5
+
+#: Initial retransmission backoff (simulated seconds); doubles per
+#: attempt, charged to the "usb" clock category.
+RETRY_BACKOFF_S = 0.002
 
 
 class ProtocolError(Exception):
@@ -117,6 +127,61 @@ class DeviceLink:
         self.fetch_batch = fetch_batch
 
     # ------------------------------------------------------------------
+    # Reliable transfer
+    # ------------------------------------------------------------------
+
+    def _send(
+        self,
+        direction: Direction,
+        kind: str,
+        payload: bytes,
+        description: str = "",
+    ) -> bytes:
+        """Move ``payload`` across the bus inside a CRC32 frame.
+
+        A frame that arrives corrupted or truncated, or never arrives at
+        all, is retransmitted up to :data:`MAX_RETRIES` times with
+        exponential backoff charged to the simulated clock.  Every
+        attempt -- including the mangled ones -- lands in the USB
+        capture log, so the spy sees retransmissions too.  Exhausting
+        the budget raises :class:`~repro.faults.UsbTransferError`; an
+        unplug mid-transfer propagates as ``DeviceUnpluggedError``.
+        """
+        framed = frame(payload)
+        attempt = 0
+        while True:
+            try:
+                delivered = self.device.usb.transfer(
+                    direction, kind, framed, description=description
+                )
+                return unframe(delivered)
+            except (FrameError, UsbDroppedError) as exc:
+                reason = (
+                    "dropped" if isinstance(exc, UsbDroppedError) else "corrupt"
+                )
+                attempt += 1
+                if self.device.usb.metrics is not None:
+                    self.device.usb.metrics.counter(
+                        "ghostdb_usb_retries_total"
+                    ).inc(reason=reason)
+                if attempt > MAX_RETRIES:
+                    raise UsbTransferError(
+                        f"{kind} transfer failed after {MAX_RETRIES} "
+                        f"retries ({reason})"
+                    ) from exc
+                self.device.clock.advance(
+                    RETRY_BACKOFF_S * (2 ** (attempt - 1)), "usb"
+                )
+
+    def announce(self, sql: str) -> None:
+        """Ship the user's query text to the device, as the terminal
+        would.  An accepted revelation ("the queries he poses")."""
+        self._send(
+            Direction.TO_DEVICE, "query", sql.strip().encode("utf-8"),
+            description="query text from the terminal",
+        )
+
+    # ------------------------------------------------------------------
     # Visible selection -> ID stream
     # ------------------------------------------------------------------
 
@@ -130,7 +195,7 @@ class DeviceLink:
         request = json.dumps(
             {"op": "select_ids", "predicate": predicate_to_wire(predicate)}
         ).encode("utf-8")
-        self.device.usb.transfer(
+        self._send(
             Direction.TO_HOST, "request", request,
             description=f"select_ids {table}.{predicate.column}",
         )
@@ -141,7 +206,7 @@ class DeviceLink:
             for start in range(0, len(ids), self.id_batch):
                 batch = ids[start : start + self.id_batch]
                 payload = b"".join(_PACK.pack(i) for i in batch)
-                delivered = self.device.usb.transfer(
+                delivered = self._send(
                     Direction.TO_DEVICE, "ids", payload,
                     description=f"{len(batch)} ids of {table}",
                 )
@@ -150,7 +215,7 @@ class DeviceLink:
                 for off in range(0, len(delivered), _PACK.size):
                     yield _PACK.unpack_from(delivered, off)[0]
         end = json.dumps({"op": "ids_end", "count": len(ids)}).encode("utf-8")
-        self.device.usb.transfer(
+        self._send(
             Direction.TO_DEVICE, "ids_end", end,
             description=f"end of ids for {table}",
         )
@@ -160,13 +225,13 @@ class DeviceLink:
         request = json.dumps(
             {"op": "count_ids", "predicate": predicate_to_wire(predicate)}
         ).encode("utf-8")
-        self.device.usb.transfer(
+        self._send(
             Direction.TO_HOST, "request", request,
             description=f"count_ids {table}.{predicate.column}",
         )
         count = self.site.count_ids(table, predicate)
         reply = json.dumps({"op": "count", "count": count}).encode("utf-8")
-        self.device.usb.transfer(
+        self._send(
             Direction.TO_DEVICE, "count", reply,
             description=f"count for {table}",
         )
@@ -202,12 +267,12 @@ class DeviceLink:
                     "count": len(batch),
                 }
             ).encode("utf-8")
-            self.device.usb.transfer(
+            self._send(
                 Direction.TO_HOST, "request", header,
                 description=f"fetch {len(batch)} rows of {table}",
             )
             id_payload = b"".join(_PACK.pack(i) for i in batch)
-            self.device.usb.transfer(
+            self._send(
                 Direction.TO_HOST, "fetch_ids", id_payload,
                 description=f"ids to fetch from {table}",
             )
@@ -221,7 +286,7 @@ class DeviceLink:
             with self.device.ram.allocate(
                 max(64, len(reply)), f"usb-rx-values:{table}"
             ):
-                delivered = self.device.usb.transfer(
+                delivered = self._send(
                     Direction.TO_DEVICE, "values", reply,
                     description=f"{len(rows)} rows of {table}",
                 )

@@ -1,0 +1,148 @@
+"""Chaos sweep: many random fault seeds over the demo workload.
+
+The property (docs/ROBUSTNESS.md): under any fault schedule, a query
+either returns exactly the clean reference answer or raises a typed
+GhostDB error; the device is always consistent afterwards (remounting
+when power was lost); and every byte of fault-run USB traffic --
+retransmissions and aborted transfers included -- still leak-checks
+CLEAN.  CI replays this file on every push (fixed seeds: the sweep is
+deterministic end to end).
+"""
+
+import pytest
+
+from repro.core.ghostdb import GhostDB
+from repro.faults import FAULT_PROFILES, GhostDBFaultError
+from repro.privacy.leakcheck import LeakChecker
+from repro.workload.queries import demo_query
+
+from tests.conftest import build_demo_session
+
+#: 50 seeds cycling through every fault regime, rates scaled up so each
+#: run sees real fault pressure.
+SEEDS = range(50)
+REGIMES = ("usb", "flash", "mixed", "powercut")
+SCALE = 4.0
+
+MAX_ATTEMPTS = 6
+
+
+def chaos_profile(seed: int):
+    return FAULT_PROFILES[REGIMES[seed % len(REGIMES)]].scaled(SCALE)
+
+
+def run_under_faults(session: GhostDB, sql: str, seed: int):
+    """One chaos episode; returns the result (or None if every attempt
+    failed) and the set of typed errors seen."""
+    session.set_faults(chaos_profile(seed), seed)
+    errors: list[BaseException] = []
+    result = None
+    try:
+        for _ in range(MAX_ATTEMPTS):
+            try:
+                result = session.query(sql)
+                break
+            except GhostDBFaultError as exc:
+                errors.append(exc)
+                if session.needs_remount:
+                    session.remount()
+    finally:
+        session.clear_faults()
+        if session.needs_remount:
+            session.remount()
+    return result, errors
+
+
+class TestChaosSweep:
+    def test_fifty_seeds_answer_or_typed_error(self, demo_data):
+        session = build_demo_session(demo_data)
+        checker = LeakChecker(session.schema, demo_data)
+        sql = demo_query()
+        session.reset_measurements()
+        reference = session.query(sql)
+        outcomes = {"answered": 0, "failed_all_attempts": 0}
+        fault_total = 0
+        for seed in SEEDS:
+            session.reset_measurements()
+            result, errors = run_under_faults(session, sql, seed)
+            fault_total += len(session.fault_injector.events) if (
+                session.fault_injector
+            ) else 0
+            if result is not None:
+                assert result.rows == reference.rows, f"seed {seed}"
+                outcomes["answered"] += 1
+            else:
+                assert errors, f"seed {seed}: no result and no error"
+                outcomes["failed_all_attempts"] += 1
+            # Every error was typed; nothing escaped as a raw exception.
+            assert all(
+                isinstance(e, GhostDBFaultError) for e in errors
+            ), f"seed {seed}"
+            # All traffic of the episode -- retries, mangled frames,
+            # aborted transfers -- is CLEAN.
+            report = checker.check(session.usb_log)
+            assert report.ok, f"seed {seed}: {report.summary()}"
+            # The device is consistent: a clean re-query answers exactly.
+            check = session.query(sql)
+            assert check.rows == reference.rows, f"seed {seed}"
+        # The sweep must not have silently degenerated into no-fault
+        # runs: the vast majority of seeds answer, and at least a few
+        # exercise the retry/abort machinery.
+        assert outcomes["answered"] >= 40, outcomes
+
+    def test_same_seed_twice_is_bit_identical(self, demo_data):
+        """Two fresh sessions, same seed: identical fault schedule,
+        identical retry counts, identical simulated time."""
+        sql = demo_query()
+        seed = 9
+        observed = []
+        for _ in range(2):
+            session = build_demo_session(demo_data)
+            session.reset_measurements()
+            injector = session.set_faults(chaos_profile(seed), seed)
+            try:
+                try:
+                    result = session.query(sql)
+                    rows = tuple(map(tuple, result.rows))
+                except GhostDBFaultError as exc:
+                    rows = ("error", type(exc).__name__)
+            finally:
+                session.clear_faults()
+            retries = session.obs.registry.counter(
+                "ghostdb_usb_retries_total"
+            )
+            observed.append((
+                injector.schedule_signature(),
+                injector.usb_ops,
+                injector.flash_ops,
+                retries.total(),
+                session.device.clock.now,
+                rows,
+            ))
+        assert observed[0] == observed[1]
+
+    def test_powercut_regime_exercises_remount(self, demo_data):
+        """At scaled rates at least one powercut-regime seed must lose
+        power, proving the remount path runs inside the sweep."""
+        session = build_demo_session(demo_data)
+        sql = demo_query()
+        remounts = 0
+        for seed in range(0, 16):
+            session.reset_measurements()
+            session.set_faults(FAULT_PROFILES["powercut"].scaled(8), seed)
+            try:
+                try:
+                    session.query(sql)
+                except GhostDBFaultError:
+                    pass
+            finally:
+                session.clear_faults()
+            if session.needs_remount:
+                session.remount()
+                remounts += 1
+                # Counted since this seed's reset_measurements().
+                counter = session.obs.registry.counter(
+                    "ghostdb_recovery_remounts_total"
+                )
+                assert counter.total() >= 1
+        assert remounts > 0

@@ -58,6 +58,26 @@ class TestShellCommands:
         assert "HIDDEN" in out
         assert "PRIMARY KEY" in out
 
+    def test_fault_attach_status_events_detach(self, shell):
+        _alive, out = run(shell, ".fault")
+        assert "off" in out
+        _alive, out = run(shell, ".fault mixed 5")
+        assert "profile=mixed seed=5" in out
+        run(shell, "SELECT Quantity FROM Prescription WHERE Quantity = 7")
+        _alive, out = run(shell, ".fault status")
+        assert "profile=mixed" in out and "flash_ops=" in out
+        _alive, out = run(shell, ".fault events 3")
+        assert "flash" in out or "usb" in out or "no faults" in out
+        _alive, out = run(shell, ".fault off")
+        assert "detached" in out
+        _alive, out = run(shell, ".fault bogus")
+        assert "unknown fault subcommand" in out
+
+    def test_fault_remount_on_healthy_device(self, shell):
+        run(shell, ".fault off")
+        _alive, out = run(shell, ".fault remount")
+        assert "nothing to recover" in out
+
     def test_storage_report(self, shell):
         _alive, out = run(shell, ".storage")
         assert "SKT_prescription" in out

@@ -8,33 +8,44 @@ import pytest
 
 from repro.core.ghostdb import GhostDB
 from repro.engine.operators import ExecContext
+from repro.faults import FaultProfile, UsbTransferError
 from repro.hardware.flash import WearOutError
 from repro.hardware.profiles import DEMO_DEVICE
 from repro.hardware.ram import RamExhaustedError
-from repro.visible.link import ProtocolError
 from repro.workload.queries import DEMO_SCHEMA_DDL, demo_query
 
 
 class TestUsbCorruption:
-    def test_corrupted_values_reply_raises_protocol_error(self, fresh_session):
+    def test_relentless_corruption_raises_typed_error(self, fresh_session):
         fresh_session.reset_measurements()
-        # Corrupt frequently enough to hit a JSON values reply.
-        fresh_session.device.usb.corrupt_every = 5
-        with pytest.raises(ProtocolError):
-            for _ in range(20):
+        # Every frame mangled: the retry budget must run out cleanly.
+        fresh_session.set_faults(
+            FaultProfile(name="all-corrupt", usb_corrupt_rate=1.0), seed=3
+        )
+        try:
+            with pytest.raises(UsbTransferError):
                 fresh_session.link.fetch_values("visit", [1, 2], ["date"])
+        finally:
+            fresh_session.clear_faults()
 
-    def test_corruption_of_binary_ids_changes_results_detectably(
+    def test_corruption_of_binary_ids_recovered_by_framing(
         self, fresh_session, demo_data
     ):
-        """Packed ID batches carry no checksum (the real protocol's CRC
-        lives below our model), so corruption surfaces as wrong IDs --
-        which the projection-level recheck then drops or resolves to
-        different rows, never to a crash."""
+        """Every message -- packed ID batches included -- crosses inside
+        a CRC32 frame, so in-flight corruption is detected and
+        retransmitted and the query's answer is unchanged."""
         fresh_session.reset_measurements()
-        fresh_session.device.usb.corrupt_every = 7
-        result = fresh_session.query(demo_query())
-        assert isinstance(result.rows, list)
+        reference = fresh_session.query(demo_query())
+        fresh_session.reset_measurements()
+        fresh_session.set_faults(
+            FaultProfile(name="some-corrupt", usb_corrupt_rate=0.1), seed=7
+        )
+        try:
+            result = fresh_session.query(demo_query())
+        finally:
+            fresh_session.clear_faults()
+        assert result.rows == reference.rows
+        assert fresh_session.fault_injector is None
 
 
 class TestFlashWearOut:

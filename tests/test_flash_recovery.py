@@ -1,0 +1,247 @@
+"""Crash-consistent recovery: the power-cut sweep and its edge cases.
+
+The central invariant (docs/ROBUSTNESS.md): cut power at *any* flash
+operation of a write workload, remount, and the device holds exactly the
+last committed state -- every completed ``write()`` reads back, no torn
+page is visible, and the device accepts new writes.  The sweep test
+below proves it exhaustively, one run per possible cut point.
+"""
+
+import pytest
+
+from repro.faults import FAULT_PROFILES, FaultInjector, PowerCutError
+from repro.hardware.clock import SimClock
+from repro.hardware.flash import BadBlockError, NandFlash
+from repro.hardware.ftl import FlashTranslationLayer
+from repro.hardware.profiles import DEMO_DEVICE
+
+#: Small geometry so the exhaustive sweep stays fast while still forcing
+#: several GC cycles (relocations + erases) during the workload.
+SMALL = DEMO_DEVICE.with_overrides(
+    num_blocks=6, pages_per_block=4, page_size=64
+)
+
+
+def build():
+    flash = NandFlash(profile=SMALL, clock=SimClock())
+    ftl = FlashTranslationLayer(flash=flash)
+    return flash, ftl
+
+
+def content(step: int, lpage: int) -> bytes:
+    return f"s{step:04d}-l{lpage:02d}".encode()
+
+
+def run_workload(ftl, committed: dict[int, bytes]) -> None:
+    """A deterministic overwrite-heavy workload.
+
+    ``committed`` is updated *after* each successful write -- it mirrors
+    what a caller is entitled to read back after a crash.
+    """
+    pages = [ftl.allocate() for _ in range(6)]
+    step = 0
+    for round_ in range(10):
+        for lpage in pages:
+            step += 1
+            data = content(step, lpage)
+            ftl.write(lpage, data)
+            committed[lpage] = data
+        # Read traffic so the sweep also cuts power mid-read.
+        probe = pages[round_ % len(pages)]
+        assert ftl.read(probe, 0, 9) == committed[probe]
+
+
+def count_flash_ops() -> tuple[int, list[str]]:
+    """Clean run: the op count and the op type at each index."""
+    flash, ftl = build()
+    injector = FaultInjector(FAULT_PROFILES["none"], seed=0)
+    ops: list[str] = []
+    original = injector.flash_decision
+
+    def spying_decision(op, data_len=0):
+        ops.append(op)
+        return original(op, data_len)
+
+    injector.flash_decision = spying_decision
+    flash.faults = injector
+    run_workload(ftl, {})
+    return injector.flash_ops, ops
+
+
+def assert_committed_state(flash, committed):
+    """Recover a fresh FTL from flash and check the invariant."""
+    recovered = FlashTranslationLayer.recover(flash)
+    for lpage, data in committed.items():
+        assert recovered.is_mapped(lpage), f"lost committed lpage {lpage}"
+        assert recovered.read(lpage, 0, len(data)) == data
+    # No torn page is reachable: every mapped page's CRC verifies.
+    for lpage in committed:
+        phys = recovered._map[lpage]
+        assert flash.page_crc_ok(phys)
+    # The device still accepts new writes after recovery.
+    probe = recovered.allocate()
+    recovered.write(probe, b"post-recovery")
+    assert recovered.read(probe, 0, 13) == b"post-recovery"
+
+
+class TestPowerCutSweep:
+    def test_cut_at_every_flash_op_recovers_committed_state(self):
+        total, ops = count_flash_ops()
+        assert total > 60, "workload too small to be a meaningful sweep"
+        # The overwrite churn must force GC: the sweep then covers cuts
+        # mid-program, mid-read (relocation) AND mid-erase.
+        assert "erase" in ops and "program" in ops and "read" in ops
+        for cut_at in range(total):
+            flash, ftl = build()
+            injector = FaultInjector(FAULT_PROFILES["none"], seed=0)
+            injector.schedule_power_cut(at_flash_op=cut_at)
+            flash.faults = injector
+            committed: dict[int, bytes] = {}
+            with pytest.raises(PowerCutError):
+                run_workload(ftl, committed)
+            assert injector.events[-1].op_index == cut_at
+            flash.faults = None
+            assert_committed_state(flash, committed)
+
+
+class TestRecoveryScan:
+    def test_overwrites_resolved_by_sequence(self):
+        flash, ftl = build()
+        lpage = ftl.allocate()
+        for step in range(7):
+            ftl.write(lpage, content(step, lpage))
+        recovered = FlashTranslationLayer.recover(flash)
+        assert recovered.read(lpage, 0, 9) == content(6, lpage)
+        # Superseded copies are stale, not mapped.
+        assert recovered.mapped_pages == 1
+
+    def test_torn_page_rolled_back_to_previous_commit(self):
+        flash, ftl = build()
+        injector = FaultInjector(FAULT_PROFILES["none"], seed=0)
+        flash.faults = injector
+        lpage = ftl.allocate()
+        ftl.write(lpage, b"v1")
+        injector.schedule_power_cut(at_flash_op=injector.flash_ops)
+        with pytest.raises(PowerCutError):
+            ftl.write(lpage, b"v2")
+        flash.faults = None
+        recovered = FlashTranslationLayer.recover(flash)
+        assert recovered.read(lpage, 0, 2) == b"v1"
+
+    def test_first_write_torn_leaves_page_unmapped(self):
+        flash, ftl = build()
+        injector = FaultInjector(FAULT_PROFILES["none"], seed=0)
+        injector.schedule_power_cut(at_flash_op=0)
+        flash.faults = injector
+        lpage = ftl.allocate()
+        with pytest.raises(PowerCutError):
+            ftl.write(lpage, b"never committed")
+        flash.faults = None
+        recovered = FlashTranslationLayer.recover(flash)
+        assert not recovered.is_mapped(lpage)
+
+    def test_recovery_continues_sequence_and_logical_numbering(self):
+        flash, ftl = build()
+        a, b = ftl.allocate(), ftl.allocate()
+        ftl.write(a, b"a")
+        ftl.write(b, b"b")
+        recovered = FlashTranslationLayer.recover(flash)
+        fresh = recovered.allocate()
+        assert fresh > b
+        recovered.write(a, b"a2")  # must supersede the pre-crash copy
+        assert recovered.read(a, 0, 2) == b"a2"
+        again = FlashTranslationLayer.recover(flash)
+        assert again.read(a, 0, 2) == b"a2"
+
+    def test_freed_page_resurrects_after_crash(self):
+        """Documented limitation: free() is volatile, so an unreused
+        freed page comes back after recovery (harmless -- callers never
+        read freed pages)."""
+        flash, ftl = build()
+        lpage = ftl.allocate()
+        ftl.write(lpage, b"zombie")
+        ftl.free(lpage)
+        assert not ftl.is_mapped(lpage)
+        recovered = FlashTranslationLayer.recover(flash)
+        assert recovered.is_mapped(lpage)
+
+
+class TestBadBlocks:
+    def test_program_failure_remaps_to_next_block(self):
+        flash, ftl = build()
+        lpage = ftl.allocate()
+        ftl.write(lpage, b"first")
+        open_block = flash.block_of(ftl._map[lpage])
+        flash.mark_bad(open_block)
+        other = ftl.allocate()
+        ftl.write(other, b"second")  # open block is bad: must remap
+        assert flash.block_of(ftl._map[other]) != open_block
+        # The bad block's programmed pages remain readable.
+        assert ftl.read(lpage, 0, 5) == b"first"
+
+    def test_recovery_excludes_bad_blocks_from_free_list(self):
+        flash, ftl = build()
+        lpage = ftl.allocate()
+        ftl.write(lpage, b"x")
+        flash.mark_bad(4)
+        recovered = FlashTranslationLayer.recover(flash)
+        assert 4 not in recovered._free_blocks
+
+    def test_erase_failure_retires_block(self):
+        flash, _ = build()
+        flash.mark_bad(2)
+        with pytest.raises(BadBlockError):
+            flash.erase_block(2)
+
+
+class TestMidEraseCut:
+    def test_wiped_prefix_and_survivors(self):
+        flash, _ = build()
+        per_block = SMALL.pages_per_block
+        for page in range(per_block):
+            flash.program(page, content(page, 0), oob=(page, page))
+        injector = FaultInjector(FAULT_PROFILES["none"], seed=1)
+        injector.schedule_power_cut(at_flash_op=0)
+        flash.faults = injector
+        with pytest.raises(PowerCutError, match="erasing"):
+            flash.erase_block(0)
+        flash.faults = None
+        wiped = injector.events[-1].length
+        assert 0 <= wiped <= per_block
+        for page in range(per_block):
+            if page < wiped:
+                assert not flash.is_programmed(page)
+                assert flash.oob(page) is None
+            else:
+                assert flash.is_programmed(page)
+                assert flash.page_crc_ok(page)
+
+    def test_session_remount_after_unplug_restores_service(
+        self, fresh_session
+    ):
+        """End-to-end: an unplug aborts the query typed, the session
+        demands a remount, and the remounted device answers exactly."""
+        from repro.faults import DeviceUnpluggedError, FaultProfile
+        from repro.workload.queries import demo_query
+
+        session = fresh_session
+        session.reset_measurements()
+        reference = session.query(demo_query())
+        session.set_faults(
+            FaultProfile(name="unplug", usb_unplug_rate=1.0), seed=0
+        )
+        with pytest.raises(DeviceUnpluggedError):
+            session.query(demo_query())
+        session.clear_faults()
+        assert session.needs_remount
+        from repro.core.ghostdb import SessionError
+
+        with pytest.raises(SessionError, match="remount"):
+            session.query(demo_query())
+        session.remount()
+        result = session.query(demo_query())
+        assert result.rows == reference.rows
+        remounts = session.obs.registry.counter(
+            "ghostdb_recovery_remounts_total"
+        )
+        assert remounts.total() == 1

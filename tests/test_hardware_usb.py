@@ -68,13 +68,57 @@ def test_non_bytes_payload_rejected(channel):
         channel.transfer(Direction.TO_DEVICE, "ids", "text")
 
 
-def test_fault_injection_corrupts_every_nth(channel):
-    channel.corrupt_every = 2
-    first = channel.transfer(Direction.TO_DEVICE, "ids", b"\x01\x02")
-    second = channel.transfer(Direction.TO_DEVICE, "ids", b"\x01\x02")
-    assert first == b"\x01\x02"
-    assert second != b"\x01\x02"
-    assert second[0] == 0x01 ^ 0xFF
+def test_fault_injection_corrupts_deterministically(channel):
+    from repro.faults import FaultInjector, FaultProfile
+
+    channel.faults = FaultInjector(
+        FaultProfile(name="all-corrupt", usb_corrupt_rate=1.0), seed=7
+    )
+    delivered = channel.transfer(Direction.TO_DEVICE, "ids", b"\x01\x02")
+    assert delivered != b"\x01\x02"
+    assert channel.log[0].faults == ("corrupt",)
+    # Same seed, same payload: bit-identical corruption.
+    replay = UsbChannel(profile=DEMO_DEVICE, clock=SimClock())
+    replay.faults = FaultInjector(
+        FaultProfile(name="all-corrupt", usb_corrupt_rate=1.0), seed=7
+    )
+    assert replay.transfer(Direction.TO_DEVICE, "ids", b"\x01\x02") == delivered
+
+
+def test_fault_injection_drop_and_unplug_raise(channel):
+    from repro.faults import (
+        DeviceUnpluggedError,
+        FaultInjector,
+        FaultProfile,
+    )
+    from repro.hardware.usb import UsbDroppedError
+
+    channel.faults = FaultInjector(
+        FaultProfile(name="all-drop", usb_drop_rate=1.0), seed=0
+    )
+    with pytest.raises(UsbDroppedError):
+        channel.transfer(Direction.TO_DEVICE, "ids", b"\x01")
+    # The dropped message is still captured (the spy saw it leave).
+    assert channel.log[-1].faults == ("drop",)
+    channel.faults = FaultInjector(
+        FaultProfile(name="all-unplug", usb_unplug_rate=1.0), seed=0
+    )
+    with pytest.raises(DeviceUnpluggedError):
+        channel.transfer(Direction.TO_DEVICE, "ids", b"\x01")
+
+
+def test_fault_injection_stall_charges_clock(channel):
+    from repro.faults import FaultInjector, FaultProfile
+
+    profile = FaultProfile(
+        name="all-stall", usb_stall_rate=1.0, usb_stall_seconds=0.25
+    )
+    channel.faults = FaultInjector(profile, seed=0)
+    t0 = channel.clock.now
+    delivered = channel.transfer(Direction.TO_DEVICE, "ids", b"\x01\x02")
+    assert delivered == b"\x01\x02"  # late but intact
+    base = DEMO_DEVICE.usb_setup_s + 2 * 8 / DEMO_DEVICE.usb_bits_per_s
+    assert channel.clock.now - t0 == pytest.approx(base + 0.25)
 
 
 def test_clear_log_resets_capture_not_clock(channel):

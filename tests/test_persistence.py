@@ -84,3 +84,61 @@ def test_wrong_version_rejected(tmp_path):
     path.write_bytes(MAGIC + (99).to_bytes(2, "big") + b"x")
     with pytest.raises(PersistenceError, match="version"):
         load_session(str(path))
+
+
+def test_truncated_file_rejected_before_unpickling(saved_path):
+    _original, path = saved_path
+    blob = open(path, "rb").read()
+    open(path, "wb").write(blob[: len(blob) - 64])
+    with pytest.raises(PersistenceError, match="truncated"):
+        load_session(path)
+
+
+def test_truncated_header_rejected(saved_path):
+    from repro.core.persistence import MAGIC
+
+    _original, path = saved_path
+    open(path, "wb").write(MAGIC + (2).to_bytes(2, "big") + b"\x00\x03")
+    with pytest.raises(PersistenceError, match="header"):
+        load_session(path)
+
+
+def test_bit_flip_fails_checksum(saved_path):
+    _original, path = saved_path
+    blob = bytearray(open(path, "rb").read())
+    blob[len(blob) // 2] ^= 0x40  # one flipped bit mid-payload
+    open(path, "wb").write(bytes(blob))
+    with pytest.raises(PersistenceError, match="checksum"):
+        load_session(path)
+
+
+def test_trailing_garbage_rejected(saved_path):
+    _original, path = saved_path
+    with open(path, "ab") as f:
+        f.write(b"\x00")
+    with pytest.raises(PersistenceError, match="truncated or padded"):
+        load_session(path)
+
+
+def test_failed_save_leaves_previous_file_intact(saved_path):
+    """The temp-file + atomic-rename discipline: a save that dies must
+    not clobber (or leave droppings next to) the committed file."""
+    import os
+
+    original, path = saved_path
+    before = open(path, "rb").read()
+    with pytest.raises(PersistenceError):
+        # Not a GhostDB session: save refuses before touching the path.
+        from repro.core.persistence import save_session
+
+        save_session(object(), path)
+    assert open(path, "rb").read() == before
+    droppings = [
+        name for name in os.listdir(os.path.dirname(path))
+        if name.startswith(".ghostdb-session-")
+    ]
+    assert droppings == []
+    restored = GhostDB.restore(path)
+    assert same_rows(
+        restored.query(demo_query()).rows, original.query(demo_query()).rows
+    )

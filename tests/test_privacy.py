@@ -178,10 +178,11 @@ class TestProtocolContract:
         import json
 
         from repro.privacy.leakcheck import ALLOWED_REQUEST_OPS
+        from repro.visible.frame import payload_of
 
         session.query(demo_query())
         ops = {
-            json.loads(r.payload)["op"]
+            json.loads(payload_of(r.payload))["op"]
             for r in session.usb_log
             if r.direction is Direction.TO_HOST and r.kind == "request"
         }

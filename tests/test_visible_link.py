@@ -5,8 +5,10 @@ import json
 
 import pytest
 
+from repro.faults import FaultInjector, FaultProfile, UsbTransferError
 from repro.hardware.usb import Direction
 from repro.sql.binder import EQ, RANGE
+from repro.visible.frame import FRAME_OVERHEAD, payload_of
 from repro.visible.link import (
     DeviceLink,
     ProtocolError,
@@ -64,7 +66,7 @@ class TestSelectIds:
         log = session.usb_log
         assert log[0].direction is Direction.TO_HOST
         assert log[0].kind == "request"
-        body = json.loads(log[0].payload)
+        body = json.loads(payload_of(log[0].payload))
         assert body["op"] == "select_ids"
         assert body["predicate"]["column"] == "date"
 
@@ -78,7 +80,10 @@ class TestSelectIds:
         assert got == expected
         batches = [r for r in session.usb_log if r.kind == "ids"]
         assert len(batches) > 1
-        assert all(r.size <= session.link.id_batch * 4 for r in batches)
+        assert all(
+            r.size <= session.link.id_batch * 4 + FRAME_OVERHEAD
+            for r in batches
+        )
 
     def test_end_marker_sent(self, session):
         pred = date_pred(session, "2006-06-01")
@@ -120,7 +125,7 @@ class TestFetchValues:
         session.link.fetch_values("visit", [7, 9], ["date"])
         id_messages = [r for r in session.usb_log if r.kind == "fetch_ids"]
         assert len(id_messages) == 1
-        payload = id_messages[0].payload
+        payload = payload_of(id_messages[0].payload)
         assert payload == (7).to_bytes(4, "big") + (9).to_bytes(4, "big")
 
     def test_recheck_drops_failing_ids(self, session):
@@ -132,7 +137,32 @@ class TestFetchValues:
         for pk, (date,) in got.items():
             assert date > datetime.date(2006, 6, 1)
 
-    def test_corrupted_reply_detected(self, session):
-        session.device.usb.corrupt_every = 3  # third message is the reply
-        with pytest.raises(ProtocolError, match="corrupted"):
-            session.link.fetch_values("visit", [1], ["date"])
+    def test_corruption_retried_transparently(self, session):
+        """A corrupted frame fails its CRC and is retransmitted; the
+        caller sees correct data plus a retry counted in metrics."""
+        profile = FaultProfile(name="some-corrupt", usb_corrupt_rate=0.5)
+        session.set_faults(profile, seed=0)
+        try:
+            got = session.link.fetch_values("visit", [1, 2, 3], ["date"])
+        finally:
+            session.clear_faults()
+        assert set(got) == {1, 2, 3}
+        mangled = [r for r in session.usb_log if "corrupt" in r.faults]
+        assert mangled, "seed 0 at 50% should corrupt at least one frame"
+        retries = session.obs.registry.counter("ghostdb_usb_retries_total")
+        assert retries.value(reason="corrupt") == len(mangled)
+
+    def test_unrecoverable_corruption_raises_typed_error(self, session):
+        """When every attempt is mangled, the bounded retry budget runs
+        out and the transfer fails with a typed GhostDB error -- never
+        silently wrong data."""
+        profile = FaultProfile(name="all-corrupt", usb_corrupt_rate=1.0)
+        session.set_faults(profile, seed=0)
+        try:
+            with pytest.raises(UsbTransferError, match="retries"):
+                session.link.fetch_values("visit", [1], ["date"])
+        finally:
+            session.clear_faults()
+        # The device is still consistent: the next query works.
+        got = session.link.fetch_values("visit", [1], ["date"])
+        assert set(got) == {1}
