@@ -68,6 +68,10 @@ class ComparisonReport:
     missing_scenarios: list[str] = field(default_factory=list)
     new_scenarios: list[str] = field(default_factory=list)
     config_errors: list[str] = field(default_factory=list)
+    #: total host wall seconds summed across compared scenarios --
+    #: informational only, never gated (host timing is noisy).
+    baseline_wall_s: float = 0.0
+    current_wall_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -95,6 +99,12 @@ class ComparisonReport:
             lines.append(
                 f"  new scenario: {name} (no baseline -- commit a "
                 f"refreshed benchmarks/baseline.json)"
+            )
+        if self.baseline_wall_s or self.current_wall_s:
+            lines.append(
+                f"  host wall: {self.baseline_wall_s:.2f}s baseline -> "
+                f"{self.current_wall_s:.2f}s current (informational, "
+                f"never gated)"
             )
         return "\n".join(lines)
 
@@ -131,6 +141,8 @@ def compare_artifacts(
         report.scenarios_compared += 1
         base_row = base_scenarios[name]
         cur_row = cur_scenarios[name]
+        report.baseline_wall_s += float(base_row.get("wall_seconds", 0.0))
+        report.current_wall_s += float(cur_row.get("wall_seconds", 0.0))
         for metric in GATED_METRICS:
             delta = MetricDelta(
                 scenario=name,

@@ -28,6 +28,10 @@ Commands::
     .fault events [n]   the last n injected-fault decisions (default 10)
     .fault remount      remount after a power cut (recovery scan)
     .fault off          detach the injector
+    .set                show tunable execution settings
+    .set batch <n>      operator batch-window size (host-side only:
+                        results and simulated costs are identical at
+                        any value; larger is faster on the host)
     .reset              clear measurements and the traffic log
     .help               this text
     .quit               leave
@@ -39,8 +43,8 @@ import argparse
 import os
 import sys
 
-from repro.core.ghostdb import GhostDB
-from repro.engine.executor import QueryResult
+from repro.core.ghostdb import GhostDB, SessionConfig
+from repro.engine.executor import ExecConfig, QueryResult
 from repro.hardware.profiles import PROFILES
 from repro.privacy.leakcheck import LeakChecker
 from repro.privacy.spy import SpyView
@@ -54,11 +58,17 @@ class Shell:
     def __init__(self, scale: int = 10_000, profile: str = "demo",
                  out=None, trace_out: str | None = None,
                  metrics_out: str | None = None,
-                 fault_profile: str | None = None, fault_seed: int = 0):
+                 fault_profile: str | None = None, fault_seed: int = 0,
+                 batch_size: int | None = None):
         self.out = out or sys.stdout
         self.trace_out = trace_out
         self.metrics_out = metrics_out
-        self.db = GhostDB(profile=PROFILES[profile])
+        config = None
+        if batch_size is not None:
+            config = SessionConfig(
+                exec_config=ExecConfig(exec_batch=max(1, batch_size))
+            )
+        self.db = GhostDB(profile=PROFILES[profile], config=config)
         for ddl in DEMO_SCHEMA_DDL:
             self.db.execute(ddl)
         self.data = MedicalDataGenerator(
@@ -143,6 +153,8 @@ class Shell:
             self._play_game(argument or demo_query())
         elif name == ".fault":
             self._fault_command(argument)
+        elif name == ".set":
+            self._set_command(argument)
         elif name == ".reset":
             self.db.reset_measurements()
             self._print("measurements and traffic log cleared")
@@ -258,6 +270,30 @@ class Shell:
                 f"profiles: {names}; or status/events/remount/off"
             )
 
+    def _set_command(self, argument: str) -> None:
+        config = self.db.executor.config
+        parts = argument.split()
+        if not parts:
+            self._print(f"batch      {config.exec_batch}  (operator batch window)")
+            self._print(f"fetch      {config.fetch_batch}  (visible-fetch rows/msg)")
+            self._print(f"fan-in     {config.max_fan_in}  (merge fan-in cap)")
+            self._print(f"bloom-fp   {config.bloom_fp_target}  (Bloom FP target)")
+            return
+        setting = parts[0].lower()
+        if setting != "batch":
+            self._print(f"unknown setting {setting!r}; '.set' lists settings")
+            return
+        if len(parts) < 2:
+            self._print(f"batch      {config.exec_batch}")
+            return
+        try:
+            value = int(parts[1])
+        except ValueError:
+            self._print(f"not a batch size: {parts[1]!r}")
+            return
+        config.exec_batch = max(1, value)
+        self._print(f"batch window set to {config.exec_batch}")
+
     def _play_game(self, sql: str) -> None:
         from repro.demo.game import PlanGame
 
@@ -367,11 +403,17 @@ def main(argv=None) -> int:
         "--fault-seed", type=int, default=0,
         help="seed for the fault schedule (same seed, same faults)",
     )
+    parser.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="operator batch-window size (host-side tunable; results "
+        "and simulated costs are identical at any value)",
+    )
     args = parser.parse_args(argv)
     shell = Shell(
         scale=args.scale, profile=args.profile, trace_out=args.trace_out,
         metrics_out=args.metrics_out,
         fault_profile=args.fault_profile, fault_seed=args.fault_seed,
+        batch_size=args.batch_size,
     )
     if args.query:
         for sql in args.query:

@@ -82,7 +82,7 @@ class QueryTrace:
 class SessionConfig:
     """Session-wide tunables."""
 
-    exec_config: ExecConfig = None
+    exec_config: ExecConfig | None = None
     id_batch: int = 256
     index_columns: list | None = None
     #: Fault-injection regime to attach after load (a name from
@@ -210,10 +210,13 @@ class GhostDB:
         fetch_batch = min(
             exec_config.fetch_batch, max(8, self.profile.ram_bytes // 512)
         )
+        # exec_batch is deliberately *not* RAM-scaled: batch windows are
+        # host-side lists, invisible to the device's budget.
         exec_config = ExecConfig(
             max_fan_in=exec_config.max_fan_in,
             bloom_fp_target=exec_config.bloom_fp_target,
             fetch_batch=fetch_batch,
+            exec_batch=exec_config.exec_batch,
         )
         self.link = DeviceLink(
             self.device, self.site, id_batch=id_batch, fetch_batch=fetch_batch

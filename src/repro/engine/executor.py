@@ -47,6 +47,11 @@ class ExecConfig:
     max_fan_in: int = 16
     bloom_fp_target: float = 0.01
     fetch_batch: int = 128
+    #: Items per attribution-marked operator batch window.  Purely a
+    #: host-side setting: any value must produce bit-identical rows and
+    #: simulated hardware counters, larger values just cross the
+    #: enter/exit accounting boundary less often.
+    exec_batch: int = 256
 
 
 @dataclass
@@ -97,6 +102,7 @@ class Executor:
             max_fan_in=self.config.max_fan_in,
             bloom_fp_target=self.config.bloom_fp_target,
             fetch_batch=self.config.fetch_batch,
+            exec_batch=self._effective_batch(root),
         )
         # Snapshot-reset the RAM high-water mark so each query reports
         # its *own* peak: without this the second query on a session
@@ -109,11 +115,22 @@ class Executor:
                 operator = self.lower(root, ctx)
                 lspan.set("operators", len(ctx.operators))
             try:
-                rows = list(operator.rows())
+                operator.open()
+                rows = []
+                try:
+                    for batch in operator.batches():
+                        rows.extend(batch)
+                finally:
+                    # Deterministic teardown on every exit path: stamps
+                    # end times on short-circuited subtrees and releases
+                    # RAM reservations -- before the counter snapshot,
+                    # so close-time charges stay inside the measurement.
+                    operator.close()
             except GhostDBFaultError as exc:
-                # A clean abort: generator unwinding releases every RAM
-                # allocation; the caller decides whether a remount is
-                # needed.  The span records what killed the query.
+                # A clean abort: operator close (plus generator
+                # unwinding) releases every RAM allocation; the caller
+                # decides whether a remount is needed.  The span records
+                # what killed the query.
                 span.set("aborted", type(exc).__name__)
                 raise
             after = self.device.counters()
@@ -146,6 +163,29 @@ class Executor:
             metrics=metrics,
             plan=root,
         )
+
+    def _effective_batch(self, root: lp.PlanNode) -> int:
+        """The batch-window size this plan actually runs with.
+
+        Two plan shapes get pinned to 1 (faithful per-tuple pulls):
+
+        * plans containing a ``Limit`` -- the limit truncates demand at
+          an arbitrary point, and a batch window would run the subtree
+          up to a window ahead of that point, changing what the
+          simulated hardware (and the spy) observes;
+        * runs with a fault injector attached -- fault schedules fire on
+          exact hardware-operation indices, so even a reordering of
+          operations within a window would change which operation a
+          scheduled fault hits.
+
+        Everything else runs at the configured window size, where every
+        batched edge is drained completely and totals are order-independent.
+        """
+        if self.device.faults is not None:
+            return 1
+        if any(isinstance(node, lp.Limit) for node in root.walk()):
+            return 1
+        return max(1, self.config.exec_batch)
 
     def _record_operator_spans(
         self, node: lp.PlanNode, parent, tracer, seen: set

@@ -22,6 +22,10 @@ class OperatorStats:
     name: str
     detail: str = ""
     tuples_out: int = 0
+    #: Attribution-marked batch windows this operator emitted.  With the
+    #: vectorized protocol the enter/exit overhead scales with this, not
+    #: with :attr:`tuples_out` -- the whole point of batching.
+    batches_out: int = 0
     #: Simulated seconds attributable to this operator alone (its own
     #: flash/USB/CPU charges, excluding time spent inside its children).
     self_seconds: float = 0.0
@@ -39,10 +43,14 @@ class OperatorStats:
     #: Peak bytes of device RAM this operator allocated for itself.
     ram_bytes: int = 0
     finished: bool = False
-    #: Simulated-clock timestamps of the first pull and the last exit,
-    #: stamped by :class:`~repro.engine.operators.base.TimeAttribution`;
-    #: ``None`` until the operator is first pulled.  These intervals nest
-    #: by plan structure, which is what turns the stats into trace spans.
+    #: Simulated-clock timestamps of the first pull and the last
+    #: activity, stamped by
+    #: :class:`~repro.engine.operators.base.TimeAttribution`; ``None``
+    #: until the operator is first pulled.  ``Operator.close()``
+    #: guarantees every pulled operator gets end stamps even when a
+    #: parent (``Limit``, a fault abort) short-circuited it.  These
+    #: intervals nest by plan structure, which is what turns the stats
+    #: into trace spans.
     started_sim: float | None = None
     ended_sim: float | None = None
     started_wall: float | None = None

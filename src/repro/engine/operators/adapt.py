@@ -11,7 +11,7 @@ class IdsToTuplesOp(Operator):
     name = "ids-to-tuples"
 
     def __init__(self, ctx: ExecContext, child: Operator, table: str):
-        super().__init__(ctx, detail=table)
+        super().__init__(ctx, detail=table, children=(child,))
         self.child = child
 
     def _produce(self):

@@ -1,21 +1,51 @@
 """Operator base class, execution context and time attribution.
 
-Physical operators are pull-based generators.  All their costs land on
-the device's single simulated clock; to produce the per-operator "popup"
+Physical operators are pull-based generators producing *batches*: the
+transport surface is :meth:`Operator.batches`, which re-chunks the
+operator's per-item ``_produce()`` generator into fixed-size lists
+(``ExecContext.exec_batch`` items, default 256).  All costs land on the
+device's single simulated clock; to produce the per-operator "popup"
 statistics the demo shows, the executor attributes clock advances to
 whichever operator is currently on top of the execution stack -- a parent
 iterating its child is off the top while the child runs, so each operator
-accumulates only its *own* time.
+accumulates only its *own* time.  Attribution marks happen once per
+batch window, not once per tuple, which is what makes large scans cheap
+on the host: batching is purely a host-side execution detail and must
+never change what the simulated device does.
+
+Operators follow an explicit lifecycle: ``open()`` (declare static RAM
+reservations, recursively), ``batches()`` / ``unbatched()`` / ``rows()``
+(produce), ``close()`` (deterministically tear down every live producer
+-- including subtrees short-circuited by a parent such as ``Limit`` --
+stamp end times, and release RAM reservations).
+
+Consumers choose between two pull surfaces:
+
+* :meth:`Operator.batches` / :meth:`Operator.rows` -- attribution-marked
+  windows.  A window pulls up to ``exec_batch`` items from the producer,
+  so it may run the producer *ahead* of the consumer; only correct when
+  the consumer drains the operator completely (or bounds demand exactly
+  via ``batches(limit=...)``).
+* :meth:`Operator.unbatched` -- unmarked per-item pulls whose costs
+  attribute to whichever operator currently holds the attribution stack.
+  For consumers with data-dependent demand (merge-intersect abandoning
+  arms, aggregation breaking on RAM exhaustion) where running the
+  producer ahead would change hardware counters.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from itertools import islice
+from typing import TYPE_CHECKING
 
 from repro.engine.metrics import OperatorStats
 from repro.hardware.device import SmartUsbDevice
 from repro.visible.link import DeviceLink
+
+if TYPE_CHECKING:
+    from repro.engine.database import HiddenDatabase
 
 
 class PlanExecutionError(RuntimeError):
@@ -33,6 +63,9 @@ class TimeAttribution:
         # The totals dict is stable across clock.reset(), so reading it
         # directly keeps this hot path allocation-free.
         self._totals = device.clock.totals
+        #: How many times :meth:`_mark` has run -- the per-batch (was:
+        #: per-tuple) overhead the batch protocol exists to amortise.
+        self.marks = 0
         self._last_wall = time.perf_counter()
         self._last = 0.0
         self._last_flash = 0.0
@@ -43,6 +76,7 @@ class TimeAttribution:
         self._mark()
 
     def _mark(self) -> None:
+        self.marks += 1
         totals = self._totals
         flash_now = (
             totals["flash_read"]
@@ -73,6 +107,33 @@ class TimeAttribution:
         self._last_writes = writes
         self._last_msgs = msgs
 
+    def sim_now(self) -> float:
+        """The simulated clock right now, without attributing anything."""
+        totals = self._totals
+        return (
+            totals["flash_read"]
+            + totals["flash_write"]
+            + totals["flash_erase"]
+            + totals["usb"]
+            + totals["cpu"]
+        )
+
+    def stamp_start(self, stats: OperatorStats) -> None:
+        """Stamp an operator's first pull without an attribution window.
+
+        Used by :meth:`Operator.unbatched`, whose per-item costs attribute
+        to the consumer on the stack but whose span still needs bounds.
+        """
+        if stats.started_sim is None:
+            stats.started_sim = self.sim_now()
+            stats.started_wall = time.perf_counter()
+
+    def stamp_end(self, stats: OperatorStats) -> None:
+        """Stamp an operator's last activity (exhaustion or teardown)."""
+        if stats.started_sim is not None:
+            stats.ended_sim = self.sim_now()
+            stats.ended_wall = time.perf_counter()
+
     def enter(self, stats: OperatorStats) -> None:
         self._mark()
         if stats.started_sim is None:
@@ -96,9 +157,9 @@ class ExecContext:
     """Everything an operator needs to run on the hidden side."""
 
     device: SmartUsbDevice
-    link: DeviceLink
-    db: "HiddenDatabase"  # noqa: F821 - circular import avoided
-    attribution: TimeAttribution = None
+    link: DeviceLink | None
+    db: HiddenDatabase | None
+    attribution: TimeAttribution | None = None
     operators: list[OperatorStats] = field(default_factory=list)
     #: Free-form execution counters operators bump (Bloom probe counts,
     #: recheck drops, ...); the executor folds them into the metrics
@@ -110,6 +171,13 @@ class ExecContext:
     bloom_fp_target: float = 0.01
     #: Rows per visible-value fetch batch during projection.
     fetch_batch: int = 128
+    #: Items per attribution-marked batch window (host-side only: must
+    #: never change simulated behaviour).  The executor pins this to 1
+    #: for plans whose demand is data-dependent (LIMIT, fault runs).
+    exec_batch: int = 256
+    #: Live per-operator RAM reservations (stats identity -> bytes),
+    #: declared via :meth:`reserve` and dropped by ``Operator.close()``.
+    reservations: dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self):
         if self.attribution is None:
@@ -125,43 +193,176 @@ class ExecContext:
     def register(self, stats: OperatorStats) -> None:
         self.operators.append(stats)
 
+    def reserve(self, stats: OperatorStats, nbytes: int) -> None:
+        """Declare an operator's RAM reservation (bookkeeping only --
+        actual allocation still goes through ``device.ram``).  Repeated
+        declarations keep the maximum; ``release`` drops the entry."""
+        if nbytes > self.reservations.get(id(stats), 0):
+            self.reservations[id(stats)] = nbytes
+        stats.ram_bytes = max(stats.ram_bytes, nbytes)
+
+    def release(self, stats: OperatorStats) -> None:
+        """Drop an operator's reservation (its peak stays on ``stats``)."""
+        self.reservations.pop(id(stats), None)
+
+    @property
+    def reserved_bytes(self) -> int:
+        """Total RAM currently declared by live operators."""
+        return sum(self.reservations.values())
+
     def bump(self, counter: str, amount: int = 1) -> None:
         """Accumulate one named execution counter for this query."""
         self.counters[counter] = self.counters.get(counter, 0) + amount
 
 
 class Operator:
-    """Base class: subclasses implement ``_produce()`` as a generator."""
+    """Base class: subclasses implement ``_produce()`` as a generator
+    and pass their input operators as ``children`` so the lifecycle
+    (``open``/``close``) can recurse the physical tree."""
 
     name = "operator"
 
-    def __init__(self, ctx: ExecContext, detail: str = ""):
+    def __init__(
+        self,
+        ctx: ExecContext,
+        detail: str = "",
+        children: tuple[Operator, ...] | list[Operator] = (),
+    ):
         self.ctx = ctx
+        self.children: tuple[Operator, ...] = tuple(children)
         self.stats = OperatorStats(name=self.name, detail=detail)
+        #: Producer generators handed out and not yet torn down.
+        self._live: list = []
+        self._opened = False
+        self._closed = False
         ctx.register(self.stats)
 
     def _produce(self):
         raise NotImplementedError
 
-    def rows(self):
-        """Iterate this operator's output with time attribution."""
-        inner = self._produce()
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def open(self) -> None:
+        """Declare static RAM reservations, recursively.  Idempotent;
+        called eagerly by the executor and lazily by the pull surfaces
+        so operators built directly in tests behave identically."""
+        if self._opened:
+            return
+        self._opened = True
+        self._open()
+        for child in self.children:
+            child.open()
+
+    def _open(self) -> None:
+        """Hook: declare reservations whose size is statically known.
+        Data-dependent reservations stay in ``_produce``."""
+
+    def close(self) -> None:
+        """Tear down every live producer, stamp end times and release
+        RAM reservations; recurses into children.  Idempotent, and safe
+        on operators that were never pulled (their spans stay unpulled
+        markers).  Teardown of a pulled operator runs inside one final
+        attribution window so generator-cleanup costs (freeing stored
+        runs, releasing buffers) still land on this operator and the
+        sum of per-operator self times stays equal to elapsed time."""
+        if self._closed:
+            return
+        self._closed = True
         attribution = self.ctx.attribution
-        while True:
+        live, self._live = self._live, []
+        if live and self.stats.started_sim is not None:
             attribution.enter(self.stats)
             try:
-                item = next(inner)
-            except StopIteration:
+                for gen in live:
+                    gen.close()
+            finally:
                 attribution.exit(self.stats)
-                self.stats.finished = True
-                return
-            except BaseException:
-                attribution.exit(self.stats)
-                raise
-            attribution.exit(self.stats)
-            self.stats.tuples_out += 1
-            yield item
+        else:
+            for gen in live:
+                gen.close()
+        for child in self.children:
+            child.close()
+        if self.stats.started_sim is not None and self.stats.ended_sim is None:
+            attribution.stamp_end(self.stats)
+        self.ctx.release(self.stats)
 
-    def note_ram(self, size: int) -> None:
-        """Record this operator's own peak RAM usage."""
-        self.stats.ram_bytes = max(self.stats.ram_bytes, size)
+    # ------------------------------------------------------------------
+    # Pull surfaces
+    # ------------------------------------------------------------------
+
+    def batches(self, limit: int | None = None):
+        """Iterate this operator's output as attribution-marked batch
+        windows (lists of up to ``ctx.exec_batch`` items).
+
+        ``limit`` bounds demand exactly: the producer is advanced at
+        most ``limit`` items in total (the last window shrinks), so a
+        ``Limit`` parent never over-produces its subtree.
+        """
+        self.open()
+        attribution = self.ctx.attribution
+        stats = self.stats
+        inner = self._produce()
+        self._live.append(inner)
+        cap = max(1, self.ctx.exec_batch)
+        remaining = limit
+        try:
+            while remaining is None or remaining > 0:
+                n = cap if remaining is None else min(cap, remaining)
+                attribution.enter(stats)
+                try:
+                    batch = list(islice(inner, n))
+                except BaseException:
+                    attribution.exit(stats)
+                    raise
+                attribution.exit(stats)
+                if not batch:
+                    stats.finished = True
+                    return
+                stats.tuples_out += len(batch)
+                stats.batches_out += 1
+                if remaining is not None:
+                    remaining -= len(batch)
+                yield batch
+        finally:
+            inner.close()
+            if inner in self._live:
+                self._live.remove(inner)
+
+    def rows(self):
+        """Iterate this operator's output item by item (batch windows
+        underneath -- full-consumption parents and tests use this)."""
+        for batch in self.batches():
+            yield from batch
+
+    def unbatched(self):
+        """Iterate item by item *without* attribution windows: costs
+        land on whichever operator currently holds the attribution
+        stack (the consumer).  For consumers whose demand is exact and
+        data-dependent -- running the producer a window ahead would
+        change what the simulated hardware does."""
+        self.open()
+        attribution = self.ctx.attribution
+        stats = self.stats
+        inner = self._produce()
+        self._live.append(inner)
+        attribution.stamp_start(stats)
+        try:
+            for item in inner:
+                stats.tuples_out += 1
+                yield item
+            stats.finished = True
+        finally:
+            attribution.stamp_end(stats)
+            inner.close()
+            if inner in self._live:
+                self._live.remove(inner)
+
+    # ------------------------------------------------------------------
+    # RAM accounting
+    # ------------------------------------------------------------------
+
+    def reserve(self, nbytes: int) -> None:
+        """Declare this operator's RAM reservation with the context."""
+        self.ctx.reserve(self.stats, nbytes)

@@ -29,7 +29,7 @@ class BloomProbeOp(Operator):
         key_position: int,
         expected_ids: int | None = None,
     ):
-        super().__init__(ctx, detail=predicate.describe())
+        super().__init__(ctx, detail=predicate.describe(), children=(child,))
         if predicate.hidden:
             raise PlanExecutionError(
                 f"{predicate.describe()} is hidden; Bloom filters are "
@@ -55,7 +55,7 @@ class BloomProbeOp(Operator):
             target_fp=self.ctx.bloom_fp_target,
             label=f"bloom:{self.predicate.table}.{self.predicate.column}",
         )
-        self.note_ram(bloom.ram_bytes + link.id_batch * 4)
+        self.reserve(bloom.ram_bytes + link.id_batch * 4)
         for pk in link.select_ids(self.predicate.table, self.predicate):
             bloom.insert(pk)
         self.bloom_stats = {

@@ -47,7 +47,7 @@ class ClimbingSelectOp(Operator):
             )
             if factory is None:
                 return
-            self.note_ram(page)
+            self.reserve(page)
             iterator, closer = factory()
             try:
                 yield from iterator
@@ -72,7 +72,7 @@ class ClimbingSelectOp(Operator):
         if not factories:
             return
         fan_in = self.ctx.fan_in()
-        self.note_ram(min(len(factories), fan_in) * page + page)
+        self.reserve(min(len(factories), fan_in) * page + page)
         yield from merge_posting_streams(
             self.ctx.device,
             factories,

@@ -34,6 +34,7 @@ class ConvertIdsOp(Operator):
                 f"{key_index.table} ids -> {target_table} ids "
                 f"via {key_index.table}.{key_index.column}"
             ),
+            children=(child,),
         )
         if not key_index.is_key_index:
             raise PlanExecutionError(
@@ -46,8 +47,9 @@ class ConvertIdsOp(Operator):
 
     def _produce(self):
         if self.target_table == self.key_index.table:
-            # Converting to the same level is the identity.
-            yield from self.child.rows()
+            # Converting to the same level is the identity: per-item
+            # pass-through so the parent's demand stays exact.
+            yield from self.child.unbatched()
             return
         factories = []
         for value in self.child.rows():
@@ -58,7 +60,7 @@ class ConvertIdsOp(Operator):
             return
         fan_in = self.ctx.fan_in()
         page = self.ctx.device.profile.page_size
-        self.note_ram(min(len(factories), fan_in) * page + page)
+        self.reserve(min(len(factories), fan_in) * page + page)
         yield from merge_posting_streams(
             self.ctx.device,
             factories,

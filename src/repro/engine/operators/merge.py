@@ -19,14 +19,18 @@ class MergeIntersectOp(Operator):
     name = "merge-intersect"
 
     def __init__(self, ctx: ExecContext, children: list[Operator]):
-        super().__init__(ctx, detail=f"{len(children)} inputs")
         if len(children) < 2:
             raise PlanExecutionError("intersection needs at least 2 inputs")
-        self.children = children
+        super().__init__(
+            ctx, detail=f"{len(children)} inputs", children=children
+        )
         self.stats.attrs["inputs"] = len(children)
 
     def _produce(self):
-        streams = [child.rows() for child in self.children]
+        # Per-item pulls: the intersection abandons every arm the moment
+        # one of them runs dry, so demand must be exact -- a batch window
+        # would run the arms ahead and change the hardware counters.
+        streams = [child.unbatched() for child in self.children]
         currents = []
         for stream in streams:
             value = next(stream, _SENTINEL)
@@ -60,15 +64,21 @@ class MergeUnionOp(Operator):
     name = "merge-union"
 
     def __init__(self, ctx: ExecContext, children: list[Operator]):
-        super().__init__(ctx, detail=f"{len(children)} inputs")
         if not children:
             raise PlanExecutionError("union needs at least 1 input")
-        self.children = children
+        super().__init__(
+            ctx, detail=f"{len(children)} inputs", children=children
+        )
         self.stats.attrs["inputs"] = len(children)
 
     def _produce(self):
         import heapq
 
+        # The heap advances one arm at a time but always drains every
+        # arm completely, so batch windows (which run a pulled arm up to
+        # ``exec_batch`` items ahead) never over-produce here -- the
+        # arms keep their own attribution and the per-item pulls are
+        # served from the window buffer.
         streams = [child.rows() for child in self.children]
         heap = []
         for idx, stream in enumerate(streams):

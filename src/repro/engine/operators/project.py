@@ -38,6 +38,7 @@ class ProjectOp(Operator):
         super().__init__(
             ctx,
             detail=", ".join(f"{t}.{c.name}" for t, c in projections),
+            children=(child,),
         )
         self.child = child
         self.tables = [t.lower() for t in tables]
@@ -60,12 +61,16 @@ class ProjectOp(Operator):
     def _position(self, table: str) -> int:
         return self.tables.index(table)
 
+    def _open(self):
+        self.reserve(self.ctx.fetch_batch * len(self.tables) * 4)
+
     def _produce(self):
         ctx = self.ctx
         db = ctx.db
+        # Fetch grouping stays at ``fetch_batch`` regardless of the
+        # execution batch size: the groups decide the observable
+        # fetch_values messages, which must not depend on host batching.
         batch_size = ctx.fetch_batch
-        arity = len(self.tables)
-        self.note_ram(batch_size * arity * 4)
 
         # Persistent readers for tables we read hidden fields from.
         hidden_tables = {t for t, c in self.projections if c.hidden}

@@ -87,7 +87,7 @@ class AggregateOp(Operator):
         having: list | None = None,
     ):
         detail = ", ".join(a.label() for a in aggregates) or "distinct"
-        super().__init__(ctx, detail=detail)
+        super().__init__(ctx, detail=detail, children=(child,))
         self.child = child
         self.group_indexes = group_indexes
         self.aggregates = aggregates
@@ -123,7 +123,10 @@ class AggregateOp(Operator):
 
     def _produce(self):
         device = self.ctx.device
-        rows_iter = self.child.rows()
+        # Per-item pulls: the hash attempt breaks off mid-stream on RAM
+        # exhaustion, so demand must be exact -- a batch window would
+        # run the child ahead of the break point.
+        rows_iter = self.child.unbatched()
         groups: dict[tuple, _Accumulator] = {}
         entry_bytes = GROUP_ENTRY_OVERHEAD + 8 * (
             len(self.group_indexes) + len(self.aggregates)
@@ -145,7 +148,7 @@ class AggregateOp(Operator):
                     groups[key] = acc
                 acc.feed(self.aggregates, row)
             if not overflowed:
-                self.note_ram(alloc.size)
+                self.reserve(alloc.size)
                 device.chip.charge(
                     "compare",
                     len(groups) * max(1, len(groups).bit_length()),
@@ -233,7 +236,7 @@ class OrderByOp(Operator):
         detail = ", ".join(
             f"#{i} {'asc' if asc else 'desc'}" for i, asc in keys
         )
-        super().__init__(ctx, detail=detail)
+        super().__init__(ctx, detail=detail, children=(child,))
         self.child = child
         self.keys = keys
         self.row_dtypes = row_dtypes
@@ -258,7 +261,7 @@ class OrderByOp(Operator):
             codec.width * 4,
             min(device.ram.available // 2, 8 * device.profile.page_size),
         )
-        self.note_ram(sort_buffer)
+        self.reserve(sort_buffer)
         runs = make_runs(
             device,
             (codec.encode(row) for row in self.child.rows()),
@@ -286,16 +289,13 @@ class LimitOp(Operator):
     name = "limit"
 
     def __init__(self, ctx: ExecContext, child: Operator, count: int):
-        super().__init__(ctx, detail=str(count))
+        super().__init__(ctx, detail=str(count), children=(child,))
         self.child = child
         self.count = count
 
     def _produce(self):
-        if self.count == 0:
-            return
-        emitted = 0
-        for row in self.child.rows():
-            yield row
-            emitted += 1
-            if emitted >= self.count:
-                return
+        # ``limit=`` makes demand exact at the batch layer: the child is
+        # advanced at most ``count`` items in total (``count == 0`` never
+        # pulls it at all), so the subtree cannot over-produce.
+        for batch in self.child.batches(limit=self.count):
+            yield from batch

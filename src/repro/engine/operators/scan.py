@@ -28,6 +28,9 @@ class DeviceScanSelectOp(Operator):
         self.table = table.lower()
         self.predicates = predicates
 
+    def _open(self):
+        self.reserve(self.ctx.device.profile.page_size)
+
     def _produce(self):
         heap = self.ctx.db.heaps[self.table]
         table_def = self.ctx.db.tree.table(self.table)
@@ -36,7 +39,6 @@ class DeviceScanSelectOp(Operator):
             for p in self.predicates
         }
         chip = self.ctx.device.chip
-        self.note_ram(self.ctx.device.profile.page_size)
         with heap.reader(f"scan:{self.table}") as reader:
             for raw in reader.scan():
                 ok = True

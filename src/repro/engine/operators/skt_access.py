@@ -25,10 +25,13 @@ class SktAccessOp(Operator):
         child: Operator,
         expected_count: int | None = None,
     ):
-        super().__init__(ctx, detail=f"SKT_{skt.root}")
+        super().__init__(ctx, detail=f"SKT_{skt.root}", children=(child,))
         self.skt = skt
         self.child = child
         self.expected_count = expected_count
+
+    def _open(self):
+        self.reserve(self.ctx.device.profile.page_size)
 
     def _produce(self):
         skt = self.skt
@@ -43,7 +46,6 @@ class SktAccessOp(Operator):
             and skt.count > 0
             and expected / skt.count >= 2 / rows_per_page
         )
-        self.note_ram(page)
         with skt.reader("skt-access") as reader:
             for root_id in self.child.rows():
                 try:
@@ -73,9 +75,11 @@ class SktScanOp(Operator):
         super().__init__(ctx, detail=f"SKT_{skt.root} (full scan)")
         self.skt = skt
 
+    def _open(self):
+        self.reserve(self.ctx.device.profile.page_size)
+
     def _produce(self):
         skt = self.skt
-        self.note_ram(self.ctx.device.profile.page_size)
         with skt.reader("skt-scan") as reader:
             for raw in reader.scan():
                 self.ctx.device.chip.charge(

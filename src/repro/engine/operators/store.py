@@ -25,14 +25,17 @@ class StoreOp(Operator):
     name = "store"
 
     def __init__(self, ctx: ExecContext, child: Operator, arity: int):
-        super().__init__(ctx, detail=f"materialise {arity}-id tuples")
+        super().__init__(
+            ctx, detail=f"materialise {arity}-id tuples", children=(child,)
+        )
         self.child = child
         self.arity = arity
 
+    def _open(self):
+        self.reserve(self.ctx.device.profile.page_size)
+
     def _produce(self):
         width = self.arity * ID_WIDTH
-        page = self.ctx.device.profile.page_size
-        self.note_ram(page)
         writer = RunWriter(self.ctx.device, width, "store")
         stored = 0
         for row in self.child.rows():

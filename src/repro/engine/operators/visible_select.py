@@ -19,7 +19,16 @@ class VisibleSelectOp(Operator):
         super().__init__(ctx, detail=predicate.describe())
         self.predicate = predicate
 
+    def _open(self):
+        self.reserve(self.ctx.link.id_batch * 4)
+
     def _produce(self):
+        # The link already delivers IDs one USB message (``id_batch``
+        # ids) at a time; consuming whole message batches keeps the
+        # per-item loop out of the hot path without changing when each
+        # message crosses the observable channel.
         link = self.ctx.link
-        self.note_ram(link.id_batch * 4)
-        yield from link.select_ids(self.predicate.table, self.predicate)
+        for chunk in link.select_id_batches(
+            self.predicate.table, self.predicate
+        ):
+            yield from chunk

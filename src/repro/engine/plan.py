@@ -389,7 +389,14 @@ class OrderBy(RowNode):
 
 @dataclass
 class Limit(RowNode):
-    """Truncate a value-row stream (stops pulling early)."""
+    """Truncate a value-row stream (stops pulling early).
+
+    Plans containing a Limit run with per-tuple demand: the executor
+    pins the batch window to 1 (see ``QueryExecutor._effective_batch``)
+    so the truncated subtree is advanced exactly as far as the old
+    per-tuple pipeline would have -- hardware counters stay identical
+    to the unbatched execution.
+    """
 
     child: PlanNode
     count: int

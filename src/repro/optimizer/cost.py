@@ -6,6 +6,15 @@ table -- so the optimizer's ranking can be validated against measured
 executions (and the benchmarks do exactly that).  Cardinalities come from
 the classical statistics of :mod:`repro.catalog.statistics` under the
 usual independence assumptions.
+
+Costs decompose into *per-batch* and *per-tuple* terms.  Per-batch terms
+price fixed overheads paid once per transfer unit -- USB message setup
+per ``id_batch`` IDs, one fetch round trip per ``fetch_batch`` rows --
+while per-tuple terms scale with cardinality (payload bytes, CPU cycles,
+partial flash reads).  The executor's host-side batch window
+(``ExecConfig.exec_batch``) deliberately has *no* term here: it groups
+Python-level pulls on the PC and never changes what the simulated device
+charges, so pricing it would skew plan ranking with host noise.
 """
 
 from __future__ import annotations
@@ -143,6 +152,18 @@ class CostModel:
             + payload_bytes * 8 / self.profile.usb_bits_per_s
         )
 
+    def _id_stream_usb(self, count: float) -> float:
+        """USB cost of streaming ``count`` IDs between PC and device.
+
+        Per-batch term: one message per ``id_batch`` IDs, plus the
+        request and the end marker (each paying ``usb_setup_s``).
+        Per-tuple term: the ID payload itself plus ~150 B of framing,
+        at line rate.  Shared by every operator that ships an ID list
+        over the wire (visible selection, Bloom construction).
+        """
+        messages = 2 + math.ceil(count / self.id_batch)
+        return self._usb_transfer(count * ID_WIDTH + 150, messages)
+
     def _sequential_read_s(self, total_bytes: float) -> float:
         pages = math.ceil(total_bytes / self.profile.page_size)
         return pages * self.profile.flash_read_full_s
@@ -190,8 +211,7 @@ class CostModel:
     def _est_VisibleSelect(self, node: lp.VisibleSelect) -> CostEstimate:
         out = self.stats.matching_rows(node.predicate)
         est = CostEstimate(out_count=out)
-        messages = 2 + math.ceil(out / self.id_batch)  # request + end marker
-        est.usb_s += self._usb_transfer(out * ID_WIDTH + 150, messages)
+        est.usb_s += self._id_stream_usb(out)
         est.ram_bytes = self.id_batch * ID_WIDTH
         return est
 
@@ -311,9 +331,7 @@ class CostModel:
         )
         # Count round trip, then the ID stream, then inserts and probes.
         est.usb_s += self._usb_transfer(200, 2)
-        est.usb_s += self._usb_transfer(
-            keys * ID_WIDTH + 150, 2 + math.ceil(keys / self.id_batch)
-        )
+        est.usb_s += self._id_stream_usb(keys)
         est.cpu_s += self._cpu("bloom_insert", keys)
         est.cpu_s += self._cpu("bloom_probe", child.out_count)
         sel = self.stats.selectivity(node.predicate)

@@ -186,11 +186,22 @@ class DeviceLink:
     # ------------------------------------------------------------------
 
     def select_ids(self, table: str, predicate: Predicate):
-        """Yield the sorted PKs satisfying a visible predicate.
+        """Yield the sorted PKs satisfying a visible predicate, one at
+        a time (a flattening of :meth:`select_id_batches`)."""
+        for batch in self.select_id_batches(table, predicate):
+            yield from batch
+
+    def select_id_batches(self, table: str, predicate: Predicate):
+        """Yield the sorted PKs satisfying a visible predicate, one
+        list per host->device batch message.
 
         The request crosses to the host; the host evaluates the predicate
         on its copy of the data (free of device cost) and streams the IDs
-        back in packed batches.  The device holds one batch in RAM.
+        back in packed batches.  The device holds one batch in RAM.  The
+        batch boundaries *are* the USB message boundaries -- consuming
+        per message or per ID produces identical observable traffic,
+        because each message is only requested when its first ID is
+        demanded either way.
         """
         request = json.dumps(
             {"op": "select_ids", "predicate": predicate_to_wire(predicate)}
@@ -212,8 +223,10 @@ class DeviceLink:
                 )
                 if len(delivered) % _PACK.size:
                     raise ProtocolError("truncated ID batch")
-                for off in range(0, len(delivered), _PACK.size):
-                    yield _PACK.unpack_from(delivered, off)[0]
+                yield [
+                    _PACK.unpack_from(delivered, off)[0]
+                    for off in range(0, len(delivered), _PACK.size)
+                ]
         end = json.dumps({"op": "ids_end", "count": len(ids)}).encode("utf-8")
         self._send(
             Direction.TO_DEVICE, "ids_end", end,

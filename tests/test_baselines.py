@@ -1,7 +1,5 @@
 """Baselines: correctness first, then the paper's performance claims."""
 
-import datetime
-
 import pytest
 
 from repro.baselines import (

@@ -9,8 +9,6 @@ CLEAN.  CI replays this file on every push (fixed seeds: the sweep is
 deterministic end to end).
 """
 
-import pytest
-
 from repro.core.ghostdb import GhostDB
 from repro.faults import FAULT_PROFILES, GhostDBFaultError
 from repro.privacy.leakcheck import LeakChecker

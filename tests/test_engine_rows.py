@@ -2,7 +2,6 @@
 
 import datetime
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.engine.operators import ExecContext

@@ -6,13 +6,12 @@ tested property, not an accident.
 
 import pytest
 
-from repro.core.ghostdb import GhostDB
 from repro.engine.operators import ExecContext
 from repro.faults import FaultProfile, UsbTransferError
 from repro.hardware.flash import WearOutError
 from repro.hardware.profiles import DEMO_DEVICE
 from repro.hardware.ram import RamExhaustedError
-from repro.workload.queries import DEMO_SCHEMA_DDL, demo_query
+from repro.workload.queries import demo_query
 
 
 class TestUsbCorruption:

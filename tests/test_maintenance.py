@@ -4,7 +4,7 @@ import datetime
 
 import pytest
 
-from repro.engine.maintenance import MaintenanceError, append_rows
+from repro.engine.maintenance import MaintenanceError
 from repro.reference import evaluate_reference, same_rows
 from repro.workload.queries import demo_query
 

@@ -6,9 +6,7 @@ import pytest
 
 from repro.engine import plan as lp
 from repro.optimizer.cost import StatsProvider
-from repro.optimizer.explain import explain_plan
 from repro.optimizer.space import (
-    POST,
     PRE,
     PlanBuilder,
     Strategy,

@@ -8,7 +8,7 @@ only say CLEAN proves nothing.
 import pytest
 
 from repro.hardware.usb import Direction
-from repro.optimizer.space import Strategy, enumerate_strategies
+from repro.optimizer.space import enumerate_strategies
 from repro.privacy.leakcheck import LeakChecker
 from repro.privacy.spy import SpyView
 from repro.workload.queries import demo_query

@@ -5,8 +5,6 @@ aggregation); semantics are checked against the reference evaluator and,
 for the device-side operators, against RAM-pressure behaviour.
 """
 
-import datetime
-
 import pytest
 
 from repro.core.ghostdb import GhostDB

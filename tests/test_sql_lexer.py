@@ -5,7 +5,7 @@ import datetime
 import pytest
 
 from repro.sql.errors import ParseError
-from repro.sql.lexer import DATE, EOF, IDENT, NUMBER, STRING, SYMBOL, tokenize
+from repro.sql.lexer import DATE, EOF, tokenize
 
 
 def kinds(text):

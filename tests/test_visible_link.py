@@ -5,12 +5,10 @@ import json
 
 import pytest
 
-from repro.faults import FaultInjector, FaultProfile, UsbTransferError
+from repro.faults import FaultProfile, UsbTransferError
 from repro.hardware.usb import Direction
-from repro.sql.binder import EQ, RANGE
 from repro.visible.frame import FRAME_OVERHEAD, payload_of
 from repro.visible.link import (
-    DeviceLink,
     ProtocolError,
     decode_value,
     encode_value,
