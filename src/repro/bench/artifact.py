@@ -22,7 +22,8 @@ from repro.obs.redact import Redactor
 
 #: Bump on any incompatible change to the artifact layout.  The
 #: comparator refuses to diff artifacts of different versions.
-SCHEMA_VERSION = 1
+#: v2 added the per-scenario ``leak_*`` leakage columns.
+SCHEMA_VERSION = 2
 
 #: Artifact discriminator, so tooling can reject arbitrary JSON.
 KIND = "ghostdb-bench"
@@ -40,16 +41,33 @@ GATED_METRICS = (
     "usb_bytes_to_device",
     "usb_bytes_to_host",
     "ram_high_water",
+    # Adversary-eye leakage columns (v2): what the scenario's traffic
+    # shape reveals.  Deterministic like the rest, gated like the rest --
+    # a wider observable channel is a regression even when it is faster.
+    "leak_observable_bytes",
+    "leak_messages",
+    "leak_ids_observed",
 )
 
 
-def scenario_record(metrics, wall_seconds: float, family: str) -> dict:
+#: Keys whose string values are shape-derived hex signatures (see
+#: :data:`repro.privacy.meter.SIGNATURE_KEYS` for the meter's own
+#: artifact) and therefore pass the redaction gate unscrubbed.
+SIGNATURE_KEYS = frozenset({"leak_request_signature", "request_signature", "signatures"})
+
+
+def scenario_record(
+    metrics, wall_seconds: float, family: str, leak=None
+) -> dict:
     """One scenario's measurements as a plain JSON-ready dict.
 
     ``metrics`` is the :class:`~repro.engine.metrics.ExecutionMetrics`
-    diff of the scenario's single measured execution.
+    diff of the scenario's single measured execution; ``leak`` is the
+    :class:`~repro.privacy.meter.TrafficProfile` of the traffic that
+    execution produced (``None`` leaves the leakage columns at zero,
+    for scenarios that never touch the boundary).
     """
-    return {
+    record = {
         "family": family,
         "sim_seconds": metrics.elapsed_seconds,
         "sim_breakdown": metrics.time.as_dict(),
@@ -62,7 +80,23 @@ def scenario_record(metrics, wall_seconds: float, family: str) -> dict:
         "ram_high_water": metrics.ram_high_water,
         "result_rows": metrics.result_rows,
         "wall_seconds": wall_seconds,
+        "leak_observable_bytes": 0,
+        "leak_messages": 0,
+        "leak_ids_observed": 0,
+        "leak_distinct_shapes": 0,
+        "leak_shape_entropy_bits": 0.0,
+        "leak_request_signature": "",
     }
+    if leak is not None:
+        record.update(
+            leak_observable_bytes=leak.observable_bytes,
+            leak_messages=leak.messages,
+            leak_ids_observed=leak.ids_observed,
+            leak_distinct_shapes=leak.distinct_shapes,
+            leak_shape_entropy_bits=round(leak.shape_entropy_bits, 6),
+            leak_request_signature=leak.signature,
+        )
+    return record
 
 
 def build_artifact(
@@ -90,9 +124,11 @@ def _allow_structure(redactor: Redactor, artifact: dict) -> None:
 
     Dict keys are authored by this code base (scenario names, family
     slugs, metric names) and are therefore safe vocabulary.  String
-    *values* stay default-deny except the three known structural fields
-    (kind / created / profile); anything else that sneaks in as a string
-    value scrubs to ``?`` and shows up in review instead of leaking.
+    *values* stay default-deny except the known structural fields
+    (kind / created / profile) and signature hex digests -- which are
+    CRCs of traffic *shape*, computed by the meter, never data; anything
+    else that sneaks in as a string value scrubs to ``?`` and shows up
+    in review instead of leaking.
     """
     redactor.allow(
         artifact.get("kind", ""),
@@ -101,14 +137,16 @@ def _allow_structure(redactor: Redactor, artifact: dict) -> None:
         artifact.get("leak_check", ""),
     )
 
-    def _keys(value) -> None:
+    def _keys(value, parent_key: str = "") -> None:
         if isinstance(value, dict):
             for key, sub in value.items():
                 redactor.allow(str(key))
-                _keys(sub)
+                _keys(sub, str(key))
         elif isinstance(value, (list, tuple)):
             for sub in value:
-                _keys(sub)
+                _keys(sub, parent_key)
+        elif isinstance(value, str) and parent_key in SIGNATURE_KEYS:
+            redactor.allow(value)
 
     _keys(artifact)
 

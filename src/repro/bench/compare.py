@@ -65,6 +65,11 @@ class ComparisonReport:
     scenarios_compared: int = 0
     regressions: list[MetricDelta] = field(default_factory=list)
     improvements: list[MetricDelta] = field(default_factory=list)
+    #: Scenarios whose request-sequence signature changed: the logical
+    #: message sequence itself differs, which no tolerance can excuse
+    #: (the signature is invariant under fault-injection retries by
+    #: construction, so a change means the protocol conversation moved).
+    signature_changes: list[str] = field(default_factory=list)
     missing_scenarios: list[str] = field(default_factory=list)
     new_scenarios: list[str] = field(default_factory=list)
     config_errors: list[str] = field(default_factory=list)
@@ -76,7 +81,10 @@ class ComparisonReport:
     @property
     def ok(self) -> bool:
         return not (
-            self.regressions or self.missing_scenarios or self.config_errors
+            self.regressions
+            or self.signature_changes
+            or self.missing_scenarios
+            or self.config_errors
         )
 
     def render(self) -> str:
@@ -93,6 +101,8 @@ class ComparisonReport:
             lines.append(f"  missing scenario: {name} (in baseline, not run)")
         for delta in self.regressions:
             lines.append(f"  REGRESSION {delta.line()}")
+        for line in self.signature_changes:
+            lines.append(f"  SIGNATURE CHANGED {line}")
         for delta in self.improvements:
             lines.append(f"  improved   {delta.line()}")
         for name in self.new_scenarios:
@@ -154,6 +164,12 @@ def compare_artifacts(
                 report.regressions.append(delta)
             elif delta.current < delta.baseline * (1 - tolerance):
                 report.improvements.append(delta)
+        base_sig = base_row.get("leak_request_signature", "")
+        cur_sig = cur_row.get("leak_request_signature", "")
+        if base_sig != cur_sig:
+            report.signature_changes.append(
+                f"{name}: {base_sig or '(none)'} -> {cur_sig or '(none)'}"
+            )
     return report
 
 

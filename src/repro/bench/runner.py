@@ -28,6 +28,7 @@ from repro.core.ghostdb import GhostDB
 from repro.hardware.profiles import PROFILES
 from repro.obs import get_logger
 from repro.privacy.leakcheck import LeakChecker
+from repro.privacy.meter import profile_records
 from repro.workload.datagen import DatasetConfig, MedicalDataGenerator
 from repro.workload.queries import DEMO_SCHEMA_DDL
 
@@ -107,8 +108,12 @@ def run_bench(config: BenchConfig | None = None) -> BenchRun:
         wall_start = time.perf_counter()
         result = scenario.run(session)
         wall = time.perf_counter() - wall_start
+        # Everything the scenario pushed over the boundary, faults and
+        # retransmissions included -- the spy's complete view of it.
+        traffic = session.usb_log
+        leak = profile_records(traffic) if traffic else None
         records[scenario.name] = scenario_record(
-            result.metrics, wall, scenario.family
+            result.metrics, wall, scenario.family, leak=leak
         )
         lines.append(
             f"{scenario.name:<24} "
@@ -117,6 +122,8 @@ def run_bench(config: BenchConfig | None = None) -> BenchRun:
             f"{result.metrics.flash_page_writes:5d} fw  "
             f"{result.metrics.usb_messages:5d} usb  "
             f"{result.metrics.ram_high_water:6d} B ram  "
+            f"leak {leak.observable_bytes if leak else 0:6d} B "
+            f"sig {leak.signature if leak else '--------'}  "
             f"({wall * 1e3:.0f} ms wall)"
         )
 

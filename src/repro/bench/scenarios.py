@@ -162,6 +162,72 @@ def _chaos_powercut(session):
     return result
 
 
+def _leak_signature(fault_profile: str | None, seed: int = 0):
+    """Run the demo query and pin its traffic-shape contract.
+
+    The ``none`` variant is the clean half of the pair; the faulted
+    variant re-runs the same query under a fixed-seed fault schedule and
+    asserts the property the leakage meter's classifier keys on: retries
+    and refragmentation change *timing*, never the request-sequence
+    signature.  A signature drift under faults would mean the fault path
+    changes what the spy can fingerprint -- a silent contract break this
+    scenario turns into a loud one.
+    """
+
+    def run(session):
+        from repro.faults import GhostDBFaultError
+        from repro.privacy.meter import profile_records
+
+        sql = demo_query()
+        mark = len(session.device.usb.log)
+        reference = session.query(sql)
+        clean = profile_records(session.device.usb.log[mark:])
+        if fault_profile is None:
+            return reference
+        session.set_faults(fault_profile, seed)
+        result = None
+        try:
+            for _ in range(CHAOS_MAX_ATTEMPTS):
+                mark = len(session.device.usb.log)
+                try:
+                    result = session.query(sql)
+                    break
+                except GhostDBFaultError:
+                    if session.needs_remount:
+                        session.remount()
+        finally:
+            session.clear_faults()
+            if session.needs_remount:
+                session.remount()
+        if result is None:
+            raise RuntimeError(
+                f"leak-signature scenario gave up after "
+                f"{CHAOS_MAX_ATTEMPTS} attempts (profile={fault_profile}, "
+                f"seed={seed})"
+            )
+        faulted = profile_records(session.device.usb.log[mark:])
+        if result.rows != reference.rows:
+            raise RuntimeError(
+                "faulted answer diverged from the clean reference"
+            )
+        if faulted.signature != clean.signature:
+            raise RuntimeError(
+                f"request-sequence signature drifted under faults: "
+                f"{clean.signature} clean vs {faulted.signature} faulted "
+                f"-- retries must change timing, not the logical sequence"
+            )
+        if faulted.retransmissions and not (
+            faulted.sim_duration_s > clean.sim_duration_s
+        ):
+            raise RuntimeError(
+                "retransmissions should show up as simulated time "
+                "(timing is the channel faults are allowed to move)"
+            )
+        return result
+
+    return run
+
+
 SCENARIOS: tuple[Scenario, ...] = (
     # Figure 1 / Section 4: the demo query under the optimizer's plan.
     Scenario("fig1-demo-query", "fig1", _query(demo_query())),
@@ -215,6 +281,16 @@ SCENARIOS: tuple[Scenario, ...] = (
     Scenario("chaos-flash-demo", "chaos", _chaos("flash", seed=2)),
     Scenario("chaos-mixed-demo", "chaos", _chaos("mixed", seed=3)),
     Scenario("chaos-powercut-remount", "chaos", _chaos_powercut),
+    # Leakage: the same query under a clean and a faulted link.  The
+    # pair pins the meter's invariance contract -- fault retries move
+    # timing, never the request-sequence signature the fingerprinting
+    # classifier keys on.
+    Scenario("leak-signature-none", "leak", _leak_signature(None)),
+    # Seed 1 manifests USB retransmissions at both the bench default
+    # and the test scale, so the pair actually exercises the retry path.
+    Scenario(
+        "leak-signature-mixed", "leak", _leak_signature("mixed", seed=1)
+    ),
 )
 
 

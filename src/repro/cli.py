@@ -5,11 +5,13 @@ medical dataset and drops into a small REPL: type SQL to run it, or a
 dot-command for the demo-style views.
 
 ``python -m repro bench`` instead runs the benchmark regression harness
-(see :mod:`repro.bench.runner`).
+(see :mod:`repro.bench.runner`); ``python -m repro leakmeter`` runs the
+adversary-eye leakage meter (see :mod:`repro.privacy.meter`).
 
 Commands::
 
     <sql>;              run a statement (SELECT / INSERT before load)
+    EXPLAIN LEAKAGE <select>  run and show the leakage scorecard
     .explain <sql>      show the chosen plan with cost estimates
     .explain analyze <sql>  alias for .analyze
     .analyze <sql>      run and show estimated-vs-measured per node
@@ -17,6 +19,9 @@ Commands::
     .bench              the optimizer estimate-quality scorecard (T9)
     .spy [n]            the last n captured boundary messages (default 20)
     .leaks              leak-check the captured traffic
+    .leak [sql]         leakage scorecard: what the traffic shape
+                        reveals (of <sql> if given, else of the last
+                        query / the captured session traffic)
     .trace <sql>        run and show the redacted span tree (sim + wall)
     .metrics            Prometheus-style exposition of session metrics
     .schema             table definitions with hidden markers
@@ -58,11 +63,13 @@ class Shell:
     def __init__(self, scale: int = 10_000, profile: str = "demo",
                  out=None, trace_out: str | None = None,
                  metrics_out: str | None = None,
+                 leak_out: str | None = None,
                  fault_profile: str | None = None, fault_seed: int = 0,
                  batch_size: int | None = None):
         self.out = out or sys.stdout
         self.trace_out = trace_out
         self.metrics_out = metrics_out
+        self.leak_out = leak_out
         config = None
         if batch_size is not None:
             config = SessionConfig(
@@ -139,6 +146,8 @@ class Shell:
             self._print(spy.transcript())
         elif name == ".leaks":
             self._print(self.checker.check(self.db.usb_log).summary())
+        elif name == ".leak":
+            self._leak_command(argument)
         elif name == ".trace":
             traced = self.db.trace(argument or demo_query())
             self._print(traced.render())
@@ -164,7 +173,13 @@ class Shell:
 
     # ------------------------------------------------------------------
 
+    #: SQL-level spelling of the scorecard view, sibling of EXPLAIN.
+    _EXPLAIN_LEAKAGE = "explain leakage"
+
     def _run_sql(self, sql: str) -> None:
+        if sql.lower().startswith(self._EXPLAIN_LEAKAGE):
+            self._leak_command(sql[len(self._EXPLAIN_LEAKAGE):].strip())
+            return
         result = self.db.execute(sql)
         if not isinstance(result, QueryResult):
             self._print("ok")
@@ -181,6 +196,25 @@ class Shell:
             f"flash {m.flash_page_reads}r/{m.flash_page_writes}w | "
             f"usb {m.usb_messages} msgs"
         )
+
+    def _leak_command(self, argument: str) -> None:
+        """``.leak [sql]`` / ``EXPLAIN LEAKAGE <sql>``: the adversary's
+        quantitative view.  With SQL, runs it and scores that query's
+        traffic; without, scores the last metered query (or the whole
+        captured log if none ran since the last reset)."""
+        from repro.privacy.meter import render_profile
+
+        if argument:
+            result = self.db.query(argument)
+            profile = self.db.leak_scorecard()
+            self._print(render_profile(profile))
+            self._print(f"({result.row_count} rows)")
+            return
+        profile = self.db.leak_scorecard()
+        if profile is None:
+            self._print("no boundary traffic captured yet; run a query")
+            return
+        self._print(render_profile(profile))
 
     def _show_schema(self) -> None:
         for table in self.db.schema:
@@ -320,9 +354,11 @@ class Shell:
         self._print("bye")
 
     def close(self) -> None:
-        """Flush the session trace and metrics if requested."""
+        """Flush the session trace, metrics and leakage scorecard if
+        requested."""
         self._flush_trace()
         self._flush_metrics()
+        self._flush_leakage()
 
     def _flush_trace(self) -> None:
         if not self.trace_out:
@@ -338,6 +374,46 @@ class Shell:
         self._print(
             f"wrote {self.db.obs.tracer.span_count()} spans to "
             f"{self.trace_out} (load in Perfetto / chrome://tracing)"
+        )
+
+    def _flush_leakage(self) -> None:
+        if not self.leak_out:
+            return
+        import json
+
+        from repro.privacy.meter import profile_records
+
+        profile = profile_records(self.db.usb_log)
+        payload = (
+            json.dumps(
+                {
+                    "kind": "ghostdb-leak-scorecard",
+                    "scorecard": profile.to_record(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        ).encode("utf-8")
+        # The scorecard is shape-only by construction; the checker
+        # verifies that from the outside before anything hits disk.
+        leak = self.checker.check_bytes(payload, kind="leak-scorecard")
+        if not leak.ok:
+            self._print(f"error: leakage scorecard not written: {leak.summary()}")
+            return
+        parent = os.path.dirname(self.leak_out)
+        try:
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(self.leak_out, "wb") as handle:
+                handle.write(payload)
+        except OSError as exc:
+            self._print(f"error: could not write leakage scorecard: {exc}")
+            return
+        self._print(
+            f"wrote leakage scorecard to {self.leak_out} "
+            f"({profile.messages} messages, "
+            f"{profile.observable_bytes} observable bytes)"
         )
 
     def _flush_metrics(self) -> None:
@@ -368,6 +444,10 @@ def main(argv=None) -> int:
         from repro.bench.runner import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "leakmeter":
+        from repro.privacy.meter import main as meter_main
+
+        return meter_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="GhostDB interactive shell"
     )
@@ -393,6 +473,11 @@ def main(argv=None) -> int:
         help="write the session's Prometheus-style metrics exposition "
         "here on exit",
     )
+    parser.add_argument(
+        "--leak-out", default=None, metavar="PATH",
+        help="write the session traffic's leakage scorecard (JSON, "
+        "leak-checked first) here on exit",
+    )
     from repro.faults import FAULT_PROFILES
 
     parser.add_argument(
@@ -411,7 +496,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     shell = Shell(
         scale=args.scale, profile=args.profile, trace_out=args.trace_out,
-        metrics_out=args.metrics_out,
+        metrics_out=args.metrics_out, leak_out=args.leak_out,
         fault_profile=args.fault_profile, fault_seed=args.fault_seed,
         batch_size=args.batch_size,
     )

@@ -43,6 +43,7 @@ from repro.obs import Observability, get_logger
 from repro.obs.export import chrome_trace_json, render_tree, write_chrome_trace
 from repro.obs.tracer import Span
 from repro.optimizer.explain import explain_plan
+from repro.privacy.meter import TrafficProfile, profile_records
 from repro.optimizer.optimizer import Optimizer, RankedPlan
 from repro.optimizer.space import PlanBuilder, Strategy
 from repro.sql import ast
@@ -119,6 +120,7 @@ class GhostDB:
         self._pending_inserts: dict[str, list[tuple]] = {}
         self.fault_injector: FaultInjector | None = None
         self._needs_remount = False
+        self._last_leak_profile: TrafficProfile | None = None
 
     # ------------------------------------------------------------------
     # DDL / DML
@@ -360,9 +362,43 @@ class GhostDB:
         """
         self.link.announce(sql)
 
+    def _meter_leakage(self, mark: int, span: Span | None = None) -> None:
+        """Profile the boundary traffic one query generated.
+
+        ``mark`` is the USB log length before the query started.  The
+        profile feeds the ``ghostdb_leak_*`` metric families and -- as
+        numbers only, same bar as every span attribute -- annotates the
+        query span, so traces show what each query *looked like* from
+        the spy's side of the boundary.
+        """
+        records = self.device.usb.log[mark:]
+        if not records:
+            return
+        profile = profile_records(records)
+        self._last_leak_profile = profile
+        self.obs.record_leakage(profile)
+        if span is not None:
+            span.set("leak_messages", profile.messages)
+            span.set("leak_bytes", profile.observable_bytes)
+            span.set("leak_ids", profile.ids_observed)
+            span.set(
+                "leak_entropy_bits", round(profile.shape_entropy_bits, 3)
+            )
+            span.set("leak_signature", profile.signature_int)
+
+    def leak_scorecard(self) -> TrafficProfile | None:
+        """The :class:`~repro.privacy.meter.TrafficProfile` of the last
+        metered query, or of the whole captured log when no query ran
+        since the last reset.  ``None`` with nothing captured."""
+        if self._last_leak_profile is not None:
+            return self._last_leak_profile
+        records = self.usb_log
+        return profile_records(records) if records else None
+
     def _run_select(self, statement: ast.Select, sql: str = "") -> QueryResult:
         self._require_loaded()
         self._guard_powered()
+        mark = len(self.device.usb.log)
         with self.obs.tracer.span("query", category="session") as span:
             if sql:
                 # The SQL text passes the redaction gate: constants (which
@@ -379,6 +415,7 @@ class GhostDB:
                 self._abort_on_fault(exc)
                 raise
             span.set("result_rows", result.row_count)
+            self._meter_leakage(mark, span)
         return result
 
     def query(self, sql: str) -> QueryResult:
@@ -392,6 +429,7 @@ class GhostDB:
         """Execute with an explicit PRE/POST assignment (the demo GUI's
         ad-hoc plan building)."""
         self._guard_powered()
+        mark = len(self.device.usb.log)
         with self.obs.tracer.span("query", category="session") as span:
             span.set("sql", " ".join(sql.split()))
             try:
@@ -406,6 +444,7 @@ class GhostDB:
                 span.set("aborted", type(exc).__name__)
                 self._abort_on_fault(exc)
                 raise
+            self._meter_leakage(mark, span)
         return result
 
     def execute_plan(self, plan: Project) -> QueryResult:
@@ -430,6 +469,7 @@ class GhostDB:
         from repro.optimizer.explain import explain_analyze
 
         self._guard_powered()
+        mark = len(self.device.usb.log)
         try:
             self._announce_query(sql)
             bound = self.bind(sql)
@@ -438,6 +478,7 @@ class GhostDB:
         except GhostDBFaultError as exc:
             self._abort_on_fault(exc)
             raise
+        self._meter_leakage(mark)
         report = explain_analyze(best.plan, self.optimizer.cost_model)
         measured = result.metrics.elapsed_seconds
         if measured > 1e-9:
@@ -514,6 +555,7 @@ class GhostDB:
         self.device.reset_measurements()
         self.obs.registry.reset()
         self.obs.tracer.clear()
+        self._last_leak_profile = None
 
     @property
     def usb_log(self):

@@ -175,6 +175,38 @@ class Observability:
             "ghostdb_recovery_aborted_queries_total",
             "queries aborted by an injected fault, by reason",
         )
+        # Adversary-eye leakage metering (see docs/OBSERVABILITY.md).
+        reg.counter(
+            "ghostdb_leak_queries_profiled_total",
+            "queries whose boundary traffic was leak-profiled",
+        )
+        reg.counter(
+            "ghostdb_leak_observable_bytes_total",
+            "bytes a USB observer sees, attributed to queries, "
+            "by direction",
+        )
+        reg.counter(
+            "ghostdb_leak_messages_total",
+            "boundary messages a USB observer sees, by kind",
+        )
+        reg.counter(
+            "ghostdb_leak_ids_observed_total",
+            "row IDs readable off the wire (repeats counted), by kind",
+        )
+        reg.gauge(
+            "ghostdb_leak_distinct_shapes",
+            "distinct (direction, kind, size) message shapes of the "
+            "last profiled query",
+        )
+        reg.gauge(
+            "ghostdb_leak_shape_entropy_bits",
+            "shape-distribution entropy of the last profiled query",
+        )
+        reg.gauge(
+            "ghostdb_leak_request_signature",
+            "request-sequence signature (CRC32) of the last profiled "
+            "query -- fault-profile invariant by construction",
+        )
 
     # ------------------------------------------------------------------
 
@@ -219,3 +251,31 @@ class Observability:
             )
         )
         reg.gauge("ghostdb_trace_spans").set(self.tracer.span_count())
+
+    def record_leakage(self, profile) -> None:
+        """Fold one query's :class:`~repro.privacy.meter.TrafficProfile`
+        into the ``ghostdb_leak_*`` families.
+
+        Everything recorded here is traffic *shape* -- counts, sizes,
+        the sequence CRC -- so it passes the same bar as span
+        attributes: numbers only, no values.
+        """
+        reg = self.registry
+        reg.counter("ghostdb_leak_queries_profiled_total").inc()
+        reg.counter("ghostdb_leak_observable_bytes_total").inc(
+            profile.bytes_to_device, direction="to_device"
+        )
+        reg.counter("ghostdb_leak_observable_bytes_total").inc(
+            profile.bytes_to_host, direction="to_host"
+        )
+        for kind, count in sorted(profile.kind_messages.items()):
+            reg.counter("ghostdb_leak_messages_total").inc(count, kind=kind)
+        for kind, stats in sorted(profile.id_stats.items()):
+            reg.counter("ghostdb_leak_ids_observed_total").inc(
+                stats.total, kind=kind
+            )
+        reg.gauge("ghostdb_leak_distinct_shapes").set(profile.distinct_shapes)
+        reg.gauge("ghostdb_leak_shape_entropy_bits").set(
+            profile.shape_entropy_bits
+        )
+        reg.gauge("ghostdb_leak_request_signature").set(profile.signature_int)

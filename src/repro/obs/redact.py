@@ -59,6 +59,13 @@ ENGINE_VOCAB = frozenset(
         "block", "messages", "sql", "pulled", "error", "detail",
         "finished", "strategy", "probed", "passed", "inputs", "dropped",
         "via",
+        # leakage metering (shape-derived names, never data values)
+        "leak", "leakage", "observable", "shape", "shapes", "entropy",
+        "signature", "signatures", "gap", "gaps", "mean", "duration",
+        "retransmissions", "repeated", "ratio", "observed", "profiled",
+        "fingerprint", "classifier", "accuracy", "chance", "label",
+        "labels", "family", "families", "band", "trials", "meter",
+        "scorecard", "clean",
         # SQL keywords (query *structure* is an accepted revelation;
         # constants still scrub to '?')
         "from", "where", "group", "having", "distinct", "as", "on",

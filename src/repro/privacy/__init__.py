@@ -1,4 +1,4 @@
-"""Privacy auditing: the spy's view and the leak checker.
+"""Privacy auditing: the spy's view, the leak checker, the leak meter.
 
 Demo phase 1 ("Checking security") shows "what a pirate (e.g., Trojan
 horse) would observe, snooping the data transferred between the
@@ -6,16 +6,43 @@ components of the architecture".  :class:`~repro.privacy.spy.SpyView`
 renders that observation from the captured USB traffic;
 :class:`~repro.privacy.leakcheck.LeakChecker` mechanically verifies the
 paper's guarantee -- the only information revealed is the queries posed
-and the visible data accessed.
+and the visible data accessed.  :mod:`repro.privacy.meter` quantifies
+what that accepted revelation is worth to the adversary: traffic-shape
+scorecards plus a query-fingerprinting attack whose accuracy is the
+leakage number.
 """
 
-from repro.privacy.spy import SpyView, TrafficSummary
 from repro.privacy.leakcheck import LeakChecker, LeakReport, LeakViolation
+from repro.privacy.meter import (
+    FingerprintClassifier,
+    LeakMeterConfig,
+    LeakMeterError,
+    TrafficProfile,
+    compare_leakage,
+    evaluate_fingerprinting,
+    profile_records,
+    render_profile,
+    request_signature,
+    run_leakage_meter,
+)
+from repro.privacy.spy import IdStats, SpyView, TrafficSummary, unpack_ids
 
 __all__ = [
+    "FingerprintClassifier",
+    "IdStats",
     "LeakChecker",
+    "LeakMeterConfig",
+    "LeakMeterError",
     "LeakReport",
     "LeakViolation",
     "SpyView",
+    "TrafficProfile",
     "TrafficSummary",
+    "compare_leakage",
+    "evaluate_fingerprinting",
+    "profile_records",
+    "render_profile",
+    "request_signature",
+    "run_leakage_meter",
+    "unpack_ids",
 ]

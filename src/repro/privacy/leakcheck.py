@@ -123,6 +123,7 @@ class LeakChecker:
         for record in records:
             self._check_structure(record, report)
             self._scan_payload(record, report)
+        self._scan_streams(records, report)
         return report
 
     def check_bytes(self, payload: bytes, kind: str = "blob") -> LeakReport:
@@ -218,3 +219,38 @@ class LeakChecker:
                         f"payload contains hidden value {where}",
                     )
                 )
+
+    def _scan_streams(self, records: list[TrafficRecord], report: LeakReport) -> None:
+        """Catch hidden values split across consecutive messages.
+
+        A value fragmented over two frames of the same logical stream
+        (say, a ``values`` reply split across fetch batches) is invisible
+        to the per-message scan: neither fragment alone matches.  The
+        spy, however, sees the concatenated stream -- so the checker
+        scans it too: unwrapped payloads concatenated per
+        (direction, kind), reporting only matches no single message
+        already accounted for.
+        """
+        streams: dict[tuple[str, str], list[TrafficRecord]] = {}
+        for record in records:
+            if record.kind == "query" and record.direction is Direction.TO_DEVICE:
+                # Same exemption as the per-message scan.
+                continue
+            key = (record.direction.value, record.kind)
+            streams.setdefault(key, []).append(record)
+        for (direction, kind), members in streams.items():
+            if len(members) < 2:
+                continue
+            payloads = [payload_of(r.payload) for r in members]
+            joined = b"".join(payloads)
+            for pattern, where in self._patterns:
+                if pattern in joined and not any(
+                    pattern in payload for payload in payloads
+                ):
+                    report.violations.append(
+                        LeakViolation(
+                            members[0].seq, kind,
+                            f"hidden value {where} spans a message boundary "
+                            f"in the {direction} {kind!r} stream",
+                        )
+                    )

@@ -5,14 +5,34 @@ the position of a Trojan horse on the terminal.  It can read requests
 (they are JSON by design), see ID lists and fetched values, count bytes
 and time transfers.  It can *not* see inside the device; this module is
 the demo's proof of that, because what it renders is all there is.
+
+:mod:`repro.privacy.meter` builds on this view: it turns the same
+captured traffic into quantitative leakage scorecards and runs the
+query-fingerprinting attack the traffic shape enables.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 
 from repro.hardware.usb import Direction, TrafficRecord
-from repro.visible.frame import payload_of
+from repro.visible.frame import ID_WIDTH_BYTES, payload_of
+
+_ID = struct.Struct(">I")
+
+#: Message kinds whose payloads are packed ID lists.
+ID_KINDS = ("ids", "fetch_ids")
+
+
+def unpack_ids(payload: bytes) -> list[int]:
+    """Decode a packed ID-list payload the way the spy would.
+
+    Trailing bytes that do not fill a whole ID (a truncated frame) are
+    ignored -- the spy reads what it can.
+    """
+    whole = len(payload) - len(payload) % ID_WIDTH_BYTES
+    return [v for (v,) in _ID.iter_unpack(payload[:whole])]
 
 
 @dataclass
@@ -23,6 +43,29 @@ class TrafficSummary:
     kind: str
     messages: int = 0
     bytes: int = 0
+
+
+@dataclass(frozen=True)
+class IdStats:
+    """What the spy learns about the IDs crossing in one message kind."""
+
+    kind: str
+    #: IDs observed, counting repeats.
+    total: int
+    #: Distinct ID values observed.
+    distinct: int
+
+    @property
+    def repeated_ratio(self) -> float:
+        """Fraction of observed IDs that were repeats of earlier ones.
+
+        Re-fetched IDs correlate messages with each other -- a join that
+        probes the same rows twice shows up here even though every
+        individual message looks innocent.
+        """
+        if self.total == 0:
+            return 0.0
+        return 1.0 - self.distinct / self.total
 
 
 @dataclass
@@ -57,25 +100,46 @@ class SpyView:
         return out
 
     def observed_ids(self) -> dict[str, int]:
-        """How many IDs crossed, by message kind."""
-        counts: dict[str, int] = {}
+        """How many IDs crossed, by message kind (repeats counted)."""
+        return {
+            kind: stats.total for kind, stats in self.id_stats().items()
+        }
+
+    def id_stats(self) -> dict[str, IdStats]:
+        """Total, distinct and repeated-ID statistics per message kind.
+
+        The leakage meter consumes these: ID-list cardinalities are the
+        single most query-identifying observable, and the repeated-ID
+        ratio separates re-probing plans from streaming ones.
+        """
+        observed: dict[str, list[int]] = {}
         for record in self.records:
-            if record.kind in ("ids", "fetch_ids"):
-                ids = len(payload_of(record.payload)) // 4
-                counts[record.kind] = counts.get(record.kind, 0) + ids
-        return counts
+            if record.kind in ID_KINDS:
+                observed.setdefault(record.kind, []).extend(
+                    unpack_ids(payload_of(record.payload))
+                )
+        return {
+            kind: IdStats(kind=kind, total=len(ids), distinct=len(set(ids)))
+            for kind, ids in observed.items()
+        }
 
     def transcript(self, max_payload: int = 60) -> str:
-        """A human-readable dump of the captured traffic."""
+        """A human-readable dump of the captured traffic.
+
+        CRC frames are unwrapped first (:func:`payload_of`), so readable
+        JSON payloads render as JSON instead of a hex-dumped frame
+        header; the reported size stays the on-the-wire (framed) size.
+        """
         lines = []
         for record in self.records:
-            payload = record.payload[:max_payload]
+            payload = payload_of(record.payload)
+            shown_bytes = payload[:max_payload]
             try:
-                shown = payload.decode("utf-8")
+                shown = shown_bytes.decode("utf-8")
                 shown = shown.replace("\n", "\\n").replace("\r", "\\r")
             except UnicodeDecodeError:
-                shown = payload.hex()
-            suffix = "..." if record.size > max_payload else ""
+                shown = shown_bytes.hex()
+            suffix = "..." if len(payload) > max_payload else ""
             lines.append(
                 f"[{record.seq:4d}] {record.direction.value:14s} "
                 f"{record.kind:13s} {record.size:6d} B  {shown}{suffix}"

@@ -27,10 +27,11 @@ from repro.faults.errors import UsbTransferError
 from repro.hardware.device import SmartUsbDevice
 from repro.hardware.usb import Direction, UsbDroppedError
 from repro.sql.binder import EQ, IN, NEQ, RANGE, Predicate
-from repro.visible.frame import FrameError, frame, unframe
+from repro.visible.frame import ID_WIDTH_BYTES, FrameError, frame, unframe
 from repro.visible.site import VisibleSite
 
 _PACK = struct.Struct(">I")
+assert _PACK.size == ID_WIDTH_BYTES, "wire ID width drifted from frame.py"
 
 #: IDs per host->device batch message (1 KiB of payload at 4 B/ID).
 DEFAULT_ID_BATCH = 256

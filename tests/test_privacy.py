@@ -6,11 +6,14 @@ only say CLEAN proves nothing.
 """
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.hardware.usb import Direction
 from repro.optimizer.space import enumerate_strategies
 from repro.privacy.leakcheck import LeakChecker
-from repro.privacy.spy import SpyView
+from repro.privacy.spy import IdStats, SpyView, unpack_ids
+from repro.visible.frame import frame
 from repro.workload.queries import demo_query
 
 
@@ -53,6 +56,43 @@ class TestSpyView:
         spy = SpyView(session.usb_log)
         counts = spy.observed_ids()
         assert counts.get("ids", 0) > 0
+
+    def test_transcript_unwraps_crc_frames(self, session):
+        """Framed JSON must render as JSON, not as hex of the frame
+        header -- the spy reads payloads, framing is transparent."""
+        session.device.usb.transfer(
+            Direction.TO_HOST, "request", frame(b'{"op": "select_ids"}')
+        )
+        transcript = SpyView(session.usb_log).transcript()
+        assert '{"op": "select_ids"}' in transcript
+        assert "4746" not in transcript  # b"GF" magic, hex-dumped
+
+    def test_transcript_of_real_traffic_is_readable(self, session):
+        session.query(demo_query())
+        transcript = SpyView(session.usb_log).transcript()
+        assert "select_ids" in transcript
+
+    def test_id_stats_counts_totals_and_repeats(self, session):
+        ids = b"".join(i.to_bytes(4, "big") for i in (1, 2, 3, 2, 1, 1))
+        session.device.usb.transfer(Direction.TO_DEVICE, "fetch_ids", frame(ids))
+        stats = SpyView(session.usb_log).id_stats()["fetch_ids"]
+        assert stats.total == 6
+        assert stats.distinct == 3
+        assert stats.repeated_ratio == pytest.approx(0.5)
+
+    def test_id_stats_on_real_traffic(self, session):
+        session.query(demo_query())
+        stats = SpyView(session.usb_log).id_stats()
+        assert stats["ids"].total >= stats["ids"].distinct > 0
+        assert 0.0 <= stats["ids"].repeated_ratio < 1.0
+
+    def test_repeated_ratio_of_nothing_is_zero(self):
+        assert IdStats(kind="ids", total=0, distinct=0).repeated_ratio == 0.0
+
+    def test_unpack_ids_ignores_truncated_tail(self):
+        payload = (7).to_bytes(4, "big") + (9).to_bytes(4, "big") + b"\x01\x02"
+        assert unpack_ids(payload) == [7, 9]
+        assert unpack_ids(b"") == []
 
 
 class TestLeakCheckerNegative:
@@ -199,3 +239,104 @@ class TestProtocolContract:
         session.query(demo_query())
         observed = {r.kind for r in session.usb_log}
         assert observed <= documented
+
+
+class TestCheckBytesEdges:
+    """``check_bytes`` guards every exported artefact; its edges matter."""
+
+    def test_empty_payload_is_clean(self, checker):
+        report = checker.check_bytes(b"")
+        assert report.ok
+        assert report.checked_messages == 1
+        assert report.checked_patterns == checker.pattern_count
+
+    def test_non_utf8_payload_still_scanned(self, checker):
+        """The scan is over bytes; undecodable garbage around a hidden
+        value must not hide it."""
+        payload = b"\xff\xfe\x00" + "Sclerosis".encode() + b"\x80\x81"
+        report = checker.check_bytes(payload, kind="trace-export")
+        assert not report.ok
+        assert any("Sclerosis" in v.reason for v in report.violations)
+        assert all(v.kind == "trace-export" for v in report.violations)
+
+    def test_clean_binary_payload_is_clean(self, checker):
+        assert checker.check_bytes(bytes(range(256))).ok
+
+    def test_value_split_across_frame_boundary_detected(self, session, checker):
+        """Neither fragment matches alone; the concatenated stream does.
+        This is what the stream scan exists for."""
+        head, tail = b'{"9": ["Scle', b'rosis"]}'
+        session.device.usb.transfer(Direction.TO_DEVICE, "values", frame(head))
+        session.device.usb.transfer(Direction.TO_DEVICE, "values", frame(tail))
+        records = session.usb_log
+        # Sanity: the per-message scan really is blind to the fragments.
+        for record in records:
+            solo = checker.check([record])
+            assert solo.ok, solo.summary()
+        report = checker.check(records)
+        assert not report.ok
+        assert any(
+            "spans a message boundary" in v.reason for v in report.violations
+        )
+
+    def test_split_value_across_kinds_not_joined(self, session, checker):
+        """Streams are per (direction, kind): fragments in unrelated
+        buckets never meet, so no false positive."""
+        session.device.usb.transfer(Direction.TO_DEVICE, "values", frame(b"Scle"))
+        session.device.usb.transfer(Direction.TO_DEVICE, "count", frame(b"rosis"))
+        report = checker.check(session.usb_log)
+        assert report.ok, report.summary()
+
+
+class _FuzzCorpus:
+    """Module-scoped pieces so hypothesis can re-run examples freely."""
+
+    def __init__(self, schema, rows_by_table):
+        from repro.obs.redact import Redactor
+
+        self.redactor = Redactor()
+        self.redactor.allow_schema(schema)
+        self.checker = LeakChecker(schema, rows_by_table)
+        self.hidden_values = sorted(
+            pattern.decode("utf-8") for pattern, _ in self.checker._patterns
+        )
+
+
+@pytest.fixture(scope="module")
+def fuzz_corpus(demo_session, demo_data):
+    return _FuzzCorpus(demo_session.schema, demo_data)
+
+
+class TestRedactionGateFuzz:
+    """Property: anything that went through the redaction gate is CLEAN
+    under the adversarial checker, no matter how the hidden values were
+    mixed in."""
+
+    @given(data=st.data())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_scrubbed_text_never_leaks(self, fuzz_corpus, data):
+        hidden = data.draw(
+            st.lists(
+                st.sampled_from(fuzz_corpus.hidden_values),
+                min_size=1, max_size=8,
+            )
+        )
+        filler = data.draw(
+            st.lists(
+                st.text(
+                    alphabet=st.characters(codec="utf-8"), max_size=12
+                ),
+                max_size=8,
+            )
+        )
+        mixed = data.draw(st.permutations(hidden + filler))
+        text = " ".join(mixed)
+        dirty = fuzz_corpus.checker.check_bytes(text.encode("utf-8"))
+        assert not dirty.ok  # the input really contains hidden values
+        scrubbed = fuzz_corpus.redactor.scrub(text)
+        report = fuzz_corpus.checker.check_bytes(scrubbed.encode("utf-8"))
+        assert report.ok, report.summary()
