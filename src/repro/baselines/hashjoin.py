@@ -311,7 +311,7 @@ class HashJoinBaseline:
     ) -> Run:
         """Partition both sides to flash, join partition by partition."""
         device = self.session.device
-        budget = max(ID_WIDTH * 64, device.ram.available // 2)
+        budget = max(ID_WIDTH * 64, device.ram.soft_available // 2)
         partitions = max(
             2,
             math.ceil(ids_run.count * HASH_SET_ENTRY_BYTES / budget),
@@ -320,7 +320,7 @@ class HashJoinBaseline:
         # is RAM-limited, so huge inputs recurse instead (multi-level
         # grace partitioning, as on real hardware).
         page = device.profile.page_size
-        max_fanout = max(2, device.ram.available // (2 * page) - 1)
+        max_fanout = max(2, device.ram.soft_available // (2 * page) - 1)
         partitions = min(partitions, max_fanout)
         op.ram_bytes = budget
 

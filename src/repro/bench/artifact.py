@@ -23,7 +23,8 @@ from repro.obs.redact import Redactor
 #: Bump on any incompatible change to the artifact layout.  The
 #: comparator refuses to diff artifacts of different versions.
 #: v2 added the per-scenario ``leak_*`` leakage columns.
-SCHEMA_VERSION = 2
+#: v3 added the buffer-pool ``cache_hits``/``cache_misses`` columns.
+SCHEMA_VERSION = 3
 
 #: Artifact discriminator, so tooling can reject arbitrary JSON.
 KIND = "ghostdb-bench"
@@ -78,6 +79,11 @@ def scenario_record(
         "usb_bytes_to_device": metrics.usb_bytes_to_device,
         "usb_bytes_to_host": metrics.usb_bytes_to_host,
         "ram_high_water": metrics.ram_high_water,
+        # Buffer-pool traffic is deterministic like the rest but not
+        # gated: more hits is an improvement, and the cost side of a
+        # miss is already gated through ``flash_page_reads``.
+        "cache_hits": metrics.cache_hits,
+        "cache_misses": metrics.cache_misses,
         "result_rows": metrics.result_rows,
         "wall_seconds": wall_seconds,
         "leak_observable_bytes": 0,

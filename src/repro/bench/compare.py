@@ -111,9 +111,15 @@ class ComparisonReport:
                 f"refreshed benchmarks/baseline.json)"
             )
         if self.baseline_wall_s or self.current_wall_s:
+            if self.baseline_wall_s > 0:
+                trend = (
+                    f"{self.current_wall_s / self.baseline_wall_s:.2f}x, "
+                )
+            else:
+                trend = ""
             lines.append(
                 f"  host wall: {self.baseline_wall_s:.2f}s baseline -> "
-                f"{self.current_wall_s:.2f}s current (informational, "
+                f"{self.current_wall_s:.2f}s current ({trend}informational, "
                 f"never gated)"
             )
         return "\n".join(lines)

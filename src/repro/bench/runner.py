@@ -121,6 +121,7 @@ def run_bench(config: BenchConfig | None = None) -> BenchRun:
             f"{result.metrics.flash_page_reads:6d} fr "
             f"{result.metrics.flash_page_writes:5d} fw  "
             f"{result.metrics.usb_messages:5d} usb  "
+            f"{result.metrics.cache_hits:4d} hit  "
             f"{result.metrics.ram_high_water:6d} B ram  "
             f"leak {leak.observable_bytes if leak else 0:6d} B "
             f"sig {leak.signature if leak else '--------'}  "

@@ -126,9 +126,19 @@ class TableDef:
     # ------------------------------------------------------------------
 
     def device_columns(self) -> list[ColumnDef]:
-        """Columns stored on the device: the PK first, then hidden ones."""
-        rest = [c for c in self.columns if c.on_device and not c.primary_key]
-        return [self.pk] + rest
+        """Columns stored on the device: the PK first, then hidden ones.
+
+        Memoized: record decoding asks for the layout once per field,
+        and the column list is fixed after CREATE TABLE.
+        """
+        cached = self.__dict__.get("_device_columns")
+        if cached is None:
+            rest = [
+                c for c in self.columns if c.on_device and not c.primary_key
+            ]
+            cached = [self.pk] + rest
+            self._device_columns = cached
+        return cached
 
     def public_columns(self) -> list[ColumnDef]:
         """Columns stored publicly: the PK (if visible) then visible ones."""
@@ -138,10 +148,18 @@ class TableDef:
         return RecordCodec([c.dtype for c in self.device_columns()])
 
     def device_column_index(self, name: str) -> int:
-        for i, col in enumerate(self.device_columns()):
-            if col.name.lower() == name.lower():
-                return i
-        raise SchemaError(f"{self.name}: {name!r} is not device-resident")
+        index = self.__dict__.get("_device_index")
+        if index is None:
+            index = {
+                c.name.lower(): i for i, c in enumerate(self.device_columns())
+            }
+            self._device_index = index
+        try:
+            return index[name.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"{self.name}: {name!r} is not device-resident"
+            ) from None
 
 
 @dataclass

@@ -37,6 +37,10 @@ Commands::
     .set batch <n>      operator batch-window size (host-side only:
                         results and simulated costs are identical at
                         any value; larger is faster on the host)
+    .cache              buffer-pool status (capacity, pages, hit rate)
+    .cache on|off|<n>   enable (profile default), disable, or bound the
+                        device buffer pool at n pages; SQL spelling:
+                        SET cache = on|off|<n>
     .reset              clear measurements and the traffic log
     .help               this text
     .quit               leave
@@ -65,15 +69,19 @@ class Shell:
                  metrics_out: str | None = None,
                  leak_out: str | None = None,
                  fault_profile: str | None = None, fault_seed: int = 0,
-                 batch_size: int | None = None):
+                 batch_size: int | None = None,
+                 cache_pages: int | None = None):
         self.out = out or sys.stdout
         self.trace_out = trace_out
         self.metrics_out = metrics_out
         self.leak_out = leak_out
         config = None
-        if batch_size is not None:
+        if batch_size is not None or cache_pages is not None:
+            exec_config = None
+            if batch_size is not None:
+                exec_config = ExecConfig(exec_batch=max(1, batch_size))
             config = SessionConfig(
-                exec_config=ExecConfig(exec_batch=max(1, batch_size))
+                exec_config=exec_config, cache_pages=cache_pages
             )
         self.db = GhostDB(profile=PROFILES[profile], config=config)
         for ddl in DEMO_SCHEMA_DDL:
@@ -164,6 +172,8 @@ class Shell:
             self._fault_command(argument)
         elif name == ".set":
             self._set_command(argument)
+        elif name == ".cache":
+            self._cache_command(argument)
         elif name == ".reset":
             self.db.reset_measurements()
             self._print("measurements and traffic log cleared")
@@ -176,9 +186,16 @@ class Shell:
     #: SQL-level spelling of the scorecard view, sibling of EXPLAIN.
     _EXPLAIN_LEAKAGE = "explain leakage"
 
+    #: SQL-level spelling of the buffer-pool knob.
+    _SET_CACHE = "set cache"
+
     def _run_sql(self, sql: str) -> None:
         if sql.lower().startswith(self._EXPLAIN_LEAKAGE):
             self._leak_command(sql[len(self._EXPLAIN_LEAKAGE):].strip())
+            return
+        if sql.lower().startswith(self._SET_CACHE):
+            value = sql[len(self._SET_CACHE):].strip().lstrip("=").strip()
+            self._cache_command(value or "on")
             return
         result = self.db.execute(sql)
         if not isinstance(result, QueryResult):
@@ -327,6 +344,46 @@ class Shell:
             return
         config.exec_batch = max(1, value)
         self._print(f"batch window set to {config.exec_batch}")
+
+    def _cache_command(self, argument: str) -> None:
+        """``.cache [on|off|<pages>]``: show or resize the buffer pool."""
+        word = argument.strip().lower()
+        if word:
+            if word == "off":
+                self.db.set_cache(0)
+            elif word == "on":
+                self.db.set_cache(None)
+            else:
+                try:
+                    pages = int(word)
+                except ValueError:
+                    self._print(
+                        f"not a cache size: {argument!r} "
+                        f"(use on, off, or a page count)"
+                    )
+                    return
+                self.db.set_cache(pages)
+        cache = self.db.device.page_cache
+        if not cache.enabled:
+            self._print("buffer pool: off")
+            return
+        cap = (
+            "unbounded"
+            if cache.capacity_pages is None
+            else f"{cache.capacity_pages} pages"
+        )
+        stats = cache.stats
+        self._print(
+            f"buffer pool: {cap} "
+            f"({cache.page_count} resident, "
+            f"{cache.page_size} B each)"
+        )
+        self._print(
+            f"  {stats.hits} hits / {stats.lookups} lookups "
+            f"({stats.hit_rate:.0%}), {stats.evictions} evictions, "
+            f"{stats.invalidations} invalidations, "
+            f"{stats.shed_pages} shed under RAM pressure"
+        )
 
     def _play_game(self, sql: str) -> None:
         from repro.demo.game import PlanGame
@@ -493,12 +550,17 @@ def main(argv=None) -> int:
         help="operator batch-window size (host-side tunable; results "
         "and simulated costs are identical at any value)",
     )
+    parser.add_argument(
+        "--cache-pages", type=int, default=None, metavar="N",
+        help="device buffer-pool capacity in flash pages "
+        "(default: a quarter of device RAM; 0 disables the pool)",
+    )
     args = parser.parse_args(argv)
     shell = Shell(
         scale=args.scale, profile=args.profile, trace_out=args.trace_out,
         metrics_out=args.metrics_out, leak_out=args.leak_out,
         fault_profile=args.fault_profile, fault_seed=args.fault_seed,
-        batch_size=args.batch_size,
+        batch_size=args.batch_size, cache_pages=args.cache_pages,
     )
     if args.query:
         for sql in args.query:

@@ -37,7 +37,7 @@ from repro.faults import (
     PowerCutError,
 )
 from repro.engine.plan import Project
-from repro.hardware.device import SmartUsbDevice
+from repro.hardware.device import SmartUsbDevice, default_cache_pages
 from repro.hardware.profiles import DEMO_DEVICE, HardwareProfile
 from repro.obs import Observability, get_logger
 from repro.obs.export import chrome_trace_json, render_tree, write_chrome_trace
@@ -90,6 +90,9 @@ class SessionConfig:
     #: :data:`repro.faults.FAULT_PROFILES`), or None for a healthy device.
     fault_profile: str | None = None
     fault_seed: int = 0
+    #: Device buffer-pool capacity in pages: ``None`` takes the profile
+    #: default (a quarter of RAM), ``0`` disables the pool.
+    cache_pages: int | None = None
 
     def __post_init__(self):
         if self.exec_config is None:
@@ -107,7 +110,11 @@ class GhostDB:
         self.profile = profile
         self.config = config or SessionConfig()
         self.obs = Observability()
-        self.device = SmartUsbDevice(profile, metrics=self.obs.registry)
+        self.device = SmartUsbDevice(
+            profile,
+            metrics=self.obs.registry,
+            cache_pages=self.config.cache_pages,
+        )
         # Spans measure simulated time against this device's clock.
         self.obs.tracer.clock = self.device.clock
         self.schema = Schema()
@@ -233,6 +240,7 @@ class GhostDB:
             fan_in=self.config.exec_config.max_fan_in,
             bloom_fp_target=self.config.exec_config.bloom_fp_target,
             obs=self.obs,
+            cache_pages=self.device.page_cache.capacity_for_costing,
         )
         # Schema identifiers (names, never values) may appear in traces.
         self.obs.redactor.allow_schema(self.schema)
@@ -286,6 +294,31 @@ class GhostDB:
         """Detach the fault injector; the device is healthy again."""
         self.fault_injector = None
         self.device.detach_faults()
+
+    # ------------------------------------------------------------------
+    # Buffer pool
+    # ------------------------------------------------------------------
+
+    def set_cache(self, capacity_pages: int | None) -> None:
+        """Resize the device buffer pool at runtime.
+
+        ``None`` restores the profile default, ``0`` disables the pool
+        (every flash access pays the NAND again).  The cost model is
+        re-pointed at the new capacity so plan choices follow: without a
+        pool, dense SKT access is priced at one partial read per hit
+        instead of one full read per touched page.
+        """
+        if capacity_pages is None:
+            capacity_pages = default_cache_pages(self.profile)
+        self.device.page_cache.resize(capacity_pages)
+        if self.optimizer is not None:
+            self.optimizer.cost_model.cache_pages = (
+                self.device.page_cache.capacity_for_costing
+            )
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self.device.page_cache.enabled
 
     @property
     def needs_remount(self) -> bool:

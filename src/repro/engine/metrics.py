@@ -40,6 +40,12 @@ class OperatorStats:
     flash_page_reads: int = 0
     flash_page_writes: int = 0
     usb_messages: int = 0
+    #: Buffer-pool lookups attributed to this operator's windows.  A
+    #: miss that fills the pool inside this operator's window stamps
+    #: both the miss *and* the flash read here -- the reading operator
+    #: pays for the cold fill, not whoever re-reads the page later.
+    cache_hits: int = 0
+    cache_misses: int = 0
     #: Peak bytes of device RAM this operator allocated for itself.
     ram_bytes: int = 0
     finished: bool = False
@@ -81,11 +87,19 @@ class ExecutionMetrics:
     usb_bytes_to_host: int = 0
     ram_high_water: int = 0
     result_rows: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
     operators: list[OperatorStats] = field(default_factory=list)
 
     @property
     def elapsed_seconds(self) -> float:
         return self.time.total
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Buffer-pool hit rate over this query (0.0 when untouched)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
     @classmethod
     def from_counters(
@@ -111,6 +125,8 @@ class ExecutionMetrics:
             ),
             ram_high_water=after.ram_high_water,
             result_rows=result_rows,
+            cache_hits=after.cache.hits - before.cache.hits,
+            cache_misses=after.cache.misses - before.cache.misses,
             operators=operators,
         )
 
@@ -130,6 +146,9 @@ class ExecutionMetrics:
             f"{self.usb_bytes_to_device} B in, "
             f"{self.usb_bytes_to_host} B out",
             f"ram high water: {self.ram_high_water} B",
+            f"buffer pool: {self.cache_hits} hits, "
+            f"{self.cache_misses} misses "
+            f"({self.cache_hit_rate:.0%} hit rate)",
             f"result rows: {self.result_rows}",
             "operators:",
         ]

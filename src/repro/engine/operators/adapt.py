@@ -17,3 +17,9 @@ class IdsToTuplesOp(Operator):
     def _produce(self):
         for value in self.child.rows():
             yield (value,)
+
+    def _produce_batches(self, cap: int):
+        # Child windows are bounded by the same ``exec_batch``, so each
+        # payload already respects ``cap``.
+        for batch in self.child.batches():
+            yield [(value,) for value in batch]

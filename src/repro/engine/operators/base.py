@@ -73,6 +73,8 @@ class TimeAttribution:
         self._last_reads = 0
         self._last_writes = 0
         self._last_msgs = 0
+        self._last_hits = 0
+        self._last_misses = 0
         self._mark()
 
     def _mark(self) -> None:
@@ -90,6 +92,11 @@ class TimeAttribution:
         reads = flash_stats.page_reads
         writes = flash_stats.page_writes
         msgs = self.device.usb.message_count
+        # Sample the buffer pool through the device, not a cached object:
+        # reset_measurements() swaps in fresh stats objects.
+        cache_stats = self.device.page_cache.stats
+        hits = cache_stats.hits
+        misses = cache_stats.misses
         if self._stack:
             top = self._stack[-1]
             top.self_seconds += now - self._last
@@ -99,6 +106,8 @@ class TimeAttribution:
             top.flash_page_reads += reads - self._last_reads
             top.flash_page_writes += writes - self._last_writes
             top.usb_messages += msgs - self._last_msgs
+            top.cache_hits += hits - self._last_hits
+            top.cache_misses += misses - self._last_misses
         self._last = now
         self._last_wall = wall
         self._last_flash = flash_now
@@ -106,6 +115,8 @@ class TimeAttribution:
         self._last_reads = reads
         self._last_writes = writes
         self._last_msgs = msgs
+        self._last_hits = hits
+        self._last_misses = misses
 
     def sim_now(self) -> float:
         """The simulated clock right now, without attributing anything."""
@@ -187,7 +198,9 @@ class ExecContext:
         """Merge fan-in affordable right now: one page buffer per input
         stream plus one output buffer, inside the free RAM."""
         page = self.device.profile.page_size
-        affordable = self.device.ram.available // page - 2
+        # soft_available: clean cache pages shed on demand, so sizing
+        # (and thus plan shape) never depends on cache occupancy.
+        affordable = self.device.ram.soft_available // page - 2
         return max(2, min(self.max_fan_in, affordable))
 
     def register(self, stats: OperatorStats) -> None:
@@ -292,43 +305,95 @@ class Operator:
     # Pull surfaces
     # ------------------------------------------------------------------
 
+    def _produce_batches(self, cap: int):
+        """Hook: yield batch payloads of at most ``cap`` items each.
+
+        The default re-chunks the per-item ``_produce()`` generator into
+        plain lists.  Vectorized operators override this to emit typed
+        columnar payloads (:mod:`repro.engine.columns`); any payload
+        supporting ``len()`` and per-item iteration is a valid batch.
+
+        Overrides MUST respect ``cap`` (the executor pins it to 1 for
+        fault runs and data-dependent plans) and MUST charge the exact
+        same simulated-hardware costs, with flash/USB operations in the
+        exact same order, as the per-item path -- batching and payload
+        representation are host-side details only.
+        """
+        inner = self._produce()
+        try:
+            while True:
+                batch = list(islice(inner, cap))
+                if not batch:
+                    return
+                yield batch
+        finally:
+            inner.close()
+
     def batches(self, limit: int | None = None):
         """Iterate this operator's output as attribution-marked batch
-        windows (lists of up to ``ctx.exec_batch`` items).
+        windows (payloads of up to ``ctx.exec_batch`` items -- plain
+        lists by default, typed columns for vectorized operators).
 
         ``limit`` bounds demand exactly: the producer is advanced at
         most ``limit`` items in total (the last window shrinks), so a
-        ``Limit`` parent never over-produces its subtree.
+        ``Limit`` parent never over-produces its subtree.  The bounded
+        path always pulls per item from ``_produce()``; only unbounded
+        iteration goes through :meth:`_produce_batches`.
         """
         self.open()
         attribution = self.ctx.attribution
         stats = self.stats
-        inner = self._produce()
-        self._live.append(inner)
         cap = max(1, self.ctx.exec_batch)
-        remaining = limit
+        if limit is not None:
+            inner = self._produce()
+            self._live.append(inner)
+            remaining = limit
+            try:
+                while remaining > 0:
+                    n = min(cap, remaining)
+                    attribution.enter(stats)
+                    try:
+                        batch = list(islice(inner, n))
+                    except BaseException:
+                        attribution.exit(stats)
+                        raise
+                    attribution.exit(stats)
+                    if not batch:
+                        stats.finished = True
+                        return
+                    stats.tuples_out += len(batch)
+                    stats.batches_out += 1
+                    remaining -= len(batch)
+                    yield batch
+            finally:
+                inner.close()
+                if inner in self._live:
+                    self._live.remove(inner)
+            return
+        source = self._produce_batches(cap)
+        self._live.append(source)
         try:
-            while remaining is None or remaining > 0:
-                n = cap if remaining is None else min(cap, remaining)
+            while True:
                 attribution.enter(stats)
                 try:
-                    batch = list(islice(inner, n))
+                    batch = next(source, None)
                 except BaseException:
                     attribution.exit(stats)
                     raise
                 attribution.exit(stats)
-                if not batch:
+                if batch is None:
                     stats.finished = True
                     return
-                stats.tuples_out += len(batch)
+                size = len(batch)
+                if size == 0:
+                    continue
+                stats.tuples_out += size
                 stats.batches_out += 1
-                if remaining is not None:
-                    remaining -= len(batch)
                 yield batch
         finally:
-            inner.close()
-            if inner in self._live:
-                self._live.remove(inner)
+            source.close()
+            if source in self._live:
+                self._live.remove(source)
 
     def rows(self):
         """Iterate this operator's output item by item (batch windows

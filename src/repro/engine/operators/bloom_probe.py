@@ -56,8 +56,10 @@ class BloomProbeOp(Operator):
             label=f"bloom:{self.predicate.table}.{self.predicate.column}",
         )
         self.reserve(bloom.ram_bytes + link.id_batch * 4)
-        for pk in link.select_ids(self.predicate.table, self.predicate):
-            bloom.insert(pk)
+        # One bulk insert per USB message: identical cycle totals and
+        # message timing, without the per-ID call overhead on the host.
+        for chunk in link.select_id_batches(self.predicate.table, self.predicate):
+            bloom.insert_many(chunk)
         self.bloom_stats = {
             "bits": bloom.bits,
             "hashes": bloom.hashes,
@@ -77,6 +79,34 @@ class BloomProbeOp(Operator):
                 if bloom.may_contain(row[self.key_position]):
                     passed += 1
                     yield row
+        finally:
+            bloom.close()
+            self.stats.attrs["probed"] = probed
+            self.stats.attrs["passed"] = passed
+            self.ctx.bump("bloom_probed", probed)
+            self.ctx.bump("bloom_passed", passed)
+
+    def _produce_batches(self, cap: int):
+        """Vectorized probing: one bulk Bloom probe per child window
+        (identical cycle totals to per-row probes), survivors buffered
+        and re-windowed to ``cap``."""
+        bloom = self._build_filter()
+        probed = passed = 0
+        key_position = self.key_position
+        out: list = []
+        try:
+            for batch in self.child.batches():
+                rows = list(batch) if not isinstance(batch, list) else batch
+                probed += len(rows)
+                verdicts = bloom.probe_many(row[key_position] for row in rows)
+                kept = [row for row, ok in zip(rows, verdicts) if ok]
+                passed += len(kept)
+                out.extend(kept)
+                while len(out) >= cap:
+                    yield out[:cap]
+                    del out[:cap]
+            if out:
+                yield out
         finally:
             bloom.close()
             self.stats.attrs["probed"] = probed

@@ -10,6 +10,7 @@ values).
 
 from __future__ import annotations
 
+from repro.columns import chunk_ids
 from repro.engine.operators.base import ExecContext, Operator, PlanExecutionError
 from repro.index.climbing import ClimbingIndex
 from repro.index.posting import merge_posting_streams
@@ -80,3 +81,9 @@ class ClimbingSelectOp(Operator):
             fan_in=fan_in,
             dedup=True,
         )
+
+    def _produce_batches(self, cap: int):
+        # Posting-list IDs travel as typed columns; the underlying
+        # stream is advanced in the default islice pattern, so flash
+        # reads and merge charges are position-for-position identical.
+        yield from chunk_ids(self._produce(), cap)

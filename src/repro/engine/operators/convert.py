@@ -13,6 +13,7 @@ unselective visible predicates and motivates Post-filtering.
 
 from __future__ import annotations
 
+from repro.columns import chunk_ids
 from repro.engine.operators.base import ExecContext, Operator, PlanExecutionError
 from repro.index.climbing import ClimbingIndex
 from repro.index.posting import merge_posting_streams
@@ -68,3 +69,9 @@ class ConvertIdsOp(Operator):
             fan_in=fan_in,
             dedup=True,
         )
+
+    def _produce_batches(self, cap: int):
+        # The merged (or identity pass-through) ID stream re-chunked into
+        # typed columns; the producer is advanced in the same islice
+        # pattern as the default path, so hardware behaviour is untouched.
+        yield from chunk_ids(self._produce(), cap)

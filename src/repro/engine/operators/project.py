@@ -115,6 +115,21 @@ class ProjectOp(Operator):
     ):
         ctx = self.ctx
         db = ctx.db
+        # Hidden-field fetch route per table: dense row sets go through
+        # the buffer pool (one full-page read serves every field on the
+        # page), sparse ones stay on cheap partial reads.  Same density
+        # gate as SKT access; ``batch`` is a ``fetch_batch`` window, so
+        # the choice is independent of the host-side execution batch.
+        dense_tables = set()
+        pool = ctx.device.page_cache
+        pool_fits = pool.enabled and (
+            pool.capacity_pages is None
+            or pool.capacity_pages >= max(1, len(readers))
+        )
+        if pool_fits:
+            for table, reader in readers.items():
+                if len(batch) * reader.slots_per_page >= 2 * reader.count:
+                    dense_tables.add(table)
         # 1. Fetch visible values (and presence under recheck) per table.
         fetched: dict[str, dict[int, tuple]] = {}
         for table in fetch_tables:
@@ -148,6 +163,7 @@ class ProjectOp(Operator):
                     db.tree.table(predicate.table).device_column_index(
                         predicate.column
                     ),
+                    cached=predicate.table in dense_tables,
                 )
                 ctx.device.chip.charge("compare")
                 if not predicate.matches(value):
@@ -165,14 +181,20 @@ class ProjectOp(Operator):
                         column.name
                     )
                     out.append(
-                        self._hidden_value(readers, table, key, field_idx)
+                        self._hidden_value(
+                            readers, table, key, field_idx,
+                            cached=table in dense_tables,
+                        )
                     )
                 else:
                     col_pos = visible_cols[table].index(column.name.lower())
                     out.append(fetched[table][key][col_pos])
             yield tuple(out)
 
-    def _hidden_value(self, readers, table: str, pk: int, field_idx: int):
+    def _hidden_value(
+        self, readers, table: str, pk: int, field_idx: int,
+        cached: bool = False,
+    ):
         db = self.ctx.db
         heap = db.heaps[table]
         try:
@@ -182,6 +204,8 @@ class ProjectOp(Operator):
                 f"dangling key {pk} for table {table!r} during projection"
             ) from None
         off, width = heap.codec.field_slice(field_idx)
-        raw = readers[table].field(rowid, off, width)
+        reader = readers[table]
+        fetch = reader.field_cached if cached else reader.field
+        raw = fetch(rowid, off, width)
         self.ctx.device.chip.charge("decode_field")
         return heap.codec.types[field_idx].decode(raw)

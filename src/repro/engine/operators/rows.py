@@ -181,7 +181,7 @@ class AggregateOp(Operator):
         fresh = self.child.rows()
         sort_buffer = max(
             codec.width * 4,
-            min(device.ram.available // 2, 8 * device.profile.page_size),
+            min(device.ram.soft_available // 2, 8 * device.profile.page_size),
         )
         runs = make_runs(
             device,
@@ -259,7 +259,7 @@ class OrderByOp(Operator):
 
         sort_buffer = max(
             codec.width * 4,
-            min(device.ram.available // 2, 8 * device.profile.page_size),
+            min(device.ram.soft_available // 2, 8 * device.profile.page_size),
         )
         self.reserve(sort_buffer)
         runs = make_runs(

@@ -9,6 +9,9 @@ indexes against.
 
 from __future__ import annotations
 
+from itertools import islice
+
+from repro.columns import IdColumn
 from repro.engine.operators.base import ExecContext, Operator
 from repro.sql.binder import Predicate
 
@@ -55,3 +58,61 @@ class DeviceScanSelectOp(Operator):
                     pk = heap.codec.decode_field(raw, heap.pk_field)
                     chip.charge("decode_field")
                     yield pk
+
+    def _produce_batches(self, cap: int):
+        """Vectorized scan: evaluate predicates column-at-a-time over one
+        page's worth of records, emit surviving PKs as :class:`IdColumn`
+        payloads.
+
+        Hardware equivalence with the per-item path: flash reads stay one
+        full read per page in the same order (yields only happen once
+        ``cap`` survivors are buffered, exactly when the per-item window
+        would fill), and CPU charges are the per-item totals bulked --
+        predicate ``k`` is charged once per record that survived
+        predicates ``1..k-1``, which is precisely what per-record
+        short-circuiting pays.
+        """
+        heap = self.ctx.db.heaps[self.table]
+        table_def = self.ctx.db.tree.table(self.table)
+        plan = [
+            (p, table_def.device_column_index(p.column))
+            for p in self.predicates
+        ]
+        chip = self.ctx.device.chip
+        codec = heap.codec
+        pk_field = heap.pk_field
+        out: list[int] = []
+        with heap.reader(f"scan:{self.table}") as reader:
+            slots = reader.slots_per_page
+            scan = reader.scan()
+            try:
+                rowid = 0
+                while rowid < reader.count:
+                    take = min(slots, reader.count - rowid)
+                    # Pulling exactly the page's records leaves the scan
+                    # generator suspended before the next page read.
+                    alive = list(islice(scan, take))
+                    rowid += take
+                    for predicate, fidx in plan:
+                        if not alive:
+                            break
+                        n = len(alive)
+                        chip.charge("decode_field", n)
+                        chip.charge("compare", n)
+                        alive = [
+                            raw
+                            for raw in alive
+                            if predicate.matches(codec.decode_field(raw, fidx))
+                        ]
+                    if alive:
+                        chip.charge("decode_field", len(alive))
+                        out.extend(
+                            codec.decode_field(raw, pk_field) for raw in alive
+                        )
+                    while len(out) >= cap:
+                        yield IdColumn.from_ids(out[:cap])
+                        del out[:cap]
+            finally:
+                scan.close()
+        if out:
+            yield IdColumn.from_ids(out)

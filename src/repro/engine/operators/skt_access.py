@@ -8,6 +8,8 @@ sparse ones use cheap partial reads.  The operator picks per page.
 
 from __future__ import annotations
 
+from itertools import islice
+
 from repro.engine.operators.base import ExecContext, Operator
 from repro.index.skt import SubtreeKeyTable
 from repro.storage.heap import KeyNotFoundError
@@ -38,11 +40,13 @@ class SktAccessOp(Operator):
         root_heap = self.ctx.db.heaps[skt.root]
         page = self.ctx.device.profile.page_size
         rows_per_page = page // skt.record_width
-        # Dense enough that >=2 hits land on each page?  Then cached
-        # full-page reads win over per-row partial reads.
+        # Dense enough that >=2 hits land on each page?  Then full-page
+        # reads through the buffer pool win over per-row partial reads
+        # -- but only when a pool exists to hold the page between hits.
         expected = self.expected_count
         use_cache = (
-            expected is not None
+            self.ctx.device.page_cache.enabled
+            and expected is not None
             and skt.count > 0
             and expected / skt.count >= 2 / rows_per_page
         )
@@ -60,6 +64,48 @@ class SktAccessOp(Operator):
                     "decode_field", len(skt.tables)
                 )
                 yield skt.decode(raw)
+
+    def _produce_batches(self, cap: int):
+        """Vectorized SKT access: resolve and fetch one child window of
+        root IDs, then bulk-decode the subtree key tuples.
+
+        Flash operations (PK binary-search probes, record fetches) happen
+        per ID in child-stream order, exactly as the per-item path inside
+        one batch window; only the per-record decode charges are bulked.
+        """
+        skt = self.skt
+        root_heap = self.ctx.db.heaps[skt.root]
+        page = self.ctx.device.profile.page_size
+        rows_per_page = page // skt.record_width
+        expected = self.expected_count
+        use_cache = (
+            self.ctx.device.page_cache.enabled
+            and expected is not None
+            and skt.count > 0
+            and expected / skt.count >= 2 / rows_per_page
+        )
+        chip = self.ctx.device.chip
+        ntables = len(skt.tables)
+        with skt.reader("skt-access") as reader:
+            fetch = reader.record_cached if use_cache else reader.record
+            out: list[tuple] = []
+            for batch in self.child.batches():
+                raws = []
+                for root_id in batch:
+                    try:
+                        rowid = root_heap.rowid_for_pk(root_id)
+                    except KeyNotFoundError:
+                        continue
+                    raws.append(fetch(rowid))
+                if not raws:
+                    continue
+                chip.charge("decode_field", len(raws) * ntables)
+                out.extend(skt.decode(raw) for raw in raws)
+                while len(out) >= cap:
+                    yield out[:cap]
+                    del out[:cap]
+            if out:
+                yield out
 
 
 class SktScanOp(Operator):
@@ -86,3 +132,31 @@ class SktScanOp(Operator):
                     "decode_field", len(skt.tables)
                 )
                 yield skt.decode(raw)
+
+    def _produce_batches(self, cap: int):
+        """Vectorized SKT scan: one page's records at a time, decode
+        charges bulked per page.  Page reads stay one full read per page
+        in scan order; yields happen only when ``cap`` tuples are
+        buffered, matching where the per-item window would fill."""
+        skt = self.skt
+        chip = self.ctx.device.chip
+        ntables = len(skt.tables)
+        out: list[tuple] = []
+        with skt.reader("skt-scan") as reader:
+            slots = reader.slots_per_page
+            scan = reader.scan()
+            try:
+                rowid = 0
+                while rowid < reader.count:
+                    take = min(slots, reader.count - rowid)
+                    raws = list(islice(scan, take))
+                    rowid += take
+                    chip.charge("decode_field", len(raws) * ntables)
+                    out.extend(skt.decode(raw) for raw in raws)
+                    while len(out) >= cap:
+                        yield out[:cap]
+                        del out[:cap]
+            finally:
+                scan.close()
+        if out:
+            yield out

@@ -55,3 +55,31 @@ class StoreOp(Operator):
                     )
         finally:
             run.free(self.ctx.device)
+
+    def _produce_batches(self, cap: int):
+        """Vectorized store: pack whole child windows, replay the run in
+        ``cap``-sized windows of decoded tuples.  Flash writes happen in
+        record order during the drain and reads in record order during
+        the replay, exactly as the per-item path."""
+        record = struct.Struct(f">{self.arity}I")
+        writer = RunWriter(self.ctx.device, record.size, "store")
+        for batch in self.child.batches():
+            for row in batch:
+                if len(row) != self.arity:
+                    raise ValueError(
+                        f"store expected {self.arity}-id tuples, got {row!r}"
+                    )
+                writer.append(record.pack(*row))
+        run: Run = writer.finish()
+        try:
+            with RunReader(self.ctx.device, run, "store-replay") as reader:
+                out: list[tuple] = []
+                for raw in reader:
+                    out.append(record.unpack(raw))
+                    if len(out) >= cap:
+                        yield out
+                        out = []
+                if out:
+                    yield out
+        finally:
+            run.free(self.ctx.device)

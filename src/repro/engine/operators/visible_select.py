@@ -8,6 +8,7 @@ stream back over USB in sorted order, ready for merging.
 
 from __future__ import annotations
 
+from repro.columns import IdColumn
 from repro.engine.operators.base import ExecContext, Operator
 from repro.sql.binder import Predicate
 
@@ -32,3 +33,15 @@ class VisibleSelectOp(Operator):
             self.predicate.table, self.predicate
         ):
             yield from chunk
+
+    def _produce_batches(self, cap: int):
+        """Vectorized: each USB message's IDs become one typed column
+        (sliced to ``cap``).  Message timing is unchanged -- a message
+        is requested when its first ID is demanded either way."""
+        link = self.ctx.link
+        for chunk in link.select_id_batches(
+            self.predicate.table, self.predicate
+        ):
+            column = IdColumn.from_ids(chunk)
+            for start in range(0, len(column), cap):
+                yield column[start : start + cap]

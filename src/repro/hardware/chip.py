@@ -53,6 +53,17 @@ class SecureChip:
     stats: CpuStats = field(default_factory=CpuStats)
     #: Optional device-lifetime metrics sink (monotonic; includes load).
     metrics: MetricsRegistry | None = None
+    #: Bound cycle-counter children per primitive (hot path).
+    _bound: dict = field(default_factory=dict, repr=False)
+
+    def _cycles(self, op: str, cycles: int) -> None:
+        bound = self._bound.get(op)
+        if bound is None:
+            bound = self.metrics.counter(
+                "ghostdb_device_cpu_cycles_total"
+            ).labelled(op=op)
+            self._bound[op] = bound
+        bound.inc(cycles)
 
     def charge(self, op: str, count: int = 1) -> None:
         """Charge ``count`` occurrences of primitive ``op``."""
@@ -66,9 +77,7 @@ class SecureChip:
             self.stats.cycles_by_op.get(op, 0) + cycles
         )
         if self.metrics is not None:
-            self.metrics.counter("ghostdb_device_cpu_cycles_total").inc(
-                cycles, op=op
-            )
+            self._cycles(op, cycles)
         self.clock.advance(cycles / self.profile.cpu_hz, "cpu")
 
     def charge_cycles(self, cycles: int) -> None:
@@ -79,7 +88,5 @@ class SecureChip:
             self.stats.cycles_by_op.get("raw", 0) + cycles
         )
         if self.metrics is not None:
-            self.metrics.counter("ghostdb_device_cpu_cycles_total").inc(
-                cycles, op="raw"
-            )
+            self._cycles("raw", cycles)
         self.clock.advance(cycles / self.profile.cpu_hz, "cpu")

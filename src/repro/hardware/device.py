@@ -15,9 +15,20 @@ from repro.hardware.chip import SecureChip
 from repro.hardware.clock import SimClock, TimeBreakdown
 from repro.hardware.flash import FlashStats, NandFlash
 from repro.hardware.ftl import FlashTranslationLayer
+from repro.hardware.pagecache import CacheStats, PageCache
 from repro.hardware.profiles import DEMO_DEVICE, HardwareProfile
 from repro.hardware.ram import RamBudget
 from repro.hardware.usb import UsbChannel
+
+
+def default_cache_pages(profile: HardwareProfile) -> int:
+    """Default buffer-pool bound: a quarter of RAM, in pages.
+
+    Generous enough that intra-query re-reads (SKT pages, posting
+    extents) hit, small enough that firm operator reservations rarely
+    need to shed it -- and shedding is cheap anyway (clean pages only).
+    """
+    return profile.ram_bytes // (4 * profile.page_size)
 
 
 @dataclass
@@ -30,6 +41,7 @@ class DeviceCounters:
     usb_messages: int
     usb_bytes_to_device: int
     usb_bytes_to_host: int
+    cache: CacheStats
 
 
 class SmartUsbDevice:
@@ -39,6 +51,7 @@ class SmartUsbDevice:
         self,
         profile: HardwareProfile = DEMO_DEVICE,
         metrics=None,
+        cache_pages: int | None = None,
     ):
         self.profile = profile
         self.metrics = metrics
@@ -47,7 +60,15 @@ class SmartUsbDevice:
         self.flash = NandFlash(
             profile=profile, clock=self.clock, metrics=metrics
         )
-        self.ftl = FlashTranslationLayer(flash=self.flash)
+        if cache_pages is None:
+            cache_pages = default_cache_pages(profile)
+        self.page_cache = PageCache(
+            budget=self.ram,
+            page_size=profile.page_size,
+            capacity_pages=cache_pages,
+            metrics=metrics,
+        )
+        self.ftl = FlashTranslationLayer(flash=self.flash, cache=self.page_cache)
         self.chip = SecureChip(
             profile=profile, clock=self.clock, metrics=metrics
         )
@@ -83,6 +104,10 @@ class SmartUsbDevice:
         self.ftl = FlashTranslationLayer.recover(
             self.flash, spare_blocks=self.ftl.spare_blocks
         )
+        # Cached pages were volatile RAM: gone with the power.  Re-home
+        # the pool on the fresh budget and hand it to the new FTL.
+        self.page_cache.rewire(self.ram)
+        self.ftl.cache = self.page_cache
         if self.metrics is not None:
             self.metrics.counter("ghostdb_recovery_remounts_total").inc()
 
@@ -95,6 +120,7 @@ class SmartUsbDevice:
             usb_messages=self.usb.message_count,
             usb_bytes_to_device=self.usb.bytes_to_device,
             usb_bytes_to_host=self.usb.bytes_to_host,
+            cache=self.page_cache.stats.snapshot(),
         )
 
     def reset_measurements(self) -> None:
@@ -109,6 +135,10 @@ class SmartUsbDevice:
         self.ram.reset_high_water()
         self.flash.stats = FlashStats()
         self.chip.stats.cycles_by_op.clear()
+        # A measurement starts cold: cached pages from earlier activity
+        # would otherwise bleed one scenario's reuse into the next.
+        self.page_cache.clear()
+        self.page_cache.stats = CacheStats()
 
     def __repr__(self) -> str:
         return (

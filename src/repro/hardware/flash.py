@@ -116,10 +116,19 @@ class NandFlash:
     _oob: dict[int, tuple[int, int, int]] = field(default_factory=dict)
     _bad_blocks: set[int] = field(default_factory=set)
     _erase_counts: dict[int, int] = field(default_factory=dict)
+    #: Bound counter children, keyed by (name, label items) -- one
+    #: registry resolution per site instead of one per simulated op.
+    _bound: dict = field(default_factory=dict, repr=False)
 
     def _count(self, name: str, amount: int = 1, **labels) -> None:
-        if self.metrics is not None:
-            self.metrics.counter(name).inc(amount, **labels)
+        if self.metrics is None:
+            return
+        key = (name, *labels.items())
+        bound = self._bound.get(key)
+        if bound is None:
+            bound = self.metrics.counter(name).labelled(**labels)
+            self._bound[key] = bound
+        bound.inc(amount)
 
     @property
     def num_pages(self) -> int:

@@ -30,6 +30,7 @@ from repro.hardware.flash import (
     NandFlash,
     ProgramFailedError,
 )
+from repro.hardware.pagecache import PageCache
 
 
 class FlashFullError(FlashError):
@@ -52,6 +53,10 @@ class FlashTranslationLayer:
     flash: NandFlash
     #: Blocks kept in reserve so GC always has somewhere to relocate to.
     spare_blocks: int = 2
+    #: Optional buffer pool over *logical* pages.  Sitting above the
+    #: logical->physical map means GC relocations need no invalidation
+    #: (content is unchanged); only :meth:`write` and :meth:`free` do.
+    cache: PageCache | None = None
     stats: FtlStats = field(default_factory=FtlStats)
     _map: dict[int, int] = field(default_factory=dict)  # logical -> physical
     _reverse: dict[int, int] = field(default_factory=dict)  # physical -> logical
@@ -85,6 +90,8 @@ class FlashTranslationLayer:
 
     def free(self, lpage: int) -> None:
         """Release a logical page; its physical copy becomes garbage."""
+        if self.cache is not None:
+            self.cache.invalidate(lpage)
         phys = self._map.pop(lpage, None)
         if phys is not None:
             self._reverse.pop(phys, None)
@@ -99,14 +106,40 @@ class FlashTranslationLayer:
     # ------------------------------------------------------------------
 
     def read(self, lpage: int, offset: int = 0, length: int | None = None) -> bytes:
-        """Read from a logical page previously written."""
+        """Read from a logical page previously written.
+
+        Full-page reads are served from (and admitted to) the buffer
+        pool when one is attached; partial reads may hit a cached page
+        for free but never change cache state.  A hit skips the physical
+        read entirely -- no simulated-time charge, no flash counter, no
+        fault decision -- exactly as a device-RAM copy would.
+        """
         phys = self._map.get(lpage)
         if phys is None:
             raise FlashError(f"logical page {lpage} has never been written")
-        return self.flash.read(phys, offset, length)
+        cache = self.cache
+        if cache is None or not cache.enabled:
+            return self.flash.read(phys, offset, length)
+        page_size = self.flash.profile.page_size
+        full = offset == 0 and (length is None or length >= page_size)
+        cached = cache.lookup(lpage, promote=full)
+        if cached is not None:
+            if length is None:
+                length = page_size - offset
+            if offset < 0 or length < 0 or offset + length > page_size:
+                raise FlashError(
+                    f"read of [{offset}, {offset + length}) exceeds page size"
+                )
+            return cached[offset : offset + length]
+        data = self.flash.read(phys, offset, length)
+        if full:
+            cache.admit(lpage, data)
+        return data
 
     def write(self, lpage: int, data: bytes) -> None:
         """Write (or overwrite) a logical page, out of place."""
+        if self.cache is not None:
+            self.cache.invalidate(lpage)
         self._program_page(lpage, data)
         self.stats.logical_writes += 1
 

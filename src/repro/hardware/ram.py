@@ -14,6 +14,7 @@ reports say *which operator* was responsible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.obs.registry import MetricsRegistry
 
@@ -44,6 +45,10 @@ class Allocation:
     size: int
     label: str
     released: bool = False
+    #: Reclaimable memory (e.g. clean cache pages) can be shed on demand
+    #: and is excluded from the high-water mark -- it is opportunistic
+    #: use of otherwise-idle RAM, not part of a query's working set.
+    reclaimable: bool = False
 
     def resize(self, new_size: int) -> None:
         """Grow or shrink this allocation in place."""
@@ -53,9 +58,9 @@ class Allocation:
             raise ValueError("allocation size cannot be negative")
         delta = new_size - self.size
         if delta > 0:
-            self.budget._reserve(delta, self.label)
+            self.budget._reserve(delta, self.label, self.reclaimable)
         else:
-            self.budget._unreserve(-delta)
+            self.budget._unreserve(-delta, self.reclaimable)
         self.budget.by_label[self.label] = (
             self.budget.by_label.get(self.label, 0) + delta
         )
@@ -63,7 +68,7 @@ class Allocation:
 
     def release(self) -> None:
         if not self.released:
-            self.budget._unreserve(self.size)
+            self.budget._unreserve(self.size, self.reclaimable)
             self.budget.by_label[self.label] = (
                 self.budget.by_label.get(self.label, 0) - self.size
             )
@@ -83,50 +88,80 @@ class RamBudget:
     capacity: int
     used: int = 0
     high_water: int = 0
+    #: Bytes of :attr:`used` held by reclaimable allocations.  They are
+    #: excluded from the high-water mark (opportunistic cache use must
+    #: not change a query's reported working set) and can be shed via
+    #: :attr:`pressure_hook` when a firm reservation needs the room.
+    reclaimable_used: int = 0
     #: Count of allocations ever made, for diagnostics.
     allocation_count: int = 0
     #: label -> currently reserved bytes, for per-operator reporting.
     by_label: dict[str, int] = field(default_factory=dict)
     #: Optional device-lifetime metrics sink.
     metrics: MetricsRegistry | None = None
+    #: Called with the byte shortfall when a firm reservation would
+    #: overflow; sheds reclaimable memory (returns bytes freed) so the
+    #: reservation can be retried before raising.
+    pressure_hook: Callable[[int], int] | None = None
 
     @property
     def available(self) -> int:
         return self.capacity - self.used
 
-    def allocate(self, size: int, label: str) -> Allocation:
+    @property
+    def soft_available(self) -> int:
+        """Bytes obtainable counting reclaimable memory as free.
+
+        Sizing decisions (operator fan-in, sort buffers) use this so
+        that plans and buffer shapes do not depend on how much of the
+        budget the page cache happens to occupy right now.
+        """
+        return self.capacity - self.used + self.reclaimable_used
+
+    def allocate(
+        self, size: int, label: str, reclaimable: bool = False
+    ) -> Allocation:
         """Reserve ``size`` bytes, or raise :class:`RamExhaustedError`."""
         if size < 0:
             raise ValueError("allocation size cannot be negative")
-        self._reserve(size, label)
+        self._reserve(size, label, reclaimable)
         self.allocation_count += 1
-        alloc = Allocation(budget=self, size=size, label=label)
+        alloc = Allocation(
+            budget=self, size=size, label=label, reclaimable=reclaimable
+        )
         self.by_label[label] = self.by_label.get(label, 0) + size
         return alloc
 
-    def _reserve(self, size: int, label: str) -> None:
+    def _reserve(self, size: int, label: str, reclaimable: bool = False) -> None:
         if self.used + size > self.capacity:
-            raise RamExhaustedError(size, self.available, label)
+            if not reclaimable and self.pressure_hook is not None:
+                self.pressure_hook(self.used + size - self.capacity)
+            if self.used + size > self.capacity:
+                raise RamExhaustedError(size, self.available, label)
         self.used += size
-        self.high_water = max(self.high_water, self.used)
+        if reclaimable:
+            self.reclaimable_used += size
+        self.high_water = max(self.high_water, self.used - self.reclaimable_used)
         if self.metrics is not None:
             self.metrics.gauge("ghostdb_device_ram_used_bytes").set(self.used)
             self.metrics.gauge(
                 "ghostdb_device_ram_high_water_bytes"
             ).set_max(self.high_water)
 
-    def _unreserve(self, size: int) -> None:
+    def _unreserve(self, size: int, reclaimable: bool = False) -> None:
         if size > self.used:
             raise ValueError(
                 f"releasing {size} B but only {self.used} B are reserved"
             )
         self.used -= size
+        if reclaimable:
+            self.reclaimable_used -= size
         if self.metrics is not None:
             self.metrics.gauge("ghostdb_device_ram_used_bytes").set(self.used)
 
     def reset_high_water(self) -> None:
         """Restart high-water tracking (e.g. between benchmarked queries)."""
-        self.high_water = self.used
+        self.high_water = self.used - self.reclaimable_used
         self.by_label = {
             label: size for label, size in self.by_label.items() if size > 0
         }

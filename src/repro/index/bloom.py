@@ -108,6 +108,41 @@ class BloomFilter:
                 return False
         return True
 
+    def insert_many(self, keys) -> None:
+        """Insert a batch of keys, charging the per-key cycles in bulk
+        (identical totals to per-key :meth:`insert` calls)."""
+        if self._closed:
+            raise ValueError("Bloom filter already released")
+        keys = list(keys)
+        if not keys:
+            return
+        self.device.chip.charge("bloom_insert", len(keys))
+        array = self._array
+        for key in keys:
+            for pos in self._positions(key):
+                array[pos >> 3] |= 1 << (pos & 7)
+        self.inserted += len(keys)
+
+    def probe_many(self, keys) -> list[bool]:
+        """Probe a batch of keys, charging the per-key cycles in bulk
+        (identical totals to per-key :meth:`may_contain` calls)."""
+        if self._closed:
+            raise ValueError("Bloom filter already released")
+        keys = list(keys)
+        if not keys:
+            return []
+        self.device.chip.charge("bloom_probe", len(keys))
+        array = self._array
+        results = []
+        for key in keys:
+            hit = True
+            for pos in self._positions(key):
+                if not array[pos >> 3] & (1 << (pos & 7)):
+                    hit = False
+                    break
+            results.append(hit)
+        return results
+
     # ------------------------------------------------------------------
 
     @property

@@ -20,6 +20,7 @@ import heapq
 import struct
 from dataclasses import dataclass
 
+from repro.columns import IdColumn
 from repro.hardware.device import SmartUsbDevice
 from repro.storage.intlist import ID_WIDTH, MAX_ID
 from repro.storage.runs import Run, RunReader, RunWriter
@@ -137,11 +138,16 @@ class PostingFileReader:
         self.label = label
         self._page_size = device.profile.page_size
         self._alloc = device.ram.allocate(self._page_size, label)
-        self._cached: tuple[int, bytes] | None = None
         self._closed = False
 
     def read_list(self, ref: PostingRef):
-        """Yield the IDs of one posting list, in sorted order."""
+        """Yield the IDs of one posting list, in sorted order.
+
+        Each page the list spans is read once per call (full reads go
+        through the device's buffer pool, so lists packed onto the same
+        page -- or re-read lists -- hit it for free); small tails use
+        cheap partial reads.
+        """
         page_size = self._page_size
         remaining = ref.count
         offset = ref.start
@@ -149,24 +155,15 @@ class PostingFileReader:
             page_idx, in_page = divmod(offset, page_size)
             available = (page_size - in_page) // ID_WIDTH
             take = min(remaining, available)
-            if self._cached is not None and self._cached[0] == page_idx:
-                data = self._cached[1]
-            elif take * ID_WIDTH <= page_size // 4:
-                # Small tail: cheap partial read, not worth caching.
-                data = None
+            if take * ID_WIDTH <= page_size // 4:
+                # Small tail: cheap partial read, not worth a full page.
                 raw = self.device.ftl.read(
                     self.pages[page_idx], in_page, take * ID_WIDTH
                 )
-                for i in range(take):
-                    yield _PACK.unpack_from(raw, i * ID_WIDTH)[0]
-                offset += take * ID_WIDTH
-                remaining -= take
-                continue
+                yield from IdColumn.from_be_bytes(raw, take)
             else:
                 data = self.device.ftl.read(self.pages[page_idx])
-                self._cached = (page_idx, data)
-            for i in range(take):
-                yield _PACK.unpack_from(data, in_page + i * ID_WIDTH)[0]
+                yield from IdColumn.from_be_bytes(data, take, offset=in_page)
             offset += take * ID_WIDTH
             remaining -= take
 

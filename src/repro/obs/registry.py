@@ -34,6 +34,16 @@ def _check_name(name: str) -> str:
 
 
 def _label_key(labels: dict) -> tuple:
+    # Hot path: the hardware layer bumps unlabelled (or single-label)
+    # counters on every simulated flash/USB/CPU event, so skip the
+    # sort-and-validate machinery when there is nothing to sort.
+    if not labels:
+        return ()
+    if len(labels) == 1:
+        ((key, value),) = labels.items()
+        if not _LABEL.match(key):
+            raise MetricError(f"invalid label name {key!r}")
+        return ((key, str(value)),)
     for label in labels:
         if not _LABEL.match(label):
             raise MetricError(f"invalid label name {label!r}")
@@ -60,6 +70,31 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+class BoundCounter:
+    """A counter child with its label key pre-resolved.
+
+    The hardware layer bumps the same counter with the same labels once
+    per simulated flash/USB/CPU event; binding once moves the label
+    validation and key construction out of the per-event path.  The
+    child writes into the parent's value dict, which ``reset()`` clears
+    in place, so bound children survive measurement resets.
+    """
+
+    __slots__ = ("_parent", "_key")
+
+    def __init__(self, parent: "Counter", key: tuple):
+        self._parent = parent
+        self._key = key
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise MetricError(
+                f"{self._parent.name}: counters cannot decrease"
+            )
+        values = self._parent._values
+        values[self._key] = values.get(self._key, 0) + amount
+
+
 @dataclass
 class Counter:
     """A monotonically increasing total, optionally labelled."""
@@ -75,6 +110,10 @@ class Counter:
             raise MetricError(f"{self.name}: counters cannot decrease")
         key = _label_key(labels)
         self._values[key] = self._values.get(key, 0) + amount
+
+    def labelled(self, **labels) -> BoundCounter:
+        """A bound child for per-event hot paths (see above)."""
+        return BoundCounter(self, _label_key(labels))
 
     def value(self, **labels) -> float:
         return self._values.get(_label_key(labels), 0)
@@ -211,7 +250,9 @@ class MetricsRegistry:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
 
     def _get_or_create(self, cls, name: str, help: str, **kwargs):
-        _check_name(name)
+        # Hot path first: per-event instrument lookups vastly outnumber
+        # registrations, and a name already in the store has passed the
+        # name check once at creation.
         existing = self._metrics.get(name)
         if existing is not None:
             if not isinstance(existing, cls):
@@ -220,6 +261,7 @@ class MetricsRegistry:
                     f"{existing.kind}, not a {cls.kind}"
                 )
             return existing
+        _check_name(name)
         metric = cls(name=name, help=help, **kwargs)
         self._metrics[name] = metric
         return metric

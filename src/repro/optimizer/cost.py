@@ -132,6 +132,7 @@ class CostModel:
         fetch_batch: int = 128,
         fan_in: int = 16,
         bloom_fp_target: float = 0.01,
+        cache_pages: int = 0,
     ):
         self.profile = profile
         self.stats = stats
@@ -140,6 +141,10 @@ class CostModel:
         self.fetch_batch = fetch_batch
         self.fan_in = fan_in
         self.bloom_fp_target = bloom_fp_target
+        #: Buffer-pool capacity the device runs with (0 = no pool).
+        #: Flash-read terms that rely on a page being served from the
+        #: pool on re-access are only priced when a pool exists.
+        self.cache_pages = cache_pages
 
     # -- primitive prices ----------------------------------------------
 
@@ -312,8 +317,16 @@ class CostModel:
         else:
             distinct_pages = 0.0
         partial_cost = n * self.profile.flash_read_partial_s
-        cached_cost = distinct_pages * self.profile.flash_read_full_s
-        est.flash_read_s += min(partial_cost, cached_cost)
+        if self.cache_pages > 0:
+            # Dense hit patterns read each touched page once in full and
+            # serve the other hits from the buffer pool; the operator
+            # picks whichever is cheaper, so price the better of the two.
+            cached_cost = distinct_pages * self.profile.flash_read_full_s
+            est.flash_read_s += min(partial_cost, cached_cost)
+        else:
+            # No pool to hold a page between hits: every hit is its own
+            # partial read.
+            est.flash_read_s += partial_cost
         est.cpu_s += self._cpu("decode_field", n * len(skt.tables))
         est.ram_bytes += self.profile.page_size
         return est
@@ -369,10 +382,43 @@ class CostModel:
         # predicates; only false positives get removed now, so the count
         # barely changes -- but every surviving tuple pays fetch cost.
         est.out_count = out
-        hidden_reads = sum(
-            1 for _t, c in node.projections if c.hidden
-        ) + len(node.residual_hidden)
-        est.flash_read_s += n * hidden_reads * self.profile.flash_read_partial_s
+        hidden_by_table: dict[str, int] = {}
+        for table, column in node.projections:
+            if column.hidden:
+                hidden_by_table[table] = hidden_by_table.get(table, 0) + 1
+        for predicate in node.residual_hidden:
+            hidden_by_table[predicate.table] = (
+                hidden_by_table.get(predicate.table, 0) + 1
+            )
+        hidden_reads = sum(hidden_by_table.values())
+        for table, cols in hidden_by_table.items():
+            partial_cost = n * cols * self.profile.flash_read_partial_s
+            heap = self.db.heaps.get(table.lower())
+            if self.cache_pages > 0 and heap is not None and heap.count > 0:
+                # Dense row sets route through the buffer pool: each
+                # touched heap page is read once in full and every other
+                # field on it is served for free.  Mirror the operator's
+                # per-fetch-batch density gate (with the estimated
+                # cardinality standing in for the actual batch fill) so
+                # the estimate tracks the path execution will take.
+                rows_per_page = max(
+                    1, self.profile.page_size // heap.codec.width
+                )
+                batch_fill = min(self.fetch_batch, n)
+                dense = batch_fill * rows_per_page >= 2 * heap.count
+                total_pages = max(1, math.ceil(heap.count / rows_per_page))
+                distinct_pages = total_pages * (
+                    1.0 - (1.0 - 1.0 / total_pages) ** n
+                )
+                cached_cost = (
+                    distinct_pages * self.profile.flash_read_full_s
+                )
+                if dense:
+                    est.flash_read_s += min(partial_cost, cached_cost)
+                else:
+                    est.flash_read_s += partial_cost
+            else:
+                est.flash_read_s += partial_cost
         est.cpu_s += self._cpu("decode_field", n * max(1, hidden_reads))
         # Visible fetches: group per table; approximate one round trip per
         # fetch batch with ~40 B per row of JSON.

@@ -114,6 +114,11 @@ def _render_analyzed(
     if measured is None:
         lines.append(f"{prefix}{node.label()}  [{estimate} | (not executed)]")
     else:
+        lookups = measured.cache_hits + measured.cache_misses
+        if lookups:
+            cache = f", cache {measured.cache_hits / lookups:.0%} hit"
+        else:
+            cache = ""
         actual = (
             f"actual {measured.tuples_out} out, "
             f"{measured.self_seconds * 1000:.2f} ms self, "
@@ -121,7 +126,7 @@ def _render_analyzed(
             f"({measured.flash_page_reads}r/{measured.flash_page_writes}w), "
             f"usb {measured.self_usb_seconds * 1000:.2f} ms "
             f"({measured.usb_messages} msgs), "
-            f"ram {measured.ram_bytes} B"
+            f"ram {measured.ram_bytes} B{cache}"
         )
         flag = _misestimate_flag(own.seconds, measured.self_seconds)
         lines.append(f"{prefix}{node.label()}  [{estimate} | {actual}]{flag}")

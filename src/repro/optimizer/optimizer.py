@@ -46,6 +46,7 @@ class Optimizer:
         fan_in: int = 16,
         bloom_fp_target: float = 0.01,
         obs: Observability | None = None,
+        cache_pages: int = 0,
     ):
         self.db = db
         self.profile = profile
@@ -61,6 +62,7 @@ class Optimizer:
             db=db,
             fan_in=max(2, min(fan_in, affordable)),
             bloom_fp_target=bloom_fp_target,
+            cache_pages=cache_pages,
         )
 
     def rank(self, query: BoundQuery) -> list[RankedPlan]:

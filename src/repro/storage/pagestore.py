@@ -127,8 +127,6 @@ class PageReader:
         self.slots_per_page = store.page_size // record_width
         self.label = label
         self._alloc = store.device.ram.allocate(store.page_size, label)
-        #: Cached (page index, page bytes) for sequential locality.
-        self._cached: tuple[int, bytes] | None = None
         self._closed = False
 
     def _locate(self, rowid: int) -> tuple[int, int]:
@@ -137,55 +135,68 @@ class PageReader:
         return rowid // self.slots_per_page, rowid % self.slots_per_page
 
     def record(self, rowid: int) -> bytes:
-        """Fetch one record; a cold fetch costs one partial page read."""
+        """Fetch one record; a cold fetch costs one partial page read.
+
+        The device's buffer pool may serve it for free when the page was
+        recently read in full; either way this reader holds no page
+        state of its own -- caching lives in exactly one place.
+        """
         page_idx, slot = self._locate(rowid)
-        if self._cached is not None and self._cached[0] == page_idx:
-            data = self._cached[1]
-            off = slot * self.record_width
-            return data[off : off + self.record_width]
         offset = slot * self.record_width
         return self.store.device.ftl.read(
             self.pages[page_idx], offset, self.record_width
         )
 
     def record_cached(self, rowid: int) -> bytes:
-        """Fetch one record via a cached full-page read.
+        """Fetch one record via a full-page read through the buffer pool.
 
-        Pays a full-page read on a cache miss but serves every further
-        record on the same page for free -- the right choice when hits are
-        dense (e.g. SKT access at high selectivity).  Use :meth:`record`
-        for sparse access patterns.
+        Pays a full-page read on a pool miss but serves every further
+        record on the same page for free (the pool holds the page) --
+        the right choice when hits are dense (e.g. SKT access at high
+        selectivity) *and* the device cache is enabled.  With the pool
+        disabled this degrades to one full read per record, so callers
+        gate the choice on ``device.page_cache.enabled``.
         """
         page_idx, slot = self._locate(rowid)
-        if self._cached is None or self._cached[0] != page_idx:
-            data = self.store.device.ftl.read(self.pages[page_idx])
-            self._cached = (page_idx, data)
-        data = self._cached[1]
+        data = self.store.device.ftl.read(self.pages[page_idx])
         off = slot * self.record_width
         return data[off : off + self.record_width]
 
     def field(self, rowid: int, offset: int, width: int) -> bytes:
         """Fetch one field of one record (cheapest possible flash read)."""
         page_idx, slot = self._locate(rowid)
-        if self._cached is not None and self._cached[0] == page_idx:
-            data = self._cached[1]
-            base = slot * self.record_width + offset
-            return data[base : base + width]
         base = slot * self.record_width + offset
         return self.store.device.ftl.read(self.pages[page_idx], base, width)
 
+    def field_cached(self, rowid: int, offset: int, width: int) -> bytes:
+        """Fetch one field via a full-page read through the buffer pool.
+
+        Pays one full-page read on a pool miss, then serves every
+        further field on the same page for free -- the right choice for
+        dense row sets (the same density gate as
+        :meth:`record_cached`); with the pool disabled it degrades to
+        one full read per field, so callers gate on
+        ``device.page_cache.enabled``.
+        """
+        page_idx, slot = self._locate(rowid)
+        data = self.store.device.ftl.read(self.pages[page_idx])
+        base = slot * self.record_width + offset
+        return data[base : base + width]
+
     def scan(self, start: int = 0, stop: int | None = None):
-        """Yield raw records in rowid order using full-page reads."""
+        """Yield raw records in rowid order using full-page reads.
+
+        Each page is read once per scan pass (a loop-local buffer, the
+        one page this reader's RAM allocation stands for); re-scans hit
+        the buffer pool when one is enabled.
+        """
         if stop is None:
             stop = self.count
         stop = min(stop, self.count)
         rowid = start
         while rowid < stop:
             page_idx, slot = self._locate(rowid)
-            if self._cached is None or self._cached[0] != page_idx:
-                data = self.store.device.ftl.read(self.pages[page_idx])
-                self._cached = (page_idx, data)
-            data = self._cached[1]
+            data = self.store.device.ftl.read(self.pages[page_idx])
             last_slot = min(
                 self.slots_per_page, stop - page_idx * self.slots_per_page
             )

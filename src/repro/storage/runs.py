@@ -138,7 +138,7 @@ class RunMerger:
             # One page buffer per input plus one for the output, inside
             # whatever RAM remains.
             page = device.profile.page_size
-            fan_in = max(2, device.ram.available // page - 1)
+            fan_in = max(2, device.ram.soft_available // page - 1)
         if fan_in < 2:
             raise ValueError("merge fan-in must be at least 2")
         self.fan_in = fan_in

@@ -82,6 +82,29 @@ class TestShellCommands:
         _alive, out = run(shell, ".storage")
         assert "SKT_prescription" in out
 
+    def test_cache_command_and_set_cache(self, shell):
+        _alive, out = run(shell, ".cache")
+        assert "buffer pool:" in out and "resident" in out
+        _alive, out = run(shell, ".cache 4")
+        assert "4 pages" in out
+        assert shell.db.device.page_cache.capacity_pages == 4
+        _alive, out = run(shell, "SET cache = off")
+        assert "buffer pool: off" in out
+        assert not shell.db.cache_enabled
+        _alive, out = run(shell, "SET cache = 6")
+        assert "6 pages" in out
+        _alive, out = run(shell, ".cache bogus")
+        assert "not a cache size" in out
+        _alive, out = run(shell, ".cache on")  # back to the profile default
+        assert "buffer pool:" in out and "off" not in out
+        assert shell.db.cache_enabled
+
+    def test_cache_hit_rate_reported_after_queries(self, shell):
+        run(shell, ".reset")
+        run(shell, "SELECT Quantity FROM Prescription WHERE Quantity = 7")
+        _alive, out = run(shell, ".cache")
+        assert "lookups" in out and "hits" in out
+
     def test_error_keeps_shell_alive(self, shell):
         alive, out = run(shell, "SELECT nothing FROM nowhere")
         assert alive

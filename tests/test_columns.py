@@ -1,0 +1,152 @@
+"""Typed columnar batch payloads (:mod:`repro.columns`).
+
+The two contracts the engine depends on: columns behave as immutable
+sequences whose iteration yields *built-in* ints (a NumPy scalar must
+never leak into results or USB packing), and the big-endian byte layout
+round-trips exactly -- it is the on-flash / on-wire format.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.columns import ID_WIDTH, IdColumn, chunk_ids, numpy_enabled
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+class TestSequenceProtocol:
+    def test_from_ids_equals_source(self):
+        ids = [7, 0, 4_294_967_295, 12]
+        column = IdColumn.from_ids(ids)
+        assert len(column) == 4
+        assert column == ids
+        assert column.tolist() == ids
+
+    def test_iteration_yields_builtin_ints(self):
+        column = IdColumn.from_ids([1, 2, 3])
+        for value in column:
+            assert type(value) is int
+
+    def test_indexing_yields_builtin_ints(self):
+        column = IdColumn.from_ids([5, 6, 7])
+        assert type(column[1]) is int
+        assert column[1] == 6
+
+    def test_slicing_returns_a_column(self):
+        column = IdColumn.from_ids(range(10))
+        sliced = column[2:5]
+        assert isinstance(sliced, IdColumn)
+        assert sliced == [2, 3, 4]
+
+    def test_bool_and_repr(self):
+        assert not IdColumn.from_ids([])
+        column = IdColumn.from_ids(range(10))
+        assert column
+        assert "n=10" in repr(column)
+        assert "..." in repr(column)
+
+    def test_eq_against_tuple_and_column(self):
+        column = IdColumn.from_ids([1, 2])
+        assert column == (1, 2)
+        assert column == IdColumn.from_ids([1, 2])
+        assert column != [1, 3]
+
+
+class TestWireLayout:
+    def test_to_be_bytes_is_big_endian(self):
+        column = IdColumn.from_ids([1, 0x01020304])
+        assert column.to_be_bytes() == (
+            b"\x00\x00\x00\x01\x01\x02\x03\x04"
+        )
+
+    def test_from_be_bytes_roundtrip(self):
+        ids = [0, 1, 255, 65_536, 4_294_967_295]
+        raw = IdColumn.from_ids(ids).to_be_bytes()
+        assert IdColumn.from_be_bytes(raw, len(ids)) == ids
+
+    def test_from_be_bytes_with_offset(self):
+        payload = b"\xff\xff" + IdColumn.from_ids([9, 10]).to_be_bytes()
+        column = IdColumn.from_be_bytes(payload, 2, offset=2)
+        assert column == [9, 10]
+
+    def test_from_be_bytes_reads_exactly_count(self):
+        raw = IdColumn.from_ids([1, 2, 3]).to_be_bytes()
+        assert IdColumn.from_be_bytes(raw, 2) == [1, 2]
+        assert len(raw) == 3 * ID_WIDTH
+
+
+class TestChunkIds:
+    def test_rechunks_to_cap(self):
+        chunks = list(chunk_ids(iter(range(10)), 4))
+        assert [len(c) for c in chunks] == [4, 4, 2]
+        assert [list(c) for c in chunks] == [
+            [0, 1, 2, 3], [4, 5, 6, 7], [8, 9]
+        ]
+        assert all(isinstance(c, IdColumn) for c in chunks)
+
+    def test_closes_the_source_iterator(self):
+        closed = []
+
+        def source():
+            try:
+                yield from range(100)
+            finally:
+                closed.append(True)
+
+        stream = chunk_ids(source(), 8)
+        next(stream)
+        stream.close()  # teardown mid-stream must close the source
+        assert closed == [True]
+
+
+# ---------------------------------------------------------------------------
+# NumPy backing: opt-in via GHOSTDB_NUMPY, identical contracts.
+# ---------------------------------------------------------------------------
+
+_NUMPY_PROBE = subprocess.run(
+    [sys.executable, "-c", "import numpy"], capture_output=True
+).returncode
+
+
+def test_default_build_ignores_numpy():
+    # The suite runs without the flag: columns must be array-backed.
+    if os.environ.get("GHOSTDB_NUMPY", "") in ("", "0"):
+        assert not numpy_enabled()
+
+
+@pytest.mark.skipif(_NUMPY_PROBE != 0, reason="numpy not installed")
+def test_numpy_backend_honours_the_contracts():
+    """Run the core contracts in a subprocess with GHOSTDB_NUMPY=1 (the
+    backend is chosen at import time, so it needs a fresh interpreter)."""
+    program = """
+from repro.columns import IdColumn, chunk_ids, numpy_enabled
+
+assert numpy_enabled()
+ids = [7, 0, 4294967295, 12]
+column = IdColumn.from_ids(ids)
+assert column == ids
+assert all(type(v) is int for v in column)
+assert type(column[0]) is int
+assert isinstance(column[1:3], IdColumn)
+raw = column.to_be_bytes()
+assert raw == b''.join(v.to_bytes(4, 'big') for v in ids)
+assert IdColumn.from_be_bytes(raw, len(ids)) == ids
+assert [list(c) for c in chunk_ids(iter(range(5)), 2)] == [[0,1],[2,3],[4]]
+print('OK')
+"""
+    env = dict(os.environ)
+    env["GHOSTDB_NUMPY"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", program],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "OK"
