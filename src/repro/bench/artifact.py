@@ -24,7 +24,9 @@ from repro.obs.redact import Redactor
 #: comparator refuses to diff artifacts of different versions.
 #: v2 added the per-scenario ``leak_*`` leakage columns.
 #: v3 added the buffer-pool ``cache_hits``/``cache_misses`` columns.
-SCHEMA_VERSION = 3
+#: v4 added the ``flight_events`` column and the top-level ``recorder``
+#: overhead section (the comparator gates its host-wall fraction < 5%).
+SCHEMA_VERSION = 4
 
 #: Artifact discriminator, so tooling can reject arbitrary JSON.
 KIND = "ghostdb-bench"
@@ -58,7 +60,8 @@ SIGNATURE_KEYS = frozenset({"leak_request_signature", "request_signature", "sign
 
 
 def scenario_record(
-    metrics, wall_seconds: float, family: str, leak=None
+    metrics, wall_seconds: float, family: str, leak=None,
+    flight_events: int = 0,
 ) -> dict:
     """One scenario's measurements as a plain JSON-ready dict.
 
@@ -66,7 +69,8 @@ def scenario_record(
     diff of the scenario's single measured execution; ``leak`` is the
     :class:`~repro.privacy.meter.TrafficProfile` of the traffic that
     execution produced (``None`` leaves the leakage columns at zero,
-    for scenarios that never touch the boundary).
+    for scenarios that never touch the boundary); ``flight_events`` is
+    how many flight-recorder events the scenario journalled.
     """
     record = {
         "family": family,
@@ -86,6 +90,9 @@ def scenario_record(
         "cache_misses": metrics.cache_misses,
         "result_rows": metrics.result_rows,
         "wall_seconds": wall_seconds,
+        # Flight-recorder journal volume: deterministic but not gated --
+        # richer instrumentation must not read as a cost regression.
+        "flight_events": flight_events,
         "leak_observable_bytes": 0,
         "leak_messages": 0,
         "leak_ids_observed": 0,
@@ -112,8 +119,15 @@ def build_artifact(
     created: str,
     scenarios: dict[str, dict],
     scorecard: dict[str, dict],
+    recorder: dict | None = None,
 ) -> dict:
-    """Assemble the full artifact dict (pre-redaction)."""
+    """Assemble the full artifact dict (pre-redaction).
+
+    ``recorder`` is the flight-recorder overhead section built by the
+    runner (total events, measured per-event host cost, and the
+    estimated fraction of scenario wall time spent journalling); the
+    comparator fails a run whose fraction reaches 5%.
+    """
     return {
         "kind": KIND,
         "schema_version": SCHEMA_VERSION,
@@ -121,6 +135,7 @@ def build_artifact(
         "config": {"scale": scale, "profile": profile},
         "scenarios": scenarios,
         "scorecard": scorecard,
+        "recorder": recorder or {},
         "leak_check": "CLEAN",
     }
 

@@ -33,6 +33,11 @@ from repro.bench.artifact import GATED_METRICS, load_artifact
 #: change; identical code reproduces the baseline exactly.
 DEFAULT_TOLERANCE = 0.02
 
+#: Ceiling on the flight recorder's estimated share of host wall time.
+#: The recorder is always on, so its cost rides every measurement; a
+#: run whose ``recorder.overhead_fraction`` reaches this fails.
+RECORDER_OVERHEAD_BUDGET = 0.05
+
 
 @dataclass
 class MetricDelta:
@@ -77,6 +82,16 @@ class ComparisonReport:
     #: informational only, never gated (host timing is noisy).
     baseline_wall_s: float = 0.0
     current_wall_s: float = 0.0
+    #: the current run's ``recorder`` section (flight-recorder journal
+    #: volume and measured host cost); ``None`` for pre-v4 artifacts.
+    recorder: dict | None = None
+
+    @property
+    def recorder_ok(self) -> bool:
+        if not self.recorder:
+            return True
+        fraction = float(self.recorder.get("overhead_fraction", 0.0))
+        return fraction < RECORDER_OVERHEAD_BUDGET
 
     @property
     def ok(self) -> bool:
@@ -85,7 +100,7 @@ class ComparisonReport:
             or self.signature_changes
             or self.missing_scenarios
             or self.config_errors
-        )
+        ) and self.recorder_ok
 
     def render(self) -> str:
         status = "PASS" if self.ok else "FAIL"
@@ -110,6 +125,20 @@ class ComparisonReport:
                 f"  new scenario: {name} (no baseline -- commit a "
                 f"refreshed benchmarks/baseline.json)"
             )
+        if self.recorder:
+            fraction = float(self.recorder.get("overhead_fraction", 0.0))
+            events = self.recorder.get("total_events", 0)
+            per_event = float(self.recorder.get("per_event_seconds", 0.0))
+            verdict = (
+                "within budget"
+                if self.recorder_ok
+                else f"OVER BUDGET (>= {RECORDER_OVERHEAD_BUDGET:.0%})"
+            )
+            lines.append(
+                f"  recorder overhead: {fraction:.3%} of host wall "
+                f"({events} events x {per_event * 1e9:.0f} ns) -- "
+                f"{verdict}"
+            )
         if self.baseline_wall_s or self.current_wall_s:
             if self.baseline_wall_s > 0:
                 trend = (
@@ -131,7 +160,9 @@ def compare_artifacts(
     tolerance: float = DEFAULT_TOLERANCE,
 ) -> ComparisonReport:
     """Diff two artifact dicts; see the module docstring for policy."""
-    report = ComparisonReport(tolerance=tolerance)
+    report = ComparisonReport(
+        tolerance=tolerance, recorder=current.get("recorder") or None
+    )
     for key in ("schema_version",):
         if baseline.get(key) != current.get(key):
             report.config_errors.append(

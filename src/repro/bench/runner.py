@@ -80,6 +80,36 @@ def default_artifact_name(
     return f"BENCH_{today.strftime('%Y%m%d')}.json"
 
 
+def recorder_overhead(
+    total_events: int, total_wall: float, samples: int = 20_000
+) -> dict:
+    """Measure the flight recorder's host cost and estimate its share
+    of the run's scenario wall time.
+
+    The per-event cost is microbenchmarked on a fresh full ring (so
+    every sample pays the worst case: eviction plus append) with a
+    representative payload, then multiplied by the events the run
+    actually journalled.  The comparator fails a run whose estimated
+    fraction reaches 5% of host wall.
+    """
+    from repro.obs.flight import FlightRecorder
+
+    probe = FlightRecorder(capacity=1024, clock=None)
+    for _ in range(1024):
+        probe.record("warmup", query=0, fingerprint=0)
+    start = time.perf_counter()
+    for i in range(samples):
+        probe.record("query_end", query=i, fingerprint=2531329251, rows=13)
+    per_event = (time.perf_counter() - start) / samples
+    overhead = per_event * total_events
+    return {
+        "total_events": total_events,
+        "per_event_seconds": per_event,
+        "overhead_seconds_est": overhead,
+        "overhead_fraction": overhead / total_wall if total_wall > 0 else 0.0,
+    }
+
+
 def run_bench(config: BenchConfig | None = None) -> BenchRun:
     """Execute one full bench run; see the module docstring."""
     config = config or BenchConfig()
@@ -103,17 +133,24 @@ def run_bench(config: BenchConfig | None = None) -> BenchRun:
 
     lines: list[str] = []
     records: dict[str, dict] = {}
+    total_wall = 0.0
+    total_events = 0
     for scenario in scenarios:
         session.reset_measurements()
+        events_before = session.obs.flight.total_recorded
         wall_start = time.perf_counter()
         result = scenario.run(session)
         wall = time.perf_counter() - wall_start
+        events = session.obs.flight.total_recorded - events_before
+        total_wall += wall
+        total_events += events
         # Everything the scenario pushed over the boundary, faults and
         # retransmissions included -- the spy's complete view of it.
         traffic = session.usb_log
         leak = profile_records(traffic) if traffic else None
         records[scenario.name] = scenario_record(
-            result.metrics, wall, scenario.family, leak=leak
+            result.metrics, wall, scenario.family, leak=leak,
+            flight_events=events,
         )
         lines.append(
             f"{scenario.name:<24} "
@@ -130,12 +167,21 @@ def run_bench(config: BenchConfig | None = None) -> BenchRun:
 
     card = build_scorecard(session) if config.scorecard else {}
 
+    recorder = recorder_overhead(total_events, total_wall)
+    lines.append(
+        f"recorder overhead: {recorder['total_events']} events x "
+        f"{recorder['per_event_seconds'] * 1e9:.0f} ns = "
+        f"{recorder['overhead_fraction'] * 100:.3f}% of "
+        f"{total_wall:.2f}s scenario wall (budget < 5%)"
+    )
+
     artifact = build_artifact(
         scale=config.scale,
         profile=config.profile,
         created=datetime.datetime.now().isoformat(timespec="seconds"),
         scenarios=records,
         scorecard=card,
+        recorder=recorder,
     )
     payload = to_payload(artifact, session.obs.redactor)
     checker = LeakChecker(session.schema, data)

@@ -6,7 +6,9 @@ dot-command for the demo-style views.
 
 ``python -m repro bench`` instead runs the benchmark regression harness
 (see :mod:`repro.bench.runner`); ``python -m repro leakmeter`` runs the
-adversary-eye leakage meter (see :mod:`repro.privacy.meter`).
+adversary-eye leakage meter (see :mod:`repro.privacy.meter`);
+``python -m repro doctor`` runs a self-diagnosing smoke session and
+writes a leak-checked postmortem bundle (see :mod:`repro.obs.bundle`).
 
 Commands::
 
@@ -23,7 +25,13 @@ Commands::
                         reveals (of <sql> if given, else of the last
                         query / the captured session traffic)
     .trace <sql>        run and show the redacted span tree (sim + wall)
-    .metrics            Prometheus-style exposition of session metrics
+    .metrics            Prometheus-style exposition of session metrics,
+                        with SLO percentile estimates up top
+    .flight [n]         the last n flight-recorder events (default 20)
+    .top [n] [key]      the n heaviest queries by a ledger key
+                        (default 10 by sim_seconds)
+    .dump [dir]         write a leak-checked DUMP_<seed>.json postmortem
+                        bundle (flight ring, metrics, spans, ledger)
     .schema             table definitions with hidden markers
     .storage            the device's flash footprint report
     .game [sql]         play the find-the-fastest-plan game
@@ -70,19 +78,23 @@ class Shell:
                  leak_out: str | None = None,
                  fault_profile: str | None = None, fault_seed: int = 0,
                  batch_size: int | None = None,
-                 cache_pages: int | None = None):
+                 cache_pages: int | None = None,
+                 dump_on_fault: bool = False,
+                 dump_dir: str = "."):
         self.out = out or sys.stdout
         self.trace_out = trace_out
         self.metrics_out = metrics_out
         self.leak_out = leak_out
-        config = None
-        if batch_size is not None or cache_pages is not None:
-            exec_config = None
-            if batch_size is not None:
-                exec_config = ExecConfig(exec_batch=max(1, batch_size))
-            config = SessionConfig(
-                exec_config=exec_config, cache_pages=cache_pages
-            )
+        exec_config = None
+        if batch_size is not None:
+            exec_config = ExecConfig(exec_batch=max(1, batch_size))
+        config = SessionConfig(
+            exec_config=exec_config,
+            cache_pages=cache_pages,
+            fault_seed=fault_seed,
+            dump_on_fault=dump_on_fault,
+            dump_dir=dump_dir,
+        )
         self.db = GhostDB(profile=PROFILES[profile], config=config)
         for ddl in DEMO_SCHEMA_DDL:
             self.db.execute(ddl)
@@ -161,7 +173,17 @@ class Shell:
             self._print(traced.render())
             self._print(f"({traced.result.row_count} rows)")
         elif name == ".metrics":
+            self._show_slo()
             self._print(self.db.metrics_text())
+        elif name == ".flight":
+            self._show_flight(int(argument) if argument else 20)
+        elif name == ".top":
+            self._top_command(argument)
+        elif name == ".dump":
+            path = self.db.dump_bundle(
+                reason="dump", directory=argument or None
+            )
+            self._print(f"wrote postmortem bundle to {path}")
         elif name == ".schema":
             self._show_schema()
         elif name == ".storage":
@@ -232,6 +254,69 @@ class Shell:
             self._print("no boundary traffic captured yet; run a query")
             return
         self._print(render_profile(profile))
+
+    def _show_slo(self) -> None:
+        """Percentile estimates for the ``ghostdb_slo_*`` families."""
+        summary = self.db.obs.slo_summary()
+        if not summary:
+            self._print("# no SLO observations yet; run a query")
+            return
+        self._print("# SLO percentile estimates (linear interpolation)")
+        for family, stats in summary.items():
+            self._print(
+                f"#   {family}: p50={stats['p50']:.4g} "
+                f"p90={stats['p90']:.4g} p99={stats['p99']:.4g} "
+                f"(n={stats['count']})"
+            )
+
+    def _show_flight(self, count: int) -> None:
+        """``.flight [n]``: tail of the flight-recorder ring."""
+        flight = self.db.obs.flight
+        status = "on" if flight.enabled else "off"
+        self._print(
+            f"flight recorder: {status}, capacity {flight.capacity}, "
+            f"{flight.total_recorded} recorded, {flight.dropped} dropped"
+        )
+        for event in flight.events()[-count:]:
+            data = " ".join(f"{k}={v}" for k, v in event.data)
+            self._print(
+                f"  #{event.seq:<6d} {event.sim * 1e3:10.3f} ms  "
+                f"{event.kind:16s} {data}"
+            )
+
+    def _top_command(self, argument: str) -> None:
+        """``.top [n] [key]``: heaviest queries in the resource ledger."""
+        from repro.obs.flight import fingerprint_hex
+        from repro.obs.ledger import RESOURCE_FIELDS
+
+        parts = argument.split()
+        count = 10
+        key = "sim_seconds"
+        for part in parts:
+            if part.isdigit():
+                count = int(part)
+            else:
+                key = part
+        if key not in RESOURCE_FIELDS:
+            names = ", ".join(RESOURCE_FIELDS)
+            self._print(f"unknown ledger key {key!r}; keys: {names}")
+            return
+        ledger = self.db.obs.ledger
+        entries = ledger.top(count, key=key)
+        if not entries:
+            self._print("resource ledger is empty; run a query")
+            return
+        self._print(
+            f"top {len(entries)} of {ledger.total_queries} queries "
+            f"by {key} ({ledger.aborted_queries} aborted):"
+        )
+        for entry in entries:
+            marker = f"  ABORTED {entry.aborted}" if entry.aborted else ""
+            self._print(
+                f"  #{entry.index:<5d} plan {fingerprint_hex(entry.fingerprint)}  "
+                f"{key}={getattr(entry, key)}  "
+                f"{entry.result_rows} rows{marker}"
+            )
 
     def _show_schema(self) -> None:
         for table in self.db.schema:
@@ -491,6 +576,103 @@ class Shell:
         )
 
 
+def doctor_main(argv=None) -> int:
+    """``python -m repro doctor``: self-diagnosing smoke session.
+
+    Builds a small session, runs the demo query under a deterministic
+    fault profile, prints the observability surfaces (flight recorder,
+    resource ledger, SLO percentiles), then writes a postmortem bundle
+    and verifies it against the adversarial leak checker.  Exit code 0
+    means every check passed -- suitable as a CI health probe.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro doctor",
+        description="GhostDB self-diagnosis: smoke query, flight "
+        "recorder, postmortem bundle, leak check",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=2_000,
+        help="prescriptions in the synthetic dataset (default 2000)",
+    )
+    from repro.faults import FAULT_PROFILES
+
+    parser.add_argument(
+        "--fault-profile", choices=sorted(FAULT_PROFILES), default="mixed",
+        help="fault regime to exercise recovery paths (default mixed)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=7,
+        help="seed for the fault schedule (default 7)",
+    )
+    parser.add_argument(
+        "--dump-dir", default=".", metavar="DIR",
+        help="where the DUMP_<seed>.json bundle is written (default .)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.faults.errors import GhostDBFaultError
+    from repro.obs.bundle import load_bundle
+
+    ok = True
+    db = GhostDB(config=SessionConfig(fault_seed=args.fault_seed))
+    for ddl in DEMO_SCHEMA_DDL:
+        db.execute(ddl)
+    data = MedicalDataGenerator(
+        DatasetConfig(n_prescriptions=args.scale)
+    ).generate()
+    db.load(data)
+    if args.fault_profile != "none":
+        db.set_faults(args.fault_profile, args.fault_seed)
+    print(f"doctor: session up ({args.scale} prescriptions, "
+          f"faults={args.fault_profile} seed={args.fault_seed})")
+
+    aborted = 0
+    for attempt in range(6):
+        try:
+            result = db.query(demo_query())
+            print(f"doctor: demo query ok ({result.row_count} rows)")
+            break
+        except GhostDBFaultError as exc:
+            aborted += 1
+            print(f"doctor: query aborted ({type(exc).__name__}); retrying")
+            if db.needs_remount:
+                db.remount()
+    else:
+        print("doctor: FAIL -- demo query never completed under faults")
+        ok = False
+
+    flight = db.obs.flight
+    ledger = db.obs.ledger
+    print(f"doctor: flight recorder {flight.total_recorded} events "
+          f"({flight.dropped} dropped, capacity {flight.capacity})")
+    print(f"doctor: ledger {ledger.total_queries} queries "
+          f"({ledger.aborted_queries} aborted)")
+    if flight.total_recorded == 0:
+        print("doctor: FAIL -- flight recorder captured nothing")
+        ok = False
+    if ledger.total_queries + ledger.aborted_queries == 0:
+        print("doctor: FAIL -- resource ledger is empty")
+        ok = False
+    for family, stats in db.obs.slo_summary().items():
+        print(f"doctor: slo {family} p50={stats['p50']:.4g} "
+              f"p99={stats['p99']:.4g} (n={stats['count']})")
+
+    path = db.dump_bundle(reason="doctor", directory=args.dump_dir)
+    print(f"doctor: wrote postmortem bundle {path}")
+    checker = LeakChecker(db.schema, data)
+    with open(path, "rb") as handle:
+        report = checker.check_bytes(handle.read(), kind="postmortem")
+    print(f"doctor: leak check {report.summary()}")
+    if not report.ok:
+        ok = False
+    bundle = load_bundle(path)
+    if bundle["ledger"]["total_queries"] != ledger.total_queries:
+        print("doctor: FAIL -- bundle ledger does not match session")
+        ok = False
+    print(f"doctor: {'healthy' if ok else 'UNHEALTHY'}")
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     from repro.obs.log import configure_from_env
 
@@ -505,6 +687,8 @@ def main(argv=None) -> int:
         from repro.privacy.meter import main as meter_main
 
         return meter_main(argv[1:])
+    if argv and argv[0] == "doctor":
+        return doctor_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="GhostDB interactive shell"
     )
@@ -555,12 +739,22 @@ def main(argv=None) -> int:
         help="device buffer-pool capacity in flash pages "
         "(default: a quarter of device RAM; 0 disables the pool)",
     )
+    parser.add_argument(
+        "--dump-on-fault", action="store_true",
+        help="write a DUMP_<seed>.json postmortem bundle whenever a "
+        "query aborts on a typed fault",
+    )
+    parser.add_argument(
+        "--dump-dir", default=".", metavar="DIR",
+        help="directory for postmortem bundles (default .)",
+    )
     args = parser.parse_args(argv)
     shell = Shell(
         scale=args.scale, profile=args.profile, trace_out=args.trace_out,
         metrics_out=args.metrics_out, leak_out=args.leak_out,
         fault_profile=args.fault_profile, fault_seed=args.fault_seed,
         batch_size=args.batch_size, cache_pages=args.cache_pages,
+        dump_on_fault=args.dump_on_fault, dump_dir=args.dump_dir,
     )
     if args.query:
         for sql in args.query:

@@ -93,6 +93,15 @@ class SessionConfig:
     #: Device buffer-pool capacity in pages: ``None`` takes the profile
     #: default (a quarter of RAM), ``0`` disables the pool.
     cache_pages: int | None = None
+    #: Flight-recorder ring capacity in events (``None`` takes the
+    #: recorder default) and enablement.  The ring is host memory,
+    #: accounted outside the device's secure RAM budget.
+    flight_capacity: int | None = None
+    flight_enabled: bool = True
+    #: Write a postmortem bundle (``DUMP_<seed>.json`` in ``dump_dir``)
+    #: whenever an injected fault aborts a query.
+    dump_on_fault: bool = False
+    dump_dir: str = "."
 
     def __post_init__(self):
         if self.exec_config is None:
@@ -109,14 +118,23 @@ class GhostDB:
     ):
         self.profile = profile
         self.config = config or SessionConfig()
-        self.obs = Observability()
+        self.obs = Observability(
+            flight_capacity=self.config.flight_capacity,
+            flight_enabled=self.config.flight_enabled,
+        )
         self.device = SmartUsbDevice(
             profile,
             metrics=self.obs.registry,
             cache_pages=self.config.cache_pages,
+            flight=self.obs.flight,
         )
-        # Spans measure simulated time against this device's clock.
+        # Spans and flight events measure simulated time against this
+        # device's clock.
         self.obs.tracer.clock = self.device.clock
+        self.obs.flight.clock = self.device.clock
+        self.obs.flight.metric = self.obs.registry.counter(
+            "ghostdb_flight_events_total"
+        ).labelled()
         self.schema = Schema()
         self.tree: SchemaTree | None = None
         self.site: VisibleSite | None = None
@@ -350,6 +368,11 @@ class GhostDB:
         ).inc(reason=type(exc).__name__)
         if isinstance(exc, PowerCutError):
             self._needs_remount = True
+        if self.config.dump_on_fault:
+            self.dump_bundle(
+                reason=type(exc).__name__,
+                directory=self.config.dump_dir,
+            )
 
     def append(self, table: str, rows: list[tuple]):
         """Append rows after the initial load (a re-synchronisation
@@ -559,6 +582,39 @@ class GhostDB:
         the summed per-query :class:`ExecutionMetrics` diffs) plus
         device-lifetime ``ghostdb_device_*`` families."""
         return self.obs.registry.expose_text()
+
+    def postmortem(self, reason: str = "dump") -> dict:
+        """The full postmortem bundle dict (pre-redaction): the flight
+        ring, the registry, the span forest, device/FTL state summaries
+        and the per-query resource ledger.  See
+        :mod:`repro.obs.bundle`."""
+        from repro.obs.bundle import build_bundle
+
+        return build_bundle(self, reason=reason)
+
+    def dump_bundle(
+        self, reason: str = "dump", directory: str | None = None
+    ) -> str:
+        """Write a redaction-gated ``DUMP_<seed>.json`` postmortem
+        bundle; returns its path.
+
+        Called automatically on fault aborts when the session was
+        configured with ``dump_on_fault``; callable any time for an
+        on-demand snapshot (the shell's ``.dump``, ``ghostdb doctor``).
+        """
+        from repro.obs.bundle import build_bundle, write_bundle
+
+        bundle = build_bundle(self, reason=reason)
+        path = write_bundle(
+            bundle,
+            directory=directory if directory is not None else self.config.dump_dir,
+            redactor=self.obs.redactor,
+        )
+        self.obs.registry.counter("ghostdb_postmortem_bundles_total").inc(
+            reason=reason
+        )
+        log.info("postmortem bundle written: %s", path)
+        return path
 
     def bench_report(self) -> dict:
         """Grade the optimizer's estimates on this loaded session.

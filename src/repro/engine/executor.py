@@ -10,6 +10,7 @@ link, which the result never crosses.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.engine import plan as lp
@@ -35,6 +36,7 @@ from repro.engine.operators.adapt import IdsToTuplesOp
 from repro.faults.errors import GhostDBFaultError
 from repro.hardware.device import SmartUsbDevice
 from repro.obs import Observability, get_logger
+from repro.obs.flight import plan_fingerprint
 from repro.visible.link import DeviceLink
 
 log = get_logger(__name__)
@@ -109,7 +111,14 @@ class Executor:
         # inherits the first query's high water from the shared budget.
         self.device.ram.reset_high_water()
         tracer = self.obs.tracer
+        flight = self.obs.flight
+        fingerprint = plan_fingerprint(root)
+        query_index = self.obs.ledger.next_index
+        wall_start = time.perf_counter()
         before = self.device.counters()
+        flight.record(
+            "query_begin", query=query_index, fingerprint=fingerprint
+        )
         with tracer.span("executor.execute", category="engine") as span:
             with tracer.span("executor.lower", category="engine") as lspan:
                 operator = self.lower(root, ctx)
@@ -130,8 +139,26 @@ class Executor:
                 # A clean abort: operator close (plus generator
                 # unwinding) releases every RAM allocation; the caller
                 # decides whether a remount is needed.  The span records
-                # what killed the query.
+                # what killed the query; the ledger keeps the aborted
+                # query's (real) consumption up to the fault, and the
+                # flight recorder journals the abort for the postmortem.
                 span.set("aborted", type(exc).__name__)
+                after = self.device.counters()
+                consumed = ExecutionMetrics.from_counters(
+                    before, after, ctx.operators, 0
+                )
+                self.obs.record_aborted_query(
+                    consumed,
+                    fingerprint,
+                    time.perf_counter() - wall_start,
+                    reason=type(exc).__name__,
+                )
+                flight.record(
+                    "query_abort",
+                    query=query_index,
+                    fingerprint=fingerprint,
+                    reason=type(exc).__name__,
+                )
                 raise
             after = self.device.counters()
             metrics = ExecutionMetrics.from_counters(
@@ -149,7 +176,15 @@ class Executor:
             span.set("ram_high_water", metrics.ram_high_water)
             for counter, amount in sorted(ctx.counters.items()):
                 span.set(counter, amount)
-        self.obs.record_query_metrics(metrics)
+        flight.record(
+            "query_end",
+            query=query_index,
+            fingerprint=fingerprint,
+            rows=len(rows),
+        )
+        self.obs.record_query_metrics(
+            metrics, fingerprint, time.perf_counter() - wall_start
+        )
         self.obs.registry.counter("ghostdb_bloom_false_positives_total").inc(
             ctx.counters.get("bloom_recheck_dropped", 0)
         )

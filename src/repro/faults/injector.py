@@ -130,6 +130,7 @@ class FaultInjector:
     profile: FaultProfile
     seed: int = 0
     metrics: object | None = None  # MetricsRegistry, wired on attach
+    flight: object | None = None  # FlightRecorder, wired on attach
     rng: random.Random = field(init=False, repr=False)
     events: list[FaultDecision] = field(default_factory=list)
     usb_ops: int = 0
@@ -228,6 +229,15 @@ class FaultInjector:
         if self.metrics is not None:
             self.metrics.counter("ghostdb_faults_injected_total").inc(
                 site=decision.site, kind=decision.kind
+            )
+        if self.flight is not None:
+            # "fault" is the event kind; the decision's own kind rides
+            # in the payload under a distinct key.
+            self.flight.record(
+                "fault",
+                site=decision.site,
+                fault=decision.kind,
+                op=decision.op_index,
             )
         return decision
 

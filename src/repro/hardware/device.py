@@ -52,11 +52,18 @@ class SmartUsbDevice:
         profile: HardwareProfile = DEMO_DEVICE,
         metrics=None,
         cache_pages: int | None = None,
+        flight=None,
     ):
         self.profile = profile
         self.metrics = metrics
+        #: The session's :class:`~repro.obs.flight.FlightRecorder` (or
+        #: None).  Host-side diagnostic state, like the USB capture log:
+        #: journaling never touches the clock, the budget or the wire.
+        self.flight = flight
         self.clock = SimClock()
-        self.ram = RamBudget(capacity=profile.ram_bytes, metrics=metrics)
+        self.ram = RamBudget(
+            capacity=profile.ram_bytes, metrics=metrics, flight=flight
+        )
         self.flash = NandFlash(
             profile=profile, clock=self.clock, metrics=metrics
         )
@@ -68,7 +75,10 @@ class SmartUsbDevice:
             capacity_pages=cache_pages,
             metrics=metrics,
         )
-        self.ftl = FlashTranslationLayer(flash=self.flash, cache=self.page_cache)
+        self.page_cache.flight = flight
+        self.ftl = FlashTranslationLayer(
+            flash=self.flash, cache=self.page_cache, flight=flight
+        )
         self.chip = SecureChip(
             profile=profile, clock=self.clock, metrics=metrics
         )
@@ -82,6 +92,8 @@ class SmartUsbDevice:
         hardware layer (USB link and NAND flash)."""
         if injector is not None and injector.metrics is None:
             injector.metrics = self.metrics
+        if injector is not None and injector.flight is None:
+            injector.flight = self.flight
         self.faults = injector
         self.usb.faults = injector
         self.flash.faults = injector
@@ -99,10 +111,14 @@ class SmartUsbDevice:
         which rolls back torn writes to the last committed state.
         """
         self.ram = RamBudget(
-            capacity=self.profile.ram_bytes, metrics=self.metrics
+            capacity=self.profile.ram_bytes,
+            metrics=self.metrics,
+            flight=self.flight,
         )
         self.ftl = FlashTranslationLayer.recover(
-            self.flash, spare_blocks=self.ftl.spare_blocks
+            self.flash,
+            spare_blocks=self.ftl.spare_blocks,
+            flight=self.flight,
         )
         # Cached pages were volatile RAM: gone with the power.  Re-home
         # the pool on the fresh budget and hand it to the new FTL.
@@ -110,6 +126,10 @@ class SmartUsbDevice:
         self.ftl.cache = self.page_cache
         if self.metrics is not None:
             self.metrics.counter("ghostdb_recovery_remounts_total").inc()
+        if self.flight is not None:
+            self.flight.record(
+                "remount", mapped_pages=self.ftl.mapped_pages
+            )
 
     def counters(self) -> DeviceCounters:
         """Snapshot every counter (cheap; used to diff around a query)."""

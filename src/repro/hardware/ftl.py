@@ -57,6 +57,9 @@ class FlashTranslationLayer:
     #: logical->physical map means GC relocations need no invalidation
     #: (content is unchanged); only :meth:`write` and :meth:`free` do.
     cache: PageCache | None = None
+    #: Optional session flight recorder; journals remaps and recovery
+    #: scans for postmortems.  Host-side diagnostic state only.
+    flight: object | None = None
     stats: FtlStats = field(default_factory=FtlStats)
     _map: dict[int, int] = field(default_factory=dict)  # logical -> physical
     _reverse: dict[int, int] = field(default_factory=dict)  # physical -> logical
@@ -185,6 +188,8 @@ class FlashTranslationLayer:
             self.flash.metrics.counter("ghostdb_flash_remaps_total").inc(
                 reason=reason
             )
+        if self.flight is not None:
+            self.flight.record("ftl_remap", reason=reason)
 
     # ------------------------------------------------------------------
     # Space management
@@ -311,6 +316,7 @@ class FlashTranslationLayer:
         cls,
         flash: NandFlash,
         spare_blocks: int = 2,
+        flight=None,
     ) -> "FlashTranslationLayer":
         """Rebuild an FTL from the spare-area journal after power loss.
 
@@ -323,7 +329,7 @@ class FlashTranslationLayer:
         erasing, the surviving map is exactly the last committed state:
         no torn page is ever exposed, no committed write is lost.
         """
-        ftl = cls(flash=flash, spare_blocks=spare_blocks)
+        ftl = cls(flash=flash, spare_blocks=spare_blocks, flight=flight)
         per_block = flash.profile.pages_per_block
         programmed = flash.programmed_pages()
         best: dict[int, tuple[int, int]] = {}  # lpage -> (seq, phys)
@@ -369,6 +375,13 @@ class FlashTranslationLayer:
             flash.metrics.counter(
                 "ghostdb_recovery_torn_pages_total"
             ).inc(torn)
+        if flight is not None:
+            flight.record(
+                "ftl_recovery",
+                scanned=len(programmed),
+                torn=torn,
+                mapped_pages=len(best),
+            )
         return ftl
 
     @property

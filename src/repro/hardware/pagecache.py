@@ -87,6 +87,9 @@ class PageCache:
         self.page_size = page_size
         self.capacity_pages = capacity_pages
         self.metrics = metrics
+        #: Optional session flight recorder; journals shed and
+        #: invalidation episodes for postmortems (set by the device).
+        self.flight = None
         self.stats = CacheStats()
         self._pages: OrderedDict[int, bytes] = OrderedDict()
         self._alloc: Allocation | None = None
@@ -190,6 +193,8 @@ class PageCache:
         if self._pages.pop(lpage, None) is not None:
             self.stats.invalidations += 1
             self._count("ghostdb_cache_invalidations_total")
+            if self.flight is not None:
+                self.flight.record("cache_invalidate", pages=1)
             self._alloc.resize(self._alloc.size - self.page_size)
             self._gauge()
 
@@ -200,6 +205,8 @@ class PageCache:
         if dropped:
             self.stats.invalidations += dropped
             self._count("ghostdb_cache_invalidations_total", dropped)
+            if self.flight is not None:
+                self.flight.record("cache_invalidate", pages=dropped)
         if self._alloc is not None and not self._alloc.released:
             self._alloc.resize(0)
         self._gauge()
@@ -219,6 +226,12 @@ class PageCache:
             self.stats.shed_pages += 1
             self._count("ghostdb_cache_shed_pages_total")
         if freed:
+            if self.flight is not None:
+                self.flight.record(
+                    "cache_shed",
+                    pages=freed // self.page_size,
+                    bytes=freed,
+                )
             self._gauge()
         return freed
 

@@ -103,6 +103,10 @@ class RamBudget:
     #: overflow; sheds reclaimable memory (returns bytes freed) so the
     #: reservation can be retried before raising.
     pressure_hook: Callable[[int], int] | None = None
+    #: Optional session :class:`~repro.obs.flight.FlightRecorder`;
+    #: journals pressure episodes and exhaustion.  Host-side diagnostic
+    #: state -- recording never changes what the budget grants.
+    flight: object | None = None
 
     @property
     def available(self) -> int:
@@ -135,8 +139,20 @@ class RamBudget:
     def _reserve(self, size: int, label: str, reclaimable: bool = False) -> None:
         if self.used + size > self.capacity:
             if not reclaimable and self.pressure_hook is not None:
-                self.pressure_hook(self.used + size - self.capacity)
+                shortfall = self.used + size - self.capacity
+                if self.flight is not None:
+                    self.flight.record(
+                        "ram_pressure", label=label, shortfall=shortfall
+                    )
+                self.pressure_hook(shortfall)
             if self.used + size > self.capacity:
+                if self.flight is not None:
+                    self.flight.record(
+                        "ram_exhausted",
+                        label=label,
+                        requested=size,
+                        available=self.available,
+                    )
                 raise RamExhaustedError(size, self.available, label)
         self.used += size
         if reclaimable:

@@ -24,9 +24,18 @@ from __future__ import annotations
 from repro.obs.export import (
     chrome_trace_json,
     render_tree,
+    span_tree_dicts,
     to_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.flight import (
+    DEFAULT_CAPACITY,
+    FlightEvent,
+    FlightRecorder,
+    fingerprint_hex,
+    plan_fingerprint,
+)
+from repro.obs.ledger import QueryLedgerEntry, ResourceLedger
 from repro.obs.log import configure, configure_from_env, get_logger
 from repro.obs.redact import Redactor
 from repro.obs.registry import (
@@ -40,33 +49,62 @@ from repro.obs.tracer import Span, Tracer
 
 __all__ = [
     "Counter",
+    "FlightEvent",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricError",
     "MetricsRegistry",
     "Observability",
+    "QueryLedgerEntry",
     "Redactor",
+    "ResourceLedger",
     "Span",
     "Tracer",
     "chrome_trace_json",
     "configure",
     "configure_from_env",
+    "fingerprint_hex",
     "get_logger",
+    "plan_fingerprint",
     "render_tree",
+    "span_tree_dicts",
     "to_chrome_trace",
     "write_chrome_trace",
 ]
+
+#: Percentiles the SLO summary (``.metrics``, ``.top``) reports.
+SLO_QUANTILES = (0.5, 0.9, 0.99)
 
 
 class Observability:
     """One session's tracer + registry + redactor, wired together."""
 
-    def __init__(self, clock=None, enabled: bool = True):
+    def __init__(
+        self,
+        clock=None,
+        enabled: bool = True,
+        flight_capacity: int | None = None,
+        flight_enabled: bool = True,
+    ):
         self.redactor = Redactor()
         self.tracer = Tracer(
             clock=clock, redactor=self.redactor, enabled=enabled
         )
         self.registry = MetricsRegistry()
+        # The black box: always-on unless explicitly disabled, host-side
+        # memory, shared clock with the tracer (the session re-points
+        # both at the device clock once the device exists).
+        self.flight = FlightRecorder(
+            capacity=(
+                flight_capacity
+                if flight_capacity is not None
+                else DEFAULT_CAPACITY
+            ),
+            clock=clock,
+            enabled=flight_enabled,
+        )
+        self.ledger = ResourceLedger()
         self._register_session_metrics()
 
     def _register_session_metrics(self) -> None:
@@ -207,12 +245,59 @@ class Observability:
             "request-sequence signature (CRC32) of the last profiled "
             "query -- fault-profile invariant by construction",
         )
+        # SLO resource families (see docs/OBSERVABILITY.md): per-query
+        # distributions of the ledger's resource vectors, the percentile
+        # surfaces the multi-session scheduler prices admission against.
+        reg.histogram(
+            "ghostdb_slo_sim_seconds",
+            "per-query simulated device seconds",
+            buckets=(0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0),
+        )
+        reg.histogram(
+            "ghostdb_slo_flash_page_reads",
+            "per-query flash page reads",
+            buckets=(4, 16, 64, 256, 1024, 4096, 16384),
+        )
+        reg.histogram(
+            "ghostdb_slo_usb_messages",
+            "per-query USB boundary messages",
+            buckets=(4, 16, 64, 256, 1024, 4096),
+        )
+        reg.histogram(
+            "ghostdb_slo_usb_bytes",
+            "per-query USB payload bytes, both directions summed",
+            buckets=(1024, 8192, 65536, 262144, 1048576, 4194304),
+        )
+        reg.histogram(
+            "ghostdb_slo_ram_high_water_bytes",
+            "per-query device RAM high-water mark",
+            buckets=(1024, 4096, 16384, 65536, 262144, 1048576),
+        )
+        reg.histogram(
+            "ghostdb_slo_result_rows",
+            "per-query result rows",
+            buckets=(1, 10, 100, 1000, 10000, 100000),
+        )
+        reg.counter(
+            "ghostdb_flight_events_total",
+            "flight-recorder events journaled since the last reset",
+        )
+        reg.counter(
+            "ghostdb_postmortem_bundles_total",
+            "postmortem bundles written, by reason",
+        )
 
     # ------------------------------------------------------------------
 
-    def record_query_metrics(self, metrics) -> None:
+    def record_query_metrics(
+        self,
+        metrics,
+        fingerprint: int = 0,
+        wall_seconds: float = 0.0,
+    ) -> QueryLedgerEntry:
         """Fold one query's :class:`ExecutionMetrics` diff into the
-        cross-query registry totals."""
+        cross-query registry totals, the ``ghostdb_slo_*`` distributions
+        and the resource ledger; returns the filed ledger entry."""
         reg = self.registry
         reg.counter("ghostdb_queries_total").inc()
         reg.counter("ghostdb_result_rows_total").inc(metrics.result_rows)
@@ -251,6 +336,80 @@ class Observability:
             )
         )
         reg.gauge("ghostdb_trace_spans").set(self.tracer.span_count())
+        self._observe_slo(metrics)
+        entry = QueryLedgerEntry.from_metrics(
+            self.ledger.next_index, fingerprint, metrics, wall_seconds
+        )
+        self.ledger.record(entry)
+        return entry
+
+    def record_aborted_query(
+        self,
+        metrics,
+        fingerprint: int = 0,
+        wall_seconds: float = 0.0,
+        reason: str = "GhostDBFaultError",
+    ) -> QueryLedgerEntry:
+        """File a fault-aborted query's (real) consumption in the ledger.
+
+        Deliberately *not* folded into ``ghostdb_queries_total`` or the
+        SLO distributions: those count completed queries, and a query
+        killed halfway would drag every percentile toward its truncated
+        cost.  The ledger row -- marked with the abort's exception class
+        name -- is what the postmortem bundle surfaces.
+        """
+        entry = QueryLedgerEntry.from_metrics(
+            self.ledger.next_index,
+            fingerprint,
+            metrics,
+            wall_seconds,
+            aborted=reason,
+        )
+        self.ledger.record(entry)
+        return entry
+
+    def _observe_slo(self, metrics) -> None:
+        reg = self.registry
+        reg.histogram("ghostdb_slo_sim_seconds").observe(
+            metrics.elapsed_seconds
+        )
+        reg.histogram("ghostdb_slo_flash_page_reads").observe(
+            metrics.flash_page_reads
+        )
+        reg.histogram("ghostdb_slo_usb_messages").observe(
+            metrics.usb_messages
+        )
+        reg.histogram("ghostdb_slo_usb_bytes").observe(
+            metrics.usb_bytes_to_device + metrics.usb_bytes_to_host
+        )
+        reg.histogram("ghostdb_slo_ram_high_water_bytes").observe(
+            metrics.ram_high_water
+        )
+        reg.histogram("ghostdb_slo_result_rows").observe(
+            metrics.result_rows
+        )
+
+    def slo_summary(self) -> dict[str, dict]:
+        """Percentile estimates for every ``ghostdb_slo_*`` family.
+
+        ``{family: {"count": n, "p50": ..., "p90": ..., "p99": ...}}``,
+        families with no observations omitted.  This is what ``.metrics``
+        prints above the raw exposition.
+        """
+        summary = {}
+        for metric in self.registry:
+            if not metric.name.startswith("ghostdb_slo_"):
+                continue
+            if metric.kind != "histogram":
+                continue
+            count = metric.count()
+            if count == 0:
+                continue
+            row = {"count": count}
+            for q in SLO_QUANTILES:
+                row[f"p{int(q * 100)}"] = metric.quantile(q)
+            summary[metric.name] = row
+        return summary
 
     def record_leakage(self, profile) -> None:
         """Fold one query's :class:`~repro.privacy.meter.TrafficProfile`

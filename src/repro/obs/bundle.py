@@ -1,0 +1,241 @@
+"""Postmortem crash bundles (``DUMP_<seed>.json``).
+
+When a query dies under an injected unplug or power cut -- or when an
+operator asks (``.dump``, ``ghostdb doctor``, ``--dump-on-fault``) --
+the session snapshots everything a postmortem needs into one JSON
+bundle: the flight-recorder ring, the full metrics registry, the span
+forest (aborted spans appear exactly as deep as they hung), a summary of
+device/FTL state, and the per-query resource ledger including the
+aborted query's row.
+
+Bundles are observable execution artefacts, so they pass the same bar as
+traces and bench artifacts: every string goes through the session's
+:class:`~repro.obs.redact.Redactor` (dict keys, which this code base
+authors, are registered as safe vocabulary; string *values* stay
+default-deny), and the test suite feeds the serialized bytes through the
+adversarial :class:`~repro.privacy.leakcheck.LeakChecker` across the
+whole chaos sweep to prove every bundle CLEAN.
+
+The bundle is built from a *duck-typed* session (anything with ``obs``,
+``device``, ``config``, ``fault_injector``) so this module never imports
+:mod:`repro.core` -- core imports obs, not the other way around.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+from repro.obs.export import span_tree_dicts
+from repro.obs.redact import Redactor
+
+#: Bump on any incompatible change to the bundle layout.
+SCHEMA_VERSION = 1
+
+#: Bundle discriminator, so tooling can reject arbitrary JSON.
+KIND = "ghostdb-postmortem"
+
+
+def _numeric_fields(stats) -> dict:
+    """A dataclass's int/float fields as a plain dict (counters only)."""
+    return {
+        f.name: getattr(stats, f.name)
+        for f in dataclasses.fields(stats)
+        if isinstance(getattr(stats, f.name), (int, float))
+    }
+
+
+def device_state_summary(device) -> dict:
+    """Counts-and-sizes snapshot of every hardware layer.
+
+    Everything here is a counter, a capacity, or a structural name the
+    code base defines -- the same information the metrics exposition
+    carries, grouped the way a postmortem reads it.
+    """
+    ram = device.ram
+    cache = device.page_cache
+    ftl = device.ftl
+    summary = {
+        "profile": device.profile.name,
+        "sim_clock_seconds": device.clock.now,
+        "ram": {
+            "capacity": ram.capacity,
+            "used": ram.used,
+            "high_water": ram.high_water,
+            "reclaimable_used": ram.reclaimable_used,
+            "allocation_count": ram.allocation_count,
+        },
+        "flash": _numeric_fields(device.flash.stats),
+        "cache": {
+            "pages": cache.page_count,
+            "capacity_pages": cache.capacity_pages,
+            **_numeric_fields(cache.stats),
+        },
+        "ftl": {
+            "mapped_pages": ftl.mapped_pages,
+            "free_pages_estimate": ftl.free_pages_estimate,
+            "stale_pages": len(ftl._stale),
+            "spare_blocks": ftl.spare_blocks,
+            **_numeric_fields(ftl.stats),
+        },
+        "usb": {
+            "messages": device.usb.message_count,
+            "bytes_to_device": device.usb.bytes_to_device,
+            "bytes_to_host": device.usb.bytes_to_host,
+        },
+        "faults": None,
+    }
+    injector = device.faults
+    if injector is not None:
+        summary["faults"] = {
+            "profile": injector.profile.name,
+            "seed": injector.seed,
+            "usb_ops": injector.usb_ops,
+            "flash_ops": injector.flash_ops,
+            "injected": len(injector.events),
+            "schedule": [
+                {"site": e.site, "kind": e.kind, "op": e.op_index}
+                for e in injector.events
+            ],
+        }
+    return summary
+
+
+def _metric_families(registry) -> dict:
+    """The registry as structured samples, keyed family -> sample line.
+
+    Sample keys are the exposition's ``name{labels}`` strings (authored
+    by this code base, so safe vocabulary); values are the numbers.
+    """
+    families = {}
+    for metric in registry:
+        samples = {}
+        for line in metric.expose():
+            key, _, raw = line.rpartition(" ")
+            value = float(raw)
+            samples[key] = int(value) if value.is_integer() else value
+        families[metric.name] = {"kind": metric.kind, "samples": samples}
+    return families
+
+
+def build_bundle(session, reason: str = "dump") -> dict:
+    """Assemble the full postmortem dict (pre-redaction).
+
+    ``reason`` is a structural identifier: an abort's exception class
+    name, or ``"dump"`` / ``"doctor"`` for on-demand snapshots.
+    """
+    obs = session.obs
+    device = session.device
+    injector = session.fault_injector
+    seed = (
+        injector.seed if injector is not None
+        else session.config.fault_seed
+    )
+    flight = obs.flight
+    return {
+        "kind": KIND,
+        "schema_version": SCHEMA_VERSION,
+        "reason": reason,
+        "seed": seed,
+        "config": {
+            "profile": device.profile.name,
+            "fault_profile": (
+                injector.profile.name if injector is not None else None
+            ),
+            "fault_seed": seed,
+            "cache_pages": device.page_cache.capacity_pages,
+            "id_batch": session.config.id_batch,
+            "flight_capacity": flight.capacity,
+        },
+        "flight": {
+            "capacity": flight.capacity,
+            "enabled": flight.enabled,
+            "total_recorded": flight.total_recorded,
+            "dropped": flight.dropped,
+            "events": flight.snapshot(),
+        },
+        "ledger": obs.ledger.to_record(),
+        "metrics": _metric_families(obs.registry),
+        "spans": span_tree_dicts(obs.tracer.roots),
+        "device": device_state_summary(device),
+        "leak_check": "CLEAN",
+    }
+
+
+def _allow_structure(redactor: Redactor, bundle: dict) -> None:
+    """Register the bundle's *structural* tokens with the gate.
+
+    Dict keys (event kinds' field names, metric sample lines, ledger
+    columns) are authored by this code base and therefore safe; string
+    values stay default-deny except the known structural fields below --
+    anything else that sneaks in as a string value scrubs to ``?`` and
+    shows up in review instead of leaking.
+    """
+    redactor.allow(
+        bundle.get("kind", ""),
+        bundle.get("reason", ""),
+        bundle.get("leak_check", ""),
+        bundle.get("config", {}).get("profile", ""),
+        bundle.get("config", {}).get("fault_profile") or "",
+        bundle.get("device", {}).get("profile", ""),
+    )
+
+    def _keys(value) -> None:
+        if isinstance(value, dict):
+            for key, sub in value.items():
+                redactor.allow(str(key))
+                _keys(sub)
+        elif isinstance(value, (list, tuple)):
+            for sub in value:
+                _keys(sub)
+
+    _keys(bundle)
+
+
+def bundle_payload(bundle: dict, redactor: Redactor | None = None) -> bytes:
+    """Gate the bundle through redaction and serialize it.
+
+    A fresh default-deny :class:`Redactor` is used unless one is given
+    (the session passes its own, which already knows the schema
+    vocabulary -- table and column *names* are part of the accepted
+    revelation; values never are).
+    """
+    redactor = redactor or Redactor()
+    _allow_structure(redactor, bundle)
+    scrubbed = redactor.value(bundle)
+    text = json.dumps(scrubbed, indent=2, sort_keys=True) + "\n"
+    return text.encode("utf-8")
+
+
+def bundle_filename(bundle: dict) -> str:
+    return f"DUMP_{bundle.get('seed', 0)}.json"
+
+
+def write_bundle(
+    bundle: dict,
+    directory: str = ".",
+    redactor: Redactor | None = None,
+) -> str:
+    """Serialize one bundle into ``directory``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, bundle_filename(bundle))
+    payload = bundle_payload(bundle, redactor)
+    with open(path, "wb") as handle:
+        handle.write(payload)
+    return path
+
+
+def load_bundle(path: str) -> dict:
+    """Read one bundle back, refusing foreign or future JSON."""
+    with open(path, "r", encoding="utf-8") as handle:
+        bundle = json.load(handle)
+    if not isinstance(bundle, dict) or bundle.get("kind") != KIND:
+        raise ValueError(f"{path}: not a {KIND} bundle")
+    version = bundle.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: bundle schema_version {version!r}, "
+            f"this tool speaks {SCHEMA_VERSION}"
+        )
+    return bundle

@@ -94,6 +94,29 @@ def write_chrome_trace(spans: list[Span], path: str) -> None:
         fh.write(chrome_trace_json(spans))
 
 
+def span_tree_dicts(spans: list[Span]) -> list[dict]:
+    """The span forest as nested JSON-ready dicts.
+
+    This is the form the postmortem bundle embeds: attributes have
+    already passed the redaction gate on the way into each span, and the
+    nesting mirrors the live parent/child structure, so an aborted
+    query's unfinished spans appear exactly as deep as they hung.
+    """
+
+    def _node(span: Span) -> dict:
+        return {
+            "name": span.name,
+            "category": span.category,
+            "sim_ms": round(span.sim_seconds * 1e3, 6),
+            "wall_ms": round(span.wall_seconds * 1e3, 6),
+            "finished": span.finished,
+            "attrs": dict(span.attrs),
+            "children": [_node(child) for child in span.children],
+        }
+
+    return [_node(root) for root in spans]
+
+
 def render_tree(spans: list[Span]) -> str:
     """An indented text view of the span forest, for terminals."""
     lines = []

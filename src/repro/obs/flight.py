@@ -1,0 +1,202 @@
+"""The flight recorder: an always-on, bounded journal of engine events.
+
+Live tracing answers "what is this query doing right now"; the flight
+recorder answers "what happened in the seconds *before* the crash".  It
+is the black box of the simulated device: a fixed-capacity ring buffer
+of structured events -- query begin/end with a plan fingerprint, fault
+injections and retries, FTL remaps and recovery scans, buffer-pool
+shedding, RAM-pressure episodes, remounts -- each stamped with both the
+simulated device clock and the host wall clock.
+
+Design constraints, in order:
+
+* **O(1) per event, tiny constant.**  Recording is one clock read, one
+  ``perf_counter`` call and one ``deque.append`` of a small tuple.  No
+  string formatting, no dict merging, no metric lookups on the hot path.
+* **Fixed footprint.**  The ring is a ``deque(maxlen=capacity)``; once
+  full, the oldest event is dropped per append.  The buffer is *host*
+  memory -- diagnostic state of the simulator, like the USB capture log
+  -- so it is deliberately accounted outside the device's secure RAM
+  budget and can never perturb an operator's reservations.
+* **Observationally inert.**  The recorder never touches the simulated
+  clock, the RAM budget, the flash array or the USB channel; turning it
+  off must leave rows, simulated time and boundary traffic bit-identical
+  (the test suite proves this).
+* **Deterministic sequence.**  Under a fixed seed the sequence of
+  (kind, simulated time, payload) triples is bit-identical across runs;
+  only the wall-clock stamps differ.  :meth:`FlightRecorder.signature`
+  is the sequence with wall time stripped, which chaos-replay tests and
+  postmortem-bundle comparisons key on.
+
+Event payloads carry only counts, sizes, structural identifiers and the
+plan fingerprint (a CRC32 of plan *shape*) -- never data values -- so a
+snapshot of the ring passes the same redaction bar as trace spans.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from collections import deque
+from dataclasses import dataclass
+
+#: Default ring capacity, in events.  At ~10 events per faulted query
+#: this is several hundred queries of history -- enough for any
+#: postmortem -- at well under a megabyte of host memory.
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class FlightEvent:
+    """One journaled event, on both timelines."""
+
+    seq: int
+    sim: float
+    wall: float
+    kind: str
+    data: tuple  # ((key, value), ...) in recording order
+
+    def as_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "sim": self.sim,
+            "wall": self.wall,
+            "kind": self.kind,
+            "data": dict(self.data),
+        }
+
+
+class FlightRecorder:
+    """Bounded ring buffer of :class:`FlightEvent` entries.
+
+    One instance per session, threaded through the hardware layers by
+    :class:`~repro.hardware.device.SmartUsbDevice` and through the
+    engine by the executor.  ``enabled=False`` turns every
+    :meth:`record` into an immediate return (the on/off invariance the
+    tests pin is trivial by construction, but pinned nonetheless).
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        clock=None,
+        enabled: bool = True,
+    ):
+        if capacity < 1:
+            raise ValueError("flight recorder needs capacity >= 1")
+        #: The session's :class:`~repro.hardware.clock.SimClock` (any
+        #: object with a ``now`` property); set by the session once the
+        #: device exists, like the tracer's.
+        self.clock = clock
+        self.enabled = enabled
+        self._ring: deque = deque(maxlen=capacity)
+        #: Events ever recorded (including those the ring has dropped).
+        self.total_recorded = 0
+        #: Events evicted by a full ring (not those forgotten by clear).
+        self.dropped = 0
+        #: Optional pre-bound ``ghostdb_flight_events_total`` child (a
+        #: :class:`~repro.obs.registry.BoundCounter`); the session wires
+        #: it so the exposition shows journaling volume without the
+        #: recorder knowing about the registry.
+        self.metric = None
+
+    # ------------------------------------------------------------------
+    # Recording (the hot path)
+    # ------------------------------------------------------------------
+
+    def record(self, kind: str, **data) -> None:
+        """Journal one event; O(1), never raises on a full ring."""
+        if not self.enabled:
+            return
+        ring = self._ring
+        if len(ring) == ring.maxlen:
+            self.dropped += 1
+        self.total_recorded += 1
+        ring.append((
+            self.total_recorded,
+            self.clock.now if self.clock is not None else 0.0,
+            time.perf_counter(),
+            kind,
+            tuple(data.items()),
+        ))
+        if self.metric is not None:
+            self.metric.inc()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._ring.maxlen
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def events(self) -> list[FlightEvent]:
+        """The retained events, oldest first."""
+        return [
+            FlightEvent(seq=s, sim=sim, wall=wall, kind=kind, data=data)
+            for s, sim, wall, kind, data in self._ring
+        ]
+
+    def signature(self) -> tuple:
+        """The deterministic view: wall-clock stamps stripped.
+
+        Same workload, same seed, same configuration => identical
+        signature, which is what the chaos-replay tests compare.
+        """
+        return tuple(
+            (seq, sim, kind, data)
+            for seq, sim, _wall, kind, data in self._ring
+        )
+
+    def snapshot(self) -> list[dict]:
+        """JSON-ready dicts of the retained events, oldest first."""
+        return [event.as_dict() for event in self.events()]
+
+    def clear(self) -> None:
+        """Forget retained events (capacity and enablement survive)."""
+        self._ring.clear()
+
+    def resize(self, capacity: int) -> None:
+        """Re-bound the ring, keeping the newest events that fit."""
+        if capacity < 1:
+            raise ValueError("flight recorder needs capacity >= 1")
+        self._ring = deque(self._ring, maxlen=capacity)
+
+    def __repr__(self) -> str:
+        return (
+            f"FlightRecorder({len(self._ring)}/{self.capacity} events, "
+            f"{self.dropped} dropped, "
+            f"{'on' if self.enabled else 'off'})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Plan fingerprinting
+# ----------------------------------------------------------------------
+
+
+def plan_fingerprint(plan) -> int:
+    """A CRC32 of the plan's *shape*: node types, pre-order, with the
+    tables they produce.
+
+    The fingerprint identifies which plan a journal entry or ledger row
+    belongs to without carrying any predicate constant -- the same
+    information EXPLAIN's node names reveal, compressed to one integer
+    (integers pass every redaction gate by construction).
+    """
+    parts = []
+    for node in plan.walk():
+        parts.append(type(node).__name__)
+        table = getattr(node, "output_table", None)
+        if isinstance(table, str):
+            parts.append(table)
+    return zlib.crc32("|".join(parts).encode("ascii")) & 0xFFFFFFFF
+
+
+def fingerprint_hex(fingerprint: int) -> str:
+    """The conventional 8-hex-digit rendering (shell output only; in
+    gated artefacts the fingerprint travels as an integer)."""
+    return f"{fingerprint & 0xFFFFFFFF:08x}"

@@ -1,0 +1,193 @@
+"""Per-query resource ledger: what every query cost, priced precisely.
+
+The metrics registry answers "how much has this session consumed in
+total"; the ledger answers "which query consumed it".  Every executed
+plan -- including ones aborted mid-flight by an injected fault -- files
+one :class:`QueryLedgerEntry`: simulated milliseconds, flash reads and
+writes, USB messages and bytes in both directions, the RAM high-water
+mark, buffer-pool traffic and the result row count, keyed by a plan
+fingerprint (a CRC32 of plan shape, never of data).
+
+The ledger keeps a bounded window of recent entries plus *unbounded
+cumulative totals*, so a long session can always say both "the heaviest
+recent query" (:meth:`ResourceLedger.top`, the ``.top`` shell view) and
+"what this session cost overall".  It is the accounting substrate the
+multi-session scheduler prices admission against: per-query resource
+vectors feed the ``ghostdb_slo_*`` percentile families registered by
+:class:`~repro.obs.Observability`.
+
+Everything here is counts, sizes and durations -- entries carry no
+strings except the abort reason, which is an exception class name (a
+code identifier, registered with the redaction vocabulary).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+#: Recent entries retained for ``.top`` / postmortem bundles; totals are
+#: cumulative regardless.
+DEFAULT_WINDOW = 512
+
+#: The additive resource fields, in presentation order.  ``sim_seconds``
+#: and ``wall_seconds`` are floats, the rest integers.
+RESOURCE_FIELDS = (
+    "sim_seconds",
+    "wall_seconds",
+    "flash_page_reads",
+    "flash_page_writes",
+    "flash_block_erases",
+    "usb_messages",
+    "usb_bytes_to_device",
+    "usb_bytes_to_host",
+    "cache_hits",
+    "cache_misses",
+    "result_rows",
+)
+
+
+@dataclass(frozen=True)
+class QueryLedgerEntry:
+    """One query's complete resource vector."""
+
+    index: int
+    fingerprint: int
+    sim_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    flash_page_reads: int = 0
+    flash_page_writes: int = 0
+    flash_block_erases: int = 0
+    usb_messages: int = 0
+    usb_bytes_to_device: int = 0
+    usb_bytes_to_host: int = 0
+    ram_high_water: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    result_rows: int = 0
+    #: Exception class name when an injected fault killed the query;
+    #: ``None`` for a completed one.  Aborted queries still ran -- their
+    #: consumption is real and stays on the books.
+    aborted: str | None = None
+
+    @classmethod
+    def from_metrics(
+        cls,
+        index: int,
+        fingerprint: int,
+        metrics,
+        wall_seconds: float,
+        aborted: str | None = None,
+    ) -> "QueryLedgerEntry":
+        """Build from one :class:`~repro.engine.metrics.ExecutionMetrics`."""
+        return cls(
+            index=index,
+            fingerprint=fingerprint,
+            sim_seconds=metrics.elapsed_seconds,
+            wall_seconds=wall_seconds,
+            flash_page_reads=metrics.flash_page_reads,
+            flash_page_writes=metrics.flash_page_writes,
+            flash_block_erases=metrics.flash_block_erases,
+            usb_messages=metrics.usb_messages,
+            usb_bytes_to_device=metrics.usb_bytes_to_device,
+            usb_bytes_to_host=metrics.usb_bytes_to_host,
+            ram_high_water=metrics.ram_high_water,
+            cache_hits=metrics.cache_hits,
+            cache_misses=metrics.cache_misses,
+            result_rows=metrics.result_rows,
+            aborted=aborted,
+        )
+
+    def as_dict(self) -> dict:
+        record = {
+            "index": self.index,
+            "fingerprint": self.fingerprint,
+            "ram_high_water": self.ram_high_water,
+            "aborted": self.aborted,
+        }
+        for name in RESOURCE_FIELDS:
+            record[name] = getattr(self, name)
+        return record
+
+
+@dataclass
+class ResourceLedger:
+    """Bounded recent window + cumulative session totals."""
+
+    window: int = DEFAULT_WINDOW
+    entries: deque = field(default_factory=deque)
+    #: Cumulative sums over *every* entry ever recorded, including those
+    #: the window has since dropped.
+    totals: dict = field(default_factory=dict)
+    total_queries: int = 0
+    aborted_queries: int = 0
+    #: Largest per-query RAM high-water seen this session (a max, not a
+    #: sum, so it lives outside :attr:`totals`).
+    ram_high_water: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("ledger window must be >= 1")
+        if self.entries.maxlen != self.window:
+            self.entries = deque(self.entries, maxlen=self.window)
+        for name in RESOURCE_FIELDS:
+            self.totals.setdefault(name, 0)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def next_index(self) -> int:
+        """1-based index the next recorded query will get."""
+        return self.total_queries + 1
+
+    def record(self, entry: QueryLedgerEntry) -> None:
+        """File one query's resource vector."""
+        self.entries.append(entry)
+        self.total_queries += 1
+        if entry.aborted is not None:
+            self.aborted_queries += 1
+        self.ram_high_water = max(self.ram_high_water, entry.ram_high_water)
+        totals = self.totals
+        for name in RESOURCE_FIELDS:
+            totals[name] += getattr(entry, name)
+
+    # ------------------------------------------------------------------
+
+    def top(
+        self, count: int = 10, key: str = "sim_seconds"
+    ) -> list[QueryLedgerEntry]:
+        """The heaviest recent queries by ``key`` (a resource field)."""
+        if key not in RESOURCE_FIELDS and key != "ram_high_water":
+            raise KeyError(
+                f"unknown ledger field {key!r}; choose from "
+                f"{RESOURCE_FIELDS + ('ram_high_water',)}"
+            )
+        ranked = sorted(
+            self.entries, key=lambda e: getattr(e, key), reverse=True
+        )
+        return ranked[: max(0, count)]
+
+    def last(self) -> QueryLedgerEntry | None:
+        return self.entries[-1] if self.entries else None
+
+    def to_record(self) -> dict:
+        """JSON-ready form for the postmortem bundle."""
+        return {
+            "window": self.window,
+            "total_queries": self.total_queries,
+            "aborted_queries": self.aborted_queries,
+            "dropped_entries": max(
+                0, self.total_queries - len(self.entries)
+            ),
+            "ram_high_water": self.ram_high_water,
+            "totals": dict(sorted(self.totals.items())),
+            "queries": [entry.as_dict() for entry in self.entries],
+        }
+
+    def clear(self) -> None:
+        """Zero the ledger (window size survives)."""
+        self.entries.clear()
+        self.totals = {name: 0 for name in RESOURCE_FIELDS}
+        self.total_queries = 0
+        self.aborted_queries = 0
+        self.ram_high_water = 0

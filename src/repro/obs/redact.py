@@ -72,6 +72,25 @@ ENGINE_VOCAB = frozenset(
         "between", "like", "sum", "avg", "min", "max", "insert", "into",
         "create", "values", "integer", "char", "varchar", "float",
         "primary", "references",
+        # flight recorder / postmortem bundle (event kinds, ledger and
+        # bundle field names, fault-site identifiers, typed-abort class
+        # names -- all compile-time identifiers, never data values)
+        "flight", "recorder", "ledger", "dump", "postmortem", "bundle",
+        "doctor", "slo", "quantile", "quantiles", "seq", "kind", "data",
+        "events", "event", "begin", "end", "abort", "aborted", "fault",
+        "faults", "retry", "retries", "attempt", "reason", "site",
+        "remap", "remaps", "remount", "remounts", "recovery", "recover",
+        "cache", "hits", "misses", "evictions", "invalidations", "shed",
+        "pressure", "exhausted", "torn", "scanned", "pages", "capacity",
+        "recorded", "total", "totals", "window", "cumulative", "queries",
+        "entries", "spans", "state", "summary", "schema", "version",
+        "created", "profile", "seed", "corrupt", "cut", "power",
+        "unplugged", "transfer", "deferred", "injected", "scheduled",
+        "unplug", "drop", "stall", "truncate", "bitflip", "bad",
+        "invalidate", "ftl", "counter", "gauge", "histogram",
+        "deviceunpluggederror", "powercuterror", "usbtransfererror",
+        "usbdroppederror", "frameerror", "ramexhaustederror",
+        "ghostdbfaulterror", "ghostdb",
     }
 )
 

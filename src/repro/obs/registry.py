@@ -213,6 +213,39 @@ class Histogram:
     def sum(self, **labels) -> float:
         return self._sums.get(_label_key(labels), 0)
 
+    def quantile(self, q: float, **labels) -> float:
+        """Estimate the ``q``-quantile from the cumulative buckets.
+
+        Standard Prometheus-style ``histogram_quantile``: find the first
+        bucket whose cumulative count covers rank ``q * total``, then
+        interpolate linearly within it (the lower edge of the first
+        bucket is taken as 0).  Observations above the highest finite
+        bound land in the implicit ``+Inf`` bucket, for which the best
+        bounded answer -- and the conventional one -- is the highest
+        finite bound.  Returns 0.0 when nothing has been observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(
+                f"{self.name}: quantile must be in [0, 1], got {q!r}"
+            )
+        key = _label_key(labels)
+        total = self._totals.get(key, 0)
+        if total == 0:
+            return 0.0
+        rank = q * total
+        counts = self._counts[key]
+        lower = 0.0
+        prev = 0
+        for bound, cumulative in zip(self.buckets, counts):
+            if cumulative >= rank:
+                span = cumulative - prev
+                if span == 0:
+                    return float(bound)
+                return lower + (float(bound) - lower) * (rank - prev) / span
+            lower = float(bound)
+            prev = cumulative
+        return float(self.buckets[-1])
+
     def expose(self) -> list[str]:
         lines = []
         for key in sorted(self._totals):
@@ -285,7 +318,12 @@ class MetricsRegistry:
         return self._metrics.get(name)
 
     def __iter__(self):
-        return iter(self._metrics.values())
+        # Sorted by name, like expose_text: iteration order (and thus
+        # every dump or artifact built from it) must not depend on the
+        # order in which call sites happened to register families.
+        return iter(
+            self._metrics[name] for name in sorted(self._metrics)
+        )
 
     def expose_text(self) -> str:
         """The full registry in Prometheus text exposition format."""

@@ -165,7 +165,15 @@ class DeviceLink:
                     self.device.usb.metrics.counter(
                         "ghostdb_usb_retries_total"
                     ).inc(reason=reason)
+                if self.device.flight is not None:
+                    self.device.flight.record(
+                        "usb_retry", reason=reason, attempt=attempt
+                    )
                 if attempt > MAX_RETRIES:
+                    if self.device.flight is not None:
+                        self.device.flight.record(
+                            "usb_exhausted", reason=reason, attempt=attempt
+                        )
                     raise UsbTransferError(
                         f"{kind} transfer failed after {MAX_RETRIES} "
                         f"retries ({reason})"
