@@ -8,7 +8,9 @@ dot-command for the demo-style views.
 (see :mod:`repro.bench.runner`); ``python -m repro leakmeter`` runs the
 adversary-eye leakage meter (see :mod:`repro.privacy.meter`);
 ``python -m repro doctor`` runs a self-diagnosing smoke session and
-writes a leak-checked postmortem bundle (see :mod:`repro.obs.bundle`).
+writes a leak-checked postmortem bundle (see :mod:`repro.obs.bundle`);
+``python -m repro soak`` runs the deterministic sustained-DML endurance
+harness under faults (see :mod:`repro.soak`).
 
 Commands::
 
@@ -689,6 +691,10 @@ def main(argv=None) -> int:
         return meter_main(argv[1:])
     if argv and argv[0] == "doctor":
         return doctor_main(argv[1:])
+    if argv and argv[0] == "soak":
+        from repro.soak import main as soak_main
+
+        return soak_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="GhostDB interactive shell"
     )

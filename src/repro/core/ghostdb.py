@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from repro.catalog.schema import Schema, SchemaError
 from repro.catalog.tree import SchemaTree
 from repro.engine.database import HiddenDatabase
-from repro.engine.executor import ExecConfig, Executor, QueryResult
+from repro.engine.executor import DmlResult, ExecConfig, Executor, QueryResult
 from repro.faults import (
     FAULT_PROFILES,
     FaultInjector,
@@ -36,7 +36,7 @@ from repro.faults import (
     GhostDBFaultError,
     PowerCutError,
 )
-from repro.engine.plan import Project
+from repro.engine.plan import DeletePlan, Project, UpdatePlan
 from repro.hardware.device import SmartUsbDevice, default_cache_pages
 from repro.hardware.profiles import DEMO_DEVICE, HardwareProfile
 from repro.obs import Observability, get_logger
@@ -152,7 +152,8 @@ class GhostDB:
     # ------------------------------------------------------------------
 
     def execute(self, sql: str):
-        """Execute one statement: CREATE TABLE, INSERT, or SELECT."""
+        """Execute one statement: CREATE TABLE, INSERT, SELECT, UPDATE
+        or DELETE."""
         statement = parse_statement(sql)
         if isinstance(statement, ast.CreateTable):
             if self.tree is not None:
@@ -164,6 +165,8 @@ class GhostDB:
             return self._buffer_insert(statement)
         if isinstance(statement, ast.Select):
             return self._run_select(statement, sql)
+        if isinstance(statement, (ast.Update, ast.Delete)):
+            return self._run_dml(statement, sql)
         raise SessionError(f"unsupported statement {type(statement).__name__}")
 
     def _buffer_insert(self, statement: ast.Insert) -> int:
@@ -348,10 +351,25 @@ class GhostDB:
 
         Rebuilds the FTL map from the flash spare-area journal (rolling
         back torn writes to the last committed state) and resets the
-        volatile RAM budget.  Idempotent; safe to call on a healthy
-        device.
+        volatile RAM budget.  A mount-time *orphan sweep* then frees
+        every recovered page the catalog no longer references: pages a
+        crashed rebuild had written but never committed, and freed pages
+        the journal resurrected (``ftl.free`` is volatile).  Idempotent;
+        safe to call on a healthy device.
         """
         self.device.remount()
+        if self.tree is not None:
+            ftl = self.device.ftl
+            orphans = ftl.mapped_lpages() - self.hidden.referenced_pages()
+            for lpage in orphans:
+                ftl.free(lpage)
+            if orphans:
+                self.obs.registry.counter(
+                    "ghostdb_recovery_orphan_pages_total"
+                ).inc(len(orphans))
+                self.obs.flight.record(
+                    "orphan_sweep", freed=len(orphans)
+                )
         self._needs_remount = False
 
     def _guard_powered(self) -> None:
@@ -386,6 +404,7 @@ class GhostDB:
         from repro.engine.maintenance import append_rows
 
         self._require_loaded()
+        self._guard_powered()
         table_def = self.schema.table(table)
         validated = [
             tuple(
@@ -394,7 +413,11 @@ class GhostDB:
             )
             for row in rows
         ]
-        report = append_rows(self.hidden, table, validated)
+        try:
+            report = append_rows(self.hidden, table, validated)
+        except GhostDBFaultError as exc:
+            self._abort_on_fault(exc)
+            raise
         self.site.append(table, validated)
         return report
 
@@ -472,6 +495,38 @@ class GhostDB:
                 raise
             span.set("result_rows", result.row_count)
             self._meter_leakage(mark, span)
+        return result
+
+    def _run_dml(
+        self, statement: ast.Update | ast.Delete, sql: str = ""
+    ) -> DmlResult:
+        """Run one UPDATE or DELETE as an atomic rebuild transaction.
+
+        DML travels the secure channel like appends do -- its text may
+        name hidden values, so unlike SELECT it is *not* announced over
+        the spied USB link; read-scenario leak signatures are untouched.
+        """
+        self._require_loaded()
+        self._guard_powered()
+        with self.obs.tracer.span("dml", category="session") as span:
+            if sql:
+                # Same redaction bar as queries: constants come out as
+                # '?' on export, identifiers stay.
+                span.set("sql", " ".join(sql.split()))
+            try:
+                if isinstance(statement, ast.Update):
+                    bound = Binder(self.tree).bind_update(statement)
+                    plan = UpdatePlan(bound)
+                else:
+                    bound = Binder(self.tree).bind_delete(statement)
+                    plan = DeletePlan(bound)
+                result = self.executor.execute_dml(plan, self.site)
+            except GhostDBFaultError as exc:
+                span.set("aborted", type(exc).__name__)
+                self._abort_on_fault(exc)
+                raise
+            span.set("matched", result.matched)
+            span.set("changed", result.changed)
         return result
 
     def query(self, sql: str) -> QueryResult:

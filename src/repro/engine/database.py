@@ -53,6 +53,25 @@ class HiddenDatabase:
         #: statistics over device columns (hidden attrs, PKs, FKs).
         self.stats: dict[str, TableStats] = {}
 
+    def referenced_pages(self) -> set[int]:
+        """Every logical page the catalog currently points at.
+
+        The FTL map of a consistent device is exactly this set; pages
+        mapped but not referenced are orphans (e.g. a rebuild cut short
+        by power loss) and are reclaimed by the mount-time orphan sweep.
+        """
+        pages: set[int] = set()
+        for heap in self.heaps.values():
+            pages.update(heap.pages)
+            pages.update(heap._pk_pages)
+        for skt in self.skts.values():
+            pages.update(skt.pages)
+        for index in (*self.climbing.values(), *self.key_indexes.values()):
+            for file in index._files:
+                if file is not None:
+                    pages.update(file.pages)
+        return pages
+
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------

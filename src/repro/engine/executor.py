@@ -70,6 +70,18 @@ class QueryResult:
         return len(self.rows)
 
 
+@dataclass
+class DmlResult:
+    """Outcome of one UPDATE or DELETE statement."""
+
+    table: str
+    kind: str  # "update" | "delete"
+    matched: int
+    changed: int
+    metrics: ExecutionMetrics
+    plan: lp.PlanNode
+
+
 class Executor:
     """Lowers and runs logical plans on one device."""
 
@@ -195,6 +207,93 @@ class Executor:
         return QueryResult(
             rows=rows,
             columns=root.output_labels(),
+            metrics=metrics,
+            plan=root,
+        )
+
+    def execute_dml(
+        self, root: lp.UpdatePlan | lp.DeletePlan, site
+    ) -> DmlResult:
+        """Run a DML plan: scan-match-rebuild with full measurement.
+
+        The statement executes as a rebuild transaction (see
+        :mod:`repro.engine.dml`); hardware counter diffs are collected
+        the same way :meth:`execute` does for queries, so DML cost shows
+        up in benches, the ledger and the flight recorder.
+        """
+        from repro.engine import dml
+
+        kind = "update" if isinstance(root, lp.UpdatePlan) else "delete"
+        self.device.ram.reset_high_water()
+        flight = self.obs.flight
+        fingerprint = plan_fingerprint(root)
+        wall_start = time.perf_counter()
+        before = self.device.counters()
+        flight.record(
+            "dml_begin", statement=kind, table=root.bound.table,
+            fingerprint=fingerprint,
+        )
+        with self.obs.tracer.span("executor.dml", category="engine") as span:
+            span.set("kind", kind)
+            span.set("table", root.bound.table)
+            try:
+                if kind == "update":
+                    matched, changed = dml.run_update(
+                        self.db, site, root.bound
+                    )
+                else:
+                    matched, changed = dml.run_delete(
+                        self.db, site, root.bound
+                    )
+            except GhostDBFaultError as exc:
+                span.set("aborted", type(exc).__name__)
+                after = self.device.counters()
+                consumed = ExecutionMetrics.from_counters(
+                    before, after, [], 0
+                )
+                self.obs.record_aborted_query(
+                    consumed,
+                    fingerprint,
+                    time.perf_counter() - wall_start,
+                    reason=type(exc).__name__,
+                )
+                flight.record(
+                    "dml_abort",
+                    statement=kind,
+                    table=root.bound.table,
+                    fingerprint=fingerprint,
+                    reason=type(exc).__name__,
+                )
+                raise
+            after = self.device.counters()
+            metrics = ExecutionMetrics.from_counters(before, after, [], matched)
+            span.set("matched", matched)
+            span.set("changed", changed)
+            span.set("flash_page_reads", metrics.flash_page_reads)
+            span.set("flash_page_writes", metrics.flash_page_writes)
+            span.set("flash_block_erases", metrics.flash_block_erases)
+            span.set("ram_high_water", metrics.ram_high_water)
+        flight.record(
+            "dml_end",
+            statement=kind,
+            table=root.bound.table,
+            fingerprint=fingerprint,
+            matched=matched,
+            changed=changed,
+        )
+        self.obs.record_query_metrics(
+            metrics, fingerprint, time.perf_counter() - wall_start
+        )
+        log.debug(
+            "executed %s on %s: %d matched, %d changed, %.3f ms simulated",
+            kind, root.bound.table, matched, changed,
+            metrics.elapsed_seconds * 1e3,
+        )
+        return DmlResult(
+            table=root.bound.table,
+            kind=kind,
+            matched=matched,
+            changed=changed,
             metrics=metrics,
             plan=root,
         )

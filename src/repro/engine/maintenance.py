@@ -1,17 +1,27 @@
-"""Incremental maintenance: appending rows after the secure load.
+"""Incremental maintenance: rebuilding table extents after the load.
 
 The paper loads the device once "in a secure setting"; real deployments
 need re-synchronisation sessions (the authors' follow-up system, PlugDB,
 made this a first-class feature).  This module implements batch appends
-with the storage model we have: NAND flash forbids in-place writes, so
-an append *rebuilds* each affected structure -- reading the old extents,
-writing merged ones, and freeing the old pages, which feeds the FTL's
-garbage collector and the wear counters.  All of that cost is charged to
-the device, making maintenance measurable (the T6 extension bench).
+-- and the rebuild transaction UPDATE/DELETE ride on -- with the storage
+model we have: NAND flash forbids in-place writes, so a mutation
+*rebuilds* each affected structure.  All of that cost is charged to the
+device, making maintenance measurable (the T6 extension bench).
 
 Rebuild scope is minimal per table: its heap, every SKT whose subtree
 contains it, and every climbing/key index with the table among its
 levels.
+
+Crash atomicity (:func:`rebuild_table`) follows a strict build-all-then-
+swap discipline.  Every flash write happens while the catalog still
+points at the old extents; the commit -- swapping catalog dicts and
+freeing old pages -- is pure host-side bookkeeping with no flash I/O, so
+no fault decision (power cut, bad block, read-only latch) can land
+inside it.  A failure during the build frees exactly the orphaned new
+pages and re-raises, leaving the old state untouched; a power cut leaves
+the new pages unreferenced, where the mount-time orphan sweep reclaims
+them.  Either way, recovery sees the old version or the new version of
+a statement -- never a torn mix.
 """
 
 from __future__ import annotations
@@ -78,61 +88,15 @@ def append_rows(
             f"({old_heap.pk_of_rowid(old_heap.count - 1)})"
         )
 
-    # 1. Rebuild the heap: stream old rows + new rows into a new extent,
-    #    then free the old one (stale pages -> future GC work).
-    device = db.device
-    collector = StatisticsCollector(
-        table=table,
-        column_names=[c.name for c in device_cols],
-        dtypes=[c.dtype for c in device_cols],
-    )
-
     def merged_rows():
         for row in old_heap.scan():
-            collector.add(row)
             yield row
         for row in reduced:
-            validated = tuple(
+            yield tuple(
                 c.dtype.validate(v) for c, v in zip(device_cols, row)
             )
-            collector.add(validated)
-            yield validated
 
-    new_heap = HeapTable(
-        device, table, table_def.device_codec(), pk_field=0
-    )
-    new_heap.load(merged_rows())
-    _free_heap(db, old_heap)
-    db.heaps[table] = new_heap
-    db.stats[table] = collector.finish()
-
-    # 2. Rebuild affected SKTs and indexes from the updated heaps.
-    rebuilt_skts = []
-    for root, skt in list(db.skts.items()):
-        if table in skt.tables:
-            _free_pages(db, skt.pages)
-            db.skts[root] = SubtreeKeyTable.build(
-                device, db.tree, root, db.heaps
-            )
-            rebuilt_skts.append(f"SKT_{root}")
-
-    rebuilt_indexes = []
-    edge_cache: dict = {}
-    for key, index in list(db.climbing.items()):
-        if table in index.levels:
-            _free_index(db, index)
-            db.climbing[key] = ClimbingIndex.build(
-                device, db.tree, db.heaps, key[0], key[1], edge_cache
-            )
-            rebuilt_indexes.append(f"cidx:{key[0]}.{key[1]}")
-    for name, index in list(db.key_indexes.items()):
-        if table in index.levels:
-            _free_index(db, index)
-            db.key_indexes[name] = ClimbingIndex.build(
-                device, db.tree, db.heaps, name,
-                db.tree.table(name).pk.name, edge_cache,
-            )
-            rebuilt_indexes.append(f"kidx:{name}")
+    rebuilt_skts, rebuilt_indexes = rebuild_table(db, table, merged_rows())
 
     log.info(
         "appended %d rows to %s (rebuilt %d SKTs, %d indexes)",
@@ -144,6 +108,99 @@ def append_rows(
         rebuilt_skts=rebuilt_skts,
         rebuilt_indexes=rebuilt_indexes,
     )
+
+
+def rebuild_table(
+    db: HiddenDatabase, table: str, device_rows
+) -> tuple[list[str], list[str]]:
+    """Atomically replace ``table``'s device extents with ``device_rows``.
+
+    ``device_rows`` is an iterable of *device* rows (device-column
+    order, primary key first, sorted ascending).  The heap, every SKT
+    containing the table and every climbing/key index over it are built
+    into fresh extents first -- the catalog untouched, the old pages
+    still live -- and only then swapped in during a flash-free commit.
+    On any build failure the freshly written pages are freed and the
+    exception re-raised: the old state stays fully intact.
+
+    Returns ``(rebuilt_skts, rebuilt_indexes)`` labels for reporting.
+    """
+    table_def = db.tree.table(table)
+    device_cols = table_def.device_columns()
+    device = db.device
+    ftl = device.ftl
+    collector = StatisticsCollector(
+        table=table,
+        column_names=[c.name for c in device_cols],
+        dtypes=[c.dtype for c in device_cols],
+    )
+
+    def collected():
+        for row in device_rows:
+            collector.add(row)
+            yield row
+
+    before = ftl.mapped_lpages()
+    try:
+        # Build phase: every flash write lands here, into pages the
+        # catalog does not reference yet.
+        new_heap = HeapTable(
+            device, table, table_def.device_codec(), pk_field=0
+        )
+        new_heap.load(collected())
+        heaps_view = {**db.heaps, table: new_heap}
+
+        new_skts = {}
+        for root, skt in db.skts.items():
+            if table in skt.tables:
+                new_skts[root] = SubtreeKeyTable.build(
+                    device, db.tree, root, heaps_view
+                )
+
+        edge_cache: dict = {}
+        new_climbing = {}
+        for key, index in db.climbing.items():
+            if table in index.levels:
+                new_climbing[key] = ClimbingIndex.build(
+                    device, db.tree, heaps_view, key[0], key[1], edge_cache
+                )
+        new_key_indexes = {}
+        for name, index in db.key_indexes.items():
+            if table in index.levels:
+                new_key_indexes[name] = ClimbingIndex.build(
+                    device, db.tree, heaps_view, name,
+                    db.tree.table(name).pk.name, edge_cache,
+                )
+    except BaseException:
+        # Abort: free exactly the pages this build orphaned.  free() is
+        # host-side bookkeeping (no flash I/O), so the abort itself
+        # cannot fault.  After a power cut the same cleanup happens via
+        # the mount-time orphan sweep instead.
+        for lpage in ftl.mapped_lpages() - before:
+            ftl.free(lpage)
+        raise
+
+    # Commit phase: swap the catalog and free the old extents.  Pure
+    # host-side dict/bookkeeping operations -- no flash I/O, so no
+    # fault decision can interleave; the statement is atomic.
+    _free_heap(db, db.heaps[table])
+    db.heaps[table] = new_heap
+    db.stats[table] = collector.finish()
+    rebuilt_skts = []
+    for root, skt in new_skts.items():
+        _free_pages(db, db.skts[root].pages)
+        db.skts[root] = skt
+        rebuilt_skts.append(f"SKT_{root}")
+    rebuilt_indexes = []
+    for key, index in new_climbing.items():
+        _free_index(db, db.climbing[key])
+        db.climbing[key] = index
+        rebuilt_indexes.append(f"cidx:{key[0]}.{key[1]}")
+    for name, index in new_key_indexes.items():
+        _free_index(db, db.key_indexes[name])
+        db.key_indexes[name] = index
+        rebuilt_indexes.append(f"kidx:{name}")
+    return rebuilt_skts, rebuilt_indexes
 
 
 def _free_pages(db: HiddenDatabase, pages: list[int]) -> None:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.sql.binder import Predicate
+from repro.sql.binder import BoundDelete, BoundUpdate, Predicate
 
 
 class PlanError(ValueError):
@@ -311,6 +311,42 @@ class Project(PlanNode):
 
     def output_labels(self) -> list[str]:
         return [f"{t}.{c.name}" for t, c in self.projections]
+
+
+# ----------------------------------------------------------------------
+# DML roots
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class UpdatePlan(PlanNode):
+    """Root of an UPDATE: scan-match-rebuild as one atomic transaction."""
+
+    bound: BoundUpdate
+
+    def label(self) -> str:
+        sets = ", ".join(
+            f"{a.column.name}=?" for a in self.bound.assignments
+        )
+        preds = " AND ".join(p.describe() for p in self.bound.predicates)
+        return (
+            f"Update[{self.bound.table} SET {sets}"
+            f"{' WHERE ' + preds if preds else ''}]"
+        )
+
+
+@dataclass
+class DeletePlan(PlanNode):
+    """Root of a DELETE: scan-match-rebuild as one atomic transaction."""
+
+    bound: BoundDelete
+
+    def label(self) -> str:
+        preds = " AND ".join(p.describe() for p in self.bound.predicates)
+        return (
+            f"Delete[{self.bound.table}"
+            f"{' WHERE ' + preds if preds else ''}]"
+        )
 
 
 #: Plan nodes whose output is *value rows* (post-projection).  They can

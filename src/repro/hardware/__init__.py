@@ -36,7 +36,11 @@ from repro.hardware.flash import (
     PageProgrammedError,
     WearOutError,
 )
-from repro.hardware.ftl import FlashFullError, FlashTranslationLayer
+from repro.hardware.ftl import (
+    DeviceReadOnlyError,
+    FlashFullError,
+    FlashTranslationLayer,
+)
 from repro.hardware.usb import Direction, TrafficRecord, UsbChannel, UsbError
 from repro.hardware.chip import SecureChip
 from repro.hardware.device import SmartUsbDevice
@@ -44,6 +48,7 @@ from repro.hardware.device import SmartUsbDevice
 __all__ = [
     "Allocation",
     "DEMO_DEVICE",
+    "DeviceReadOnlyError",
     "Direction",
     "FlashError",
     "FlashFullError",

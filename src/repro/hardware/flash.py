@@ -57,8 +57,14 @@ class BadBlockError(FlashError):
     but must be retired from the write rotation."""
 
 
-class WearOutError(FlashError):
-    """A block exceeded its program/erase cycle endurance."""
+class WearOutError(BadBlockError):
+    """A block exceeded its program/erase cycle endurance.
+
+    Worn-out blocks are *grown bad blocks*: the erase that trips the
+    endurance limit marks the block bad, so it leaves the write rotation
+    through the same retirement path as any other bad block.  Callers
+    that only care about retirement catch :class:`BadBlockError`; the
+    subclass keeps the root cause typed for diagnostics."""
 
 
 #: XOR mask applied to the stored spare-area CRC of a torn page, so a
@@ -279,6 +285,11 @@ class NandFlash:
         count = self._erase_counts.get(block, 0) + 1
         limit = self.profile.max_erase_cycles
         if limit is not None and count > limit:
+            # Endurance exceeded: the block is now a *grown* bad block.
+            # It stays readable (live data was relocated before the
+            # erase attempt) but never re-enters the write rotation.
+            self._bad_blocks.add(block)
+            self._count("ghostdb_device_flash_bad_blocks_total")
             raise WearOutError(
                 f"block {block} exceeded its {limit} erase-cycle endurance"
             )
@@ -355,6 +366,11 @@ class NandFlash:
     @property
     def bad_blocks(self) -> frozenset[int]:
         return frozenset(self._bad_blocks)
+
+    @property
+    def bad_block_count(self) -> int:
+        """Cheap count of bad blocks (no set copy; hot in the FTL)."""
+        return len(self._bad_blocks)
 
     def erase_count(self, block: int) -> int:
         return self._erase_counts.get(block, 0)

@@ -8,10 +8,22 @@ does:
 * maintains a logical-page -> physical-page map;
 * serves writes out of place, appending to the currently open block
   (log-structured), marking the previous physical page *stale*;
-* garbage-collects when free blocks run low: it picks the block with the
-  most stale pages, relocates its still-valid pages, and erases it;
-* spreads erases across blocks (round-robin free-list) as a simple form of
-  wear levelling.
+* garbage-collects when free blocks run low: victim selection is
+  *wear-aware* -- a block's staleness score is discounted by how far its
+  erase count exceeds the coolest candidate's (``wear_penalty`` stale
+  pages of priority per excess cycle), so hot blocks rest while cool
+  ones take erases and the erase-count spread stays bounded;
+* models endurance: a block that trips ``max_erase_cycles`` becomes a
+  *grown bad block* (:class:`~repro.hardware.flash.WearOutError`) and is
+  retired from rotation like any other bad block;
+* degrades gracefully instead of dying.  The ladder: under GC pressure
+  (free space below ``throttle_threshold`` of usable capacity) every
+  logical write is *throttled* -- charged extra simulated time, the
+  firmware analogue of foreground GC stalls; when even garbage
+  collection cannot restore the spare-block floor the FTL freezes into
+  a typed read-only mode and every write raises
+  :class:`DeviceReadOnlyError`.  Reads, and host-side ``free()``, keep
+  working; :class:`FlashFullError` never escapes to callers.
 
 Query-engine code above this layer sees stable logical page numbers and
 never worries about erases -- but it *pays* for them in simulated time,
@@ -29,12 +41,30 @@ from repro.hardware.flash import (
     FlashError,
     NandFlash,
     ProgramFailedError,
+    WearOutError,
 )
 from repro.hardware.pagecache import PageCache
 
 
 class FlashFullError(FlashError):
-    """No free flash space remains even after garbage collection."""
+    """No free flash space remains even after garbage collection.
+
+    Internal to the FTL: every raise site is contained inside the write
+    path and converted into the typed read-only transition
+    (:class:`DeviceReadOnlyError`), so callers never see this escape.
+    """
+
+
+class DeviceReadOnlyError(FlashError):
+    """The device froze into read-only mode to protect its data.
+
+    Raised by :meth:`FlashTranslationLayer.write` once spare blocks fall
+    below the floor and garbage collection cannot restore them (flash
+    full of live data, or too many blocks worn out / grown bad).  Reads
+    keep working; the mode is sticky for the life of the mount.  This is
+    the loud, typed bottom rung of the write-degradation ladder --
+    never a bare :class:`FlashFullError` escaping mid-GC.
+    """
 
 
 @dataclass
@@ -53,6 +83,18 @@ class FlashTranslationLayer:
     flash: NandFlash
     #: Blocks kept in reserve so GC always has somewhere to relocate to.
     spare_blocks: int = 2
+    #: Victim selection discounts a candidate's staleness score by this
+    #: many stale pages per erase cycle it sits above the coolest
+    #: candidate, trading reclaim efficiency for wear levelling.
+    wear_penalty: int = 1
+    #: First rung of the degradation ladder: when free space (stale
+    #: pages included) drops below this fraction of usable capacity --
+    #: healthy blocks minus the spare reserve -- every logical write
+    #: pays ``throttle_factor`` extra write-times of simulated latency,
+    #: modelling foreground GC stalls.
+    throttle_threshold: float = 0.10
+    #: Extra simulated write-times charged per throttled logical write.
+    throttle_factor: float = 4.0
     #: Optional buffer pool over *logical* pages.  Sitting above the
     #: logical->physical map means GC relocations need no invalidation
     #: (content is unchanged); only :meth:`write` and :meth:`free` do.
@@ -70,6 +112,10 @@ class FlashTranslationLayer:
     _next_logical: int = 0
     _free_logical: list[int] = field(default_factory=list)
     _in_gc: bool = False
+    #: Second rung of the ladder: sticky (per mount) read-only latch.
+    read_only: bool = False
+    read_only_reason: str = ""
+    _throttled: bool = False
     #: Monotonic write sequence stamped into each page's spare area; the
     #: recovery scan keeps, per logical page, the copy with the highest
     #: sequence whose CRC verifies.
@@ -103,6 +149,15 @@ class FlashTranslationLayer:
 
     def is_mapped(self, lpage: int) -> bool:
         return lpage in self._map
+
+    def mapped_lpages(self) -> set[int]:
+        """Snapshot of every mapped logical page number.
+
+        Used by the engine's rebuild transactions (to free exactly the
+        pages a failed build orphaned) and by the mount-time orphan
+        sweep / soak invariants (map == pages the catalog references).
+        """
+        return set(self._map)
 
     # ------------------------------------------------------------------
     # I/O
@@ -140,11 +195,59 @@ class FlashTranslationLayer:
         return data
 
     def write(self, lpage: int, data: bytes) -> None:
-        """Write (or overwrite) a logical page, out of place."""
+        """Write (or overwrite) a logical page, out of place.
+
+        Raises :class:`DeviceReadOnlyError` once the device has frozen
+        writes; while under GC pressure the write is throttled (extra
+        simulated latency) before being programmed.
+        """
+        if self.read_only:
+            raise DeviceReadOnlyError(
+                self.read_only_reason or "device is read-only"
+            )
         if self.cache is not None:
             self.cache.invalidate(lpage)
+        self._charge_throttle()
         self._program_page(lpage, data)
         self.stats.logical_writes += 1
+
+    def _charge_throttle(self) -> None:
+        """First ladder rung: price GC pressure into every write.
+
+        The pressure signal is the fraction of *usable* capacity (healthy
+        blocks minus the spare reserve) still free, counting stale pages
+        as reclaimable.  It decays monotonically to ~0 at the read-only
+        point, so the throttle always engages before the latch.
+        """
+        profile = self.flash.profile
+        per_block = profile.pages_per_block
+        healthy = profile.num_blocks - self.flash.bad_block_count
+        usable = (healthy - self.spare_blocks) * per_block
+        if usable <= 0:
+            return
+        reserve = self.spare_blocks * per_block
+        free = max(0, self.free_pages_estimate - reserve)
+        engaged = free < usable * self.throttle_threshold
+        if engaged != self._throttled:
+            self._throttled = engaged
+            if self.flight is not None:
+                self.flight.record(
+                    "ftl_throttle",
+                    engaged=engaged,
+                    free_pages=free,
+                    usable_pages=usable,
+                )
+        if not engaged:
+            return
+        stall = self.throttle_factor * profile.flash_write_s
+        self.flash.clock.advance(stall, "flash_write")
+        if self.flash.metrics is not None:
+            self.flash.metrics.counter(
+                "ghostdb_ftl_throttle_writes_total"
+            ).inc()
+            self.flash.metrics.counter(
+                "ghostdb_ftl_throttle_seconds_total"
+            ).inc(stall)
 
     def _program_page(self, lpage: int, data: bytes) -> int:
         """Program ``lpage``'s new content somewhere, surviving torn
@@ -214,7 +317,15 @@ class FlashTranslationLayer:
             ):
                 return
         if not self._free_blocks:
-            raise FlashFullError("flash is full and GC reclaimed nothing")
+            if self._in_gc:
+                # Mid-relocation exhaustion: surface internally and let
+                # _collect_garbage convert it into the read-only latch.
+                raise FlashFullError(
+                    "flash exhausted while relocating live pages"
+                )
+            raise self._enter_read_only(
+                "flash is full and GC reclaimed nothing"
+            )
         self._open_block = self._free_blocks.popleft()
         self._next_in_open = 0
 
@@ -224,7 +335,10 @@ class FlashTranslationLayer:
         A single victim can cost more blocks than it frees (its live
         pages need somewhere to go), so GC keeps going until free space
         is comfortably above the spare watermark or nothing reclaimable
-        remains.
+        remains.  Exhaustion -- no reclaimable block, or free space
+        running out *mid-relocation* -- never escapes as
+        :class:`FlashFullError`; it latches the device read-only and
+        raises :class:`DeviceReadOnlyError` instead.
         """
         self._in_gc = True
         try:
@@ -232,20 +346,53 @@ class FlashTranslationLayer:
                 victim = self._pick_victim_block()
                 if victim is None:
                     if not self._free_blocks:
-                        raise FlashFullError(
+                        raise self._enter_read_only(
                             "flash is full: no block has any stale page "
                             "to reclaim"
                         )
                     return
                 self._reclaim_block(victim)
+        except FlashFullError as exc:
+            # A relocation inside _reclaim_block ran the log dry.  Every
+            # live page is still mapped (either at its old physical page
+            # or its relocated copy), so data is intact -- but the
+            # device can no longer guarantee forward progress: latch.
+            raise self._enter_read_only(str(exc)) from exc
         finally:
             self._in_gc = False
 
+    def _enter_read_only(self, reason: str) -> DeviceReadOnlyError:
+        """Latch the read-only mode; returns the error for ``raise``."""
+        if not self.read_only:
+            self.read_only = True
+            self.read_only_reason = f"device is read-only: {reason}"
+            if self.flash.metrics is not None:
+                self.flash.metrics.counter(
+                    "ghostdb_ftl_readonly_transitions_total"
+                ).inc()
+            if self.flight is not None:
+                self.flight.record(
+                    "ftl_read_only",
+                    reason=reason,
+                    free_blocks=len(self._free_blocks),
+                    bad_blocks=self.flash.bad_block_count,
+                    max_wear=self.flash.max_wear,
+                )
+        return DeviceReadOnlyError(self.read_only_reason)
+
     def _reclaim_block(self, victim: int) -> None:
-        """Relocate a victim block's live pages and erase it."""
+        """Relocate a victim block's live pages and erase it.
+
+        Relocation leaves the map consistent at every step: a live page
+        keeps its old mapping until ``_program_page`` commits the new
+        copy, so an error mid-relocation (bad block, exhaustion, power
+        cut) loses nothing -- every logical page still resolves to a
+        valid physical copy.
+        """
         self.stats.gc_runs += 1
         per_block = self.flash.profile.pages_per_block
         first = victim * per_block
+        relocated = 0
         for phys in range(first, first + per_block):
             lpage = self._reverse.get(phys)
             if lpage is None:
@@ -253,13 +400,35 @@ class FlashTranslationLayer:
                 continue
             # Relocate a still-valid page: read it and append elsewhere
             # with a fresh sequence number, so even if power dies before
-            # the erase below, recovery prefers the relocated copy.
+            # the erase below, recovery prefers the relocated copy.  The
+            # old mapping is released by _program_page only once the new
+            # copy committed.
             data = self.flash.read(phys)
-            del self._reverse[phys]
             self._program_page(lpage, data)
-            self.stats.gc_relocations += 1
+            relocated += 1
+        self.stats.gc_relocations += relocated
         try:
             self.flash.erase_block(victim)
+        except WearOutError:
+            # The erase tripped the endurance limit: the block is now a
+            # grown bad block.  Everything in it is garbage or already
+            # relocated; retire it from the rotation for good.
+            for phys in range(first, first + per_block):
+                self._stale.discard(phys)
+            self._remap_count("wear_out")
+            if self.flash.metrics is not None:
+                self.flash.metrics.counter(
+                    "ghostdb_ftl_wear_bad_blocks_total"
+                ).inc()
+            if self.flight is not None:
+                self.flight.record(
+                    "ftl_wear_bad_block",
+                    block=victim,
+                    erase_cycles=self.flash.erase_count(victim),
+                    bad_blocks=self.flash.bad_block_count,
+                )
+            self._update_wear_metrics()
+            return
         except BadBlockError:
             # The block died on erase.  Everything in it is garbage or
             # already relocated; retire it from the rotation for good.
@@ -270,10 +439,43 @@ class FlashTranslationLayer:
         for phys in range(first, first + per_block):
             self._stale.discard(phys)
         self._free_blocks.append(victim)
+        if self.flight is not None:
+            self.flight.record(
+                "ftl_gc",
+                victim=victim,
+                relocated=relocated,
+                erase_cycles=self.flash.erase_count(victim),
+                free_blocks=len(self._free_blocks),
+            )
+        self._update_wear_metrics()
+
+    def _update_wear_metrics(self) -> None:
+        """Publish the wear picture after an erase attempt."""
+        metrics = self.flash.metrics
+        if metrics is None:
+            return
+        flash = self.flash
+        counts = [
+            flash.erase_count(block)
+            for block in range(flash.profile.num_blocks)
+            if not flash.is_bad(block)
+        ]
+        max_wear = flash.max_wear
+        metrics.gauge("ghostdb_ftl_wear_max_erase_cycles").set(max_wear)
+        metrics.gauge("ghostdb_ftl_wear_spread").set(
+            max(counts, default=0) - min(counts, default=0)
+        )
 
     def _pick_victim_block(self) -> int | None:
-        """The most-stale closed block whose live pages fit the GC
+        """The best-scoring closed block whose live pages fit the GC
         workspace.
+
+        A candidate's score is its stale-page count discounted by
+        ``wear_penalty`` for every erase cycle it sits above the coolest
+        candidate, so reclaim efficiency (most garbage per erase) is
+        traded off against wear levelling (erases steered toward
+        low-cycle blocks).  Ties prefer the cooler, then the
+        lower-numbered block -- fully deterministic.
 
         Relocations consume free pages; choosing a victim with more live
         pages than the remaining workspace would deadlock the collector
@@ -305,7 +507,17 @@ class FlashTranslationLayer:
         ]
         if not candidates:
             return None
-        return max(candidates, key=stale_per_block.get)
+        erase_count = self.flash.erase_count
+        coolest = min(erase_count(block) for block in candidates)
+
+        def preference(block: int) -> tuple[int, int, int]:
+            wear = erase_count(block)
+            score = stale_per_block[block] - self.wear_penalty * (
+                wear - coolest
+            )
+            return (score, -wear, -block)
+
+        return max(candidates, key=preference)
 
     # ------------------------------------------------------------------
     # Crash recovery

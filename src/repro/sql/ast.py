@@ -147,3 +147,35 @@ class CreateTable:
 class Insert:
     table: str
     values: list[list[object]]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """``column = literal`` inside an UPDATE's SET list."""
+
+    column: ColumnRef
+    value: object
+
+    def __str__(self) -> str:
+        return f"{self.column} = {Literal(self.value)}"
+
+
+@dataclass
+class Update:
+    """``UPDATE t SET col = lit, ... [WHERE ...]``.
+
+    ``where`` mixes :class:`Comparison` and :class:`InList`, conjunctive
+    only, exactly like :class:`Select`.
+    """
+
+    table: str
+    assignments: list[Assignment]
+    where: list = field(default_factory=list)
+
+
+@dataclass
+class Delete:
+    """``DELETE FROM t [WHERE ...]``."""
+
+    table: str
+    where: list = field(default_factory=list)

@@ -174,6 +174,33 @@ class BoundQuery:
         return [p for p in self.predicates if not p.hidden]
 
 
+@dataclass
+class BoundAssignment:
+    """One validated ``SET column = value`` target."""
+
+    column: ColumnDef
+    value: object
+
+
+@dataclass
+class BoundUpdate:
+    """A fully resolved single-table UPDATE."""
+
+    table: str  # real table name, lower case
+    table_def: TableDef
+    assignments: list[BoundAssignment]
+    predicates: list[Predicate] = field(default_factory=list)
+
+
+@dataclass
+class BoundDelete:
+    """A fully resolved single-table DELETE."""
+
+    table: str  # real table name, lower case
+    table_def: TableDef
+    predicates: list[Predicate] = field(default_factory=list)
+
+
 def compare_values(op: str, left, right) -> bool:
     """Apply a SQL comparison operator (used by HAVING evaluation)."""
     if op == "=":
@@ -239,6 +266,91 @@ class Binder:
         self._bind_order_and_limit(select, bindings, query)
         self._check_join_completeness(query)
         return query
+
+    # ------------------------------------------------------------------
+    # UPDATE / DELETE
+    # ------------------------------------------------------------------
+
+    def bind_update(self, update: ast.Update) -> BoundUpdate:
+        """Resolve a single-table UPDATE.
+
+        Primary keys are immutable (row identity on both sides of the
+        boundary) and foreign keys pin the schema tree's join edges, so
+        neither may be assigned; values are type-checked with the same
+        int -> float promotion as WHERE literals.
+        """
+        table_def = self.tree.table(update.table)
+        table = table_def.name.lower()
+        bindings = {table: table_def, update.table.lower(): table_def}
+        assignments: list[BoundAssignment] = []
+        assigned: set[str] = set()
+        for item in update.assignments:
+            target, column = self._resolve_column(item.column, bindings)
+            if column.primary_key:
+                raise BindError(
+                    f"cannot assign to primary key {target}.{column.name}; "
+                    f"row identity is immutable"
+                )
+            if column.references is not None:
+                raise BindError(
+                    f"cannot assign to foreign key {target}.{column.name}; "
+                    f"schema-tree edges are immutable"
+                )
+            if column.name.lower() in assigned:
+                raise BindError(
+                    f"column {target}.{column.name} assigned twice"
+                )
+            assigned.add(column.name.lower())
+            value = item.value
+            if isinstance(column.dtype, FloatType) and isinstance(value, int):
+                value = float(value)
+            if not _value_fits(column.dtype, value):
+                raise BindError(
+                    f"assignment value {value!r} does not fit "
+                    f"{target}.{column.name} ({column.dtype.sql_name()})"
+                )
+            assignments.append(
+                BoundAssignment(column=column, value=value)
+            )
+        return BoundUpdate(
+            table=table,
+            table_def=table_def,
+            assignments=assignments,
+            predicates=self._bind_dml_where(update.where, bindings),
+        )
+
+    def bind_delete(self, delete: ast.Delete) -> BoundDelete:
+        """Resolve a single-table DELETE."""
+        table_def = self.tree.table(delete.table)
+        table = table_def.name.lower()
+        bindings = {table: table_def, delete.table.lower(): table_def}
+        return BoundDelete(
+            table=table,
+            table_def=table_def,
+            predicates=self._bind_dml_where(delete.where, bindings),
+        )
+
+    def _bind_dml_where(
+        self, where: list, bindings: dict[str, TableDef]
+    ) -> list[Predicate]:
+        """Bind a DML WHERE: selections only, no join predicates."""
+        raw_selections: list[tuple[str, ColumnDef, str, object]] = []
+        in_predicates: list[Predicate] = []
+        for condition in where:
+            if isinstance(condition, ast.InList):
+                in_predicates.append(self._bind_in(condition, bindings))
+                continue
+            if isinstance(condition.left, ast.ColumnRef) and isinstance(
+                condition.right, ast.ColumnRef
+            ):
+                raise BindError(
+                    f"UPDATE/DELETE are single-table; {condition} "
+                    f"compares two columns"
+                )
+            raw_selections.append(
+                self._bind_selection(condition, bindings)
+            )
+        return self._normalise(raw_selections) + in_predicates
 
     # ------------------------------------------------------------------
     # Select list, GROUP BY, ORDER BY, LIMIT

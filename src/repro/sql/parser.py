@@ -18,10 +18,16 @@ Supported statements::
 
     INSERT INTO t VALUES (1, 'x', 2006-11-05), (2, 'y', 2006-11-06);
 
+    UPDATE t SET col = 5, name = 'x' WHERE id BETWEEN 10 AND 20;
+
+    DELETE FROM t WHERE kind IN ('x', 'y');
+
 WHERE clauses are conjunctions of comparisons, BETWEEN (desugared into
 two comparisons) and IN lists -- the SPJ fragment the paper's query
 processing section concentrates on, plus the aggregation/ordering
-extensions documented in DESIGN.md §6.
+extensions documented in DESIGN.md §6.  UPDATE and DELETE are
+single-table with literal assignments; their WHERE grammar is shared
+with SELECT.
 """
 
 from __future__ import annotations
@@ -37,7 +43,7 @@ from repro.sql.lexer import DATE, EOF, IDENT, NUMBER, STRING, SYMBOL, Token, tok
 _KEYWORDS = {
     "SELECT", "FROM", "WHERE", "AND", "BETWEEN", "CREATE", "TABLE",
     "INSERT", "INTO", "VALUES", "IN", "GROUP", "BY", "ORDER", "LIMIT",
-    "HAVING",
+    "HAVING", "UPDATE", "SET", "DELETE",
 }
 
 _COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
@@ -117,10 +123,14 @@ class _Parser:
             stmt = self.parse_create_table()
         elif self.at_keyword("INSERT"):
             stmt = self.parse_insert()
+        elif self.at_keyword("UPDATE"):
+            stmt = self.parse_update()
+        elif self.at_keyword("DELETE"):
+            stmt = self.parse_delete()
         else:
             raise ParseError(
-                f"expected SELECT, CREATE or INSERT, found "
-                f"{self.peek().value!r}",
+                f"expected SELECT, CREATE, INSERT, UPDATE or DELETE, "
+                f"found {self.peek().value!r}",
                 self.peek().position,
             )
         self.accept_symbol(";")
@@ -142,11 +152,7 @@ class _Parser:
         tables = [self.parse_table_ref()]
         while self.accept_symbol(","):
             tables.append(self.parse_table_ref())
-        where: list = []
-        if self.accept_keyword("WHERE"):
-            where.extend(self.parse_condition())
-            while self.accept_keyword("AND"):
-                where.extend(self.parse_condition())
+        where = self.parse_where_clause()
         group_by: list[ast.ColumnRef] = []
         if self.accept_keyword("GROUP"):
             self.expect_keyword("BY")
@@ -176,6 +182,14 @@ class _Parser:
             group_by=group_by, having=having, order_by=order_by,
             limit=limit,
         )
+
+    def parse_where_clause(self) -> list:
+        where: list = []
+        if self.accept_keyword("WHERE"):
+            where.extend(self.parse_condition())
+            while self.accept_keyword("AND"):
+                where.extend(self.parse_condition())
+        return where
 
     def parse_having_condition(self) -> ast.HavingCondition:
         target = self.parse_select_item()
@@ -368,9 +382,34 @@ class _Parser:
         operand = self.parse_operand()
         if not isinstance(operand, ast.Literal):
             raise ParseError(
-                "INSERT values must be literals", self.peek().position
+                "expected a literal value", self.peek().position
             )
         return operand.value
+
+    # -- UPDATE / DELETE -------------------------------------------------
+
+    def parse_update(self) -> ast.Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect_ident("table name")
+        self.expect_keyword("SET")
+        assignments = [self.parse_assignment()]
+        while self.accept_symbol(","):
+            assignments.append(self.parse_assignment())
+        where = self.parse_where_clause()
+        return ast.Update(table=table, assignments=assignments, where=where)
+
+    def parse_assignment(self) -> ast.Assignment:
+        column = self.parse_column_ref()
+        self.expect_symbol("=")
+        value = self.parse_literal_value()
+        return ast.Assignment(column=column, value=value)
+
+    def parse_delete(self) -> ast.Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident("table name")
+        where = self.parse_where_clause()
+        return ast.Delete(table=table, where=where)
 
 
 def parse_statement(text: str):

@@ -61,11 +61,26 @@ class IntListWriter:
             self._alloc.release()
             self._closed = True
 
+    def abort(self) -> None:
+        """Drop the unflushed tail and release RAM; no flash I/O.
+
+        Exception-unwind path: a faulted device must not keep
+        programming flash while the error propagates (see
+        ``PageWriter.abort``).
+        """
+        if not self._closed:
+            self._buffer.clear()
+            self._alloc.release()
+            self._closed = True
+
     def __enter__(self) -> "IntListWriter":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
 
 
 class IntListReader:

@@ -102,11 +102,28 @@ class PageWriter:
             self._alloc.release()
             self._closed = True
 
+    def abort(self) -> None:
+        """Drop the unflushed tail and release RAM; no flash I/O.
+
+        The exception-unwind path: a device that just faulted (power
+        cut, wear-out, read-only latch) must not issue further flash
+        writes while the error propagates.  Pages already flushed stay
+        behind as orphans for the caller's cleanup or the mount-time
+        orphan sweep.
+        """
+        if not self._closed:
+            self._buffer.clear()
+            self._alloc.release()
+            self._closed = True
+
     def __enter__(self) -> "PageWriter":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
 
 
 class PageReader:

@@ -109,6 +109,38 @@ class VisibleSite:
                 )
             vtable.rows[pk] = tuple(row[i] for i in keep)
         vtable._sorted_pks = None
+        self._recompute_stats(vtable)
+
+    def update_rows(self, table_name: str, full_rows: dict[int, tuple]) -> None:
+        """Replace the public part of existing rows (DML re-sync).
+
+        ``full_rows`` maps pk -> full row tuple in schema column order;
+        hidden values are dropped here, like :meth:`load`.  Keys keep
+        their position in the sort order, so ``_sorted_pks`` survives.
+        """
+        vtable = self._table(table_name)
+        tdef = vtable.definition
+        keep = [i for i, c in enumerate(tdef.columns) if c.on_public]
+        for pk, row in full_rows.items():
+            if pk not in vtable.rows:
+                raise SchemaError(f"{tdef.name}: key {pk} does not exist")
+            vtable.rows[pk] = tuple(row[i] for i in keep)
+        self._recompute_stats(vtable)
+
+    def delete_rows(self, table_name: str, pks) -> None:
+        """Remove rows by primary key (DML re-sync)."""
+        vtable = self._table(table_name)
+        tdef = vtable.definition
+        for pk in pks:
+            if pk not in vtable.rows:
+                raise SchemaError(f"{tdef.name}: key {pk} does not exist")
+            del vtable.rows[pk]
+        vtable._sorted_pks = None
+        self._recompute_stats(vtable)
+
+    def _recompute_stats(self, vtable: _VisibleTable) -> None:
+        tdef = vtable.definition
+        keep = [i for i, c in enumerate(tdef.columns) if c.on_public]
         collector = StatisticsCollector(
             table=tdef.name.lower(),
             column_names=[tdef.columns[i].name for i in keep],

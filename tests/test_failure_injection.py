@@ -8,7 +8,7 @@ import pytest
 
 from repro.engine.operators import ExecContext
 from repro.faults import FaultProfile, UsbTransferError
-from repro.hardware.flash import WearOutError
+from repro.hardware.ftl import DeviceReadOnlyError
 from repro.hardware.profiles import DEMO_DEVICE
 from repro.hardware.ram import RamExhaustedError
 from repro.workload.queries import demo_query
@@ -56,12 +56,17 @@ class TestFlashWearOut:
 
         device = SmartUsbDevice(profile)
         page = device.ftl.allocate()
-        with pytest.raises(WearOutError):
+        # Worn-out blocks become grown bad blocks and are retired; once
+        # too few healthy blocks remain, the device latches read-only
+        # instead of letting WearOutError escape mid-GC.
+        with pytest.raises(DeviceReadOnlyError):
             for i in range(20_000):
                 device.ftl.write(page, b"churn")
+        assert device.flash.bad_block_count > 0
+        assert device.ftl.read_only
 
-    def test_wear_spread_by_round_robin(self):
-        """The FTL's free-list rotation keeps erase counts close."""
+    def test_wear_spread_by_victim_selection(self):
+        """Wear-aware victim selection keeps erase counts close."""
         profile = DEMO_DEVICE.with_overrides(num_blocks=8)
         from repro.hardware.device import SmartUsbDevice
 

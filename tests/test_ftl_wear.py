@@ -1,0 +1,265 @@
+"""Wear-aware FTL: victim selection, grown bad blocks, and the
+write-degradation ladder (throttle, then typed read-only)."""
+
+import pytest
+
+from repro.hardware.clock import SimClock
+from repro.hardware.flash import BadBlockError, NandFlash
+from repro.hardware.ftl import (
+    DeviceReadOnlyError,
+    FlashFullError,
+    FlashTranslationLayer,
+)
+from repro.hardware.profiles import DEMO_DEVICE
+from repro.obs.registry import MetricsRegistry
+
+
+class FlightSpy:
+    """Minimal stand-in for the session flight recorder."""
+
+    def __init__(self):
+        self.events = []
+
+    def record(self, kind, **data):
+        self.events.append((kind, data))
+
+    def kinds(self):
+        return [kind for kind, _ in self.events]
+
+    def of_kind(self, kind):
+        return [data for k, data in self.events if k == kind]
+
+
+def make_ftl(num_blocks=8, spare=2, metrics=None, **overrides):
+    profile = DEMO_DEVICE.with_overrides(num_blocks=num_blocks, **overrides)
+    flash = NandFlash(profile=profile, clock=SimClock(), metrics=metrics)
+    ftl = FlashTranslationLayer(flash=flash, spare_blocks=spare)
+    ftl.flight = FlightSpy()
+    return ftl, flash
+
+
+def stale_pages_of_block(ftl, block, count):
+    per_block = ftl.flash.profile.pages_per_block
+    first = block * per_block
+    ftl._stale.update(range(first, first + count))
+
+
+# ----------------------------------------------------------------------
+# Wear-aware victim selection
+# ----------------------------------------------------------------------
+
+
+def test_victim_prefers_cooler_block_on_staleness_tie():
+    ftl, flash = make_ftl()
+    stale_pages_of_block(ftl, 2, 3)
+    stale_pages_of_block(ftl, 5, 3)
+    # Heat block 5 without touching its contents (blocks are empty).
+    for _ in range(4):
+        flash.erase_block(5)
+    assert ftl._pick_victim_block() == 2
+
+
+def test_victim_discounts_hot_blocks_despite_more_garbage():
+    ftl, flash = make_ftl()
+    stale_pages_of_block(ftl, 1, 4)  # more garbage, but hot
+    stale_pages_of_block(ftl, 6, 2)  # less garbage, cold
+    for _ in range(10):
+        flash.erase_block(1)
+    # score(1) = 4 - 1 * 10 = -6 < score(6) = 2: the cold block wins.
+    assert ftl._pick_victim_block() == 6
+
+
+def test_victim_tie_breaks_deterministically_by_block_number():
+    ftl, _ = make_ftl()
+    stale_pages_of_block(ftl, 4, 2)
+    stale_pages_of_block(ftl, 3, 2)
+    # Equal staleness, equal wear: the lower-numbered block wins.
+    assert ftl._pick_victim_block() == 3
+
+
+def test_sustained_churn_keeps_erase_spread_bounded():
+    ftl, flash = make_ftl(num_blocks=8)
+    page = ftl.allocate()
+    for i in range(3_000):
+        ftl.write(page, b"churn")
+    counts = [
+        flash.erase_count(b) for b in range(flash.profile.num_blocks)
+    ]
+    active = [c for c in counts if c > 0]
+    assert len(active) >= flash.profile.num_blocks // 2
+    assert max(active) <= min(active) + max(3, max(active) // 2)
+
+
+# ----------------------------------------------------------------------
+# Wear-out -> grown bad blocks
+# ----------------------------------------------------------------------
+
+
+def test_wear_out_grows_bad_blocks_and_records_flight_events():
+    metrics = MetricsRegistry()
+    ftl, flash = make_ftl(
+        num_blocks=6, metrics=metrics, max_erase_cycles=4
+    )
+    page = ftl.allocate()
+    with pytest.raises(DeviceReadOnlyError):
+        for _ in range(20_000):
+            ftl.write(page, b"churn")
+    assert flash.bad_block_count > 0
+    assert metrics.counter("ghostdb_ftl_wear_bad_blocks_total").total() > 0
+    assert (
+        metrics.counter("ghostdb_ftl_readonly_transitions_total").total()
+        == 1
+    )
+    kinds = ftl.flight.kinds()
+    assert "ftl_wear_bad_block" in kinds
+    assert "ftl_read_only" in kinds
+    worn = ftl.flight.of_kind("ftl_wear_bad_block")[0]
+    assert worn["erase_cycles"] >= 4
+    # The wear gauges captured the endurance picture.
+    assert metrics.gauge("ghostdb_ftl_wear_max_erase_cycles").value() >= 4
+
+
+def test_gc_runs_record_flight_events():
+    ftl, flash = make_ftl(num_blocks=6)
+    page = ftl.allocate()
+    for i in range(flash.profile.pages_per_block * 10):
+        ftl.write(page, f"v{i}".encode())
+    events = ftl.flight.of_kind("ftl_gc")
+    assert events, "sustained churn must garbage-collect"
+    assert {"victim", "relocated", "erase_cycles", "free_blocks"} <= set(
+        events[0]
+    )
+
+
+# ----------------------------------------------------------------------
+# Ladder rung 1: GC-pressure throttling
+# ----------------------------------------------------------------------
+
+
+def test_throttle_engages_under_pressure_and_releases():
+    metrics = MetricsRegistry()
+    ftl, flash = make_ftl(num_blocks=8, metrics=metrics)
+    per_block = flash.profile.pages_per_block
+    usable = (8 - ftl.spare_blocks) * per_block
+    pages = []
+    # Fill live data until free space drops under the threshold.
+    while ftl.free_pages_estimate - ftl.spare_blocks * per_block >= (
+        usable * ftl.throttle_threshold
+    ):
+        page = ftl.allocate()
+        ftl.write(page, b"live")
+        pages.append(page)
+    before = flash.clock.now
+    ftl.write(pages[0], b"updated")
+    throttled_cost = flash.clock.now - before
+    assert metrics.counter("ghostdb_ftl_throttle_writes_total").total() > 0
+    assert metrics.counter("ghostdb_ftl_throttle_seconds_total").total() > 0
+    engage = ftl.flight.of_kind("ftl_throttle")
+    assert engage and engage[0]["engaged"] is True
+    # Free half the data: pressure drops, the throttle releases.
+    for page in pages[: len(pages) // 2]:
+        ftl.free(page)
+    before = flash.clock.now
+    ftl.write(pages[-1], b"calm")
+    calm_cost = flash.clock.now - before
+    states = [e["engaged"] for e in ftl.flight.of_kind("ftl_throttle")]
+    assert states[-1] is False
+    assert throttled_cost > calm_cost
+
+
+def test_throttled_write_costs_extra_simulated_time():
+    ftl, flash = make_ftl(num_blocks=8)
+    page = ftl.allocate()
+    ftl.write(page, b"x")
+    baseline = flash.clock.now
+    ftl.write(page, b"y")
+    unthrottled = flash.clock.now - baseline
+    # Force the throttle on and compare a pure two-program write.
+    ftl.throttle_threshold = 1.1  # always under pressure
+    before = flash.clock.now
+    ftl.write(page, b"z")
+    throttled = flash.clock.now - before
+    expected = ftl.throttle_factor * flash.profile.flash_write_s
+    assert throttled >= unthrottled + expected * 0.99
+
+
+# ----------------------------------------------------------------------
+# Ladder rung 2: typed read-only, FlashFullError contained
+# ----------------------------------------------------------------------
+
+
+def test_read_only_is_sticky_and_keeps_reads_working():
+    ftl, _ = make_ftl(num_blocks=4, spare=1)
+    pages = []
+    with pytest.raises(DeviceReadOnlyError):
+        while True:
+            page = ftl.allocate()
+            ftl.write(page, b"live")
+            pages.append(page)
+    assert ftl.read_only
+    assert "read-only" in ftl.read_only_reason
+    with pytest.raises(DeviceReadOnlyError):
+        ftl.write(pages[0], b"nope")
+    for page in pages[:-1]:
+        assert ftl.read(page, 0, 4) == b"live"
+    # free() is host-side bookkeeping and stays allowed.
+    ftl.free(pages[0])
+
+
+def test_flash_full_inside_gc_relocation_becomes_read_only():
+    """Regression: exhaustion *mid-reclaim* (a cascade of grown bad
+    blocks during relocation) must latch read-only, not escape as
+    FlashFullError with ``_in_gc`` stuck."""
+    ftl, flash = make_ftl(num_blocks=6, spare=2)
+    per_block = flash.profile.pages_per_block
+    # Fill to the brink: leave only the spare blocks free, with one
+    # victim block holding mostly stale pages so GC has work to do.
+    churn = ftl.allocate()
+    live = []
+    for _ in range((6 - ftl.spare_blocks - 1) * per_block - 1):
+        page = ftl.allocate()
+        ftl.write(page, b"live")
+        live.append(page)
+    for _ in range(per_block):
+        ftl.write(churn, b"churn")
+
+    # Every program from here on grows a bad block, so GC's relocations
+    # burn through the free list without ever landing.
+    real_program = flash.program
+
+    def failing_program(page, data, oob=None):
+        block = flash.block_of(page)
+        flash.mark_bad(block)
+        raise BadBlockError(f"block {block} failed to program (test)")
+
+    flash.program = failing_program
+    try:
+        with pytest.raises(DeviceReadOnlyError):
+            for _ in range(4 * per_block):
+                ftl.write(churn, b"push into GC")
+    finally:
+        flash.program = real_program
+    assert ftl.read_only
+    assert not ftl._in_gc
+    # No live page was lost: the map still resolves every one.
+    for page in live:
+        assert ftl.read(page, 0, 4) == b"live"
+
+
+def test_flash_full_error_never_escapes_the_write_path():
+    ftl, _ = make_ftl(num_blocks=4, spare=1)
+    with pytest.raises(DeviceReadOnlyError) as excinfo:
+        while True:
+            ftl.write(ftl.allocate(), b"live")
+    assert not isinstance(excinfo.value, FlashFullError)
+
+
+def test_remount_clears_the_read_only_latch():
+    ftl, flash = make_ftl(num_blocks=4, spare=1)
+    with pytest.raises(DeviceReadOnlyError):
+        while True:
+            ftl.write(ftl.allocate(), b"live")
+    recovered = FlashTranslationLayer.recover(
+        flash, spare_blocks=ftl.spare_blocks
+    )
+    assert not recovered.read_only

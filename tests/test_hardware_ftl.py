@@ -4,7 +4,7 @@ import pytest
 
 from repro.hardware.clock import SimClock
 from repro.hardware.flash import FlashError, NandFlash
-from repro.hardware.ftl import FlashFullError, FlashTranslationLayer
+from repro.hardware.ftl import DeviceReadOnlyError, FlashTranslationLayer
 from repro.hardware.profiles import DEMO_DEVICE
 
 
@@ -81,13 +81,22 @@ def test_gc_relocates_live_pages():
         assert ftl.read(page, 0, len(expected)) == expected
 
 
-def test_flash_full_when_all_data_is_live():
+def test_read_only_when_all_data_is_live():
+    """Filling the flash with live data latches the typed read-only
+    mode -- never a bare FlashFullError escaping to the caller."""
     ftl, _ = make_ftl(num_blocks=4, spare=1)
     capacity = 4 * DEMO_DEVICE.pages_per_block
-    with pytest.raises(FlashFullError):
+    written = []
+    with pytest.raises(DeviceReadOnlyError):
         for _ in range(capacity + 1):
             page = ftl.allocate()
             ftl.write(page, b"live")
+            written.append(page)
+    assert ftl.read_only
+    # Sticky: later writes fail immediately, reads still work.
+    with pytest.raises(DeviceReadOnlyError):
+        ftl.write(written[0], b"again")
+    assert ftl.read(written[0], 0, 4) == b"live"
 
 
 def test_logical_writes_counted():

@@ -1,0 +1,109 @@
+"""The sustained-DML soak harness: invariants, determinism, artifact.
+
+The full-length endurance sweep (50 seeds) runs in CI's soak job; here
+a short configuration proves the contract on a handful of seeds, raise
+``GHOSTDB_SOAK_SEEDS`` to widen the sweep without touching the code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.soak import SoakConfig, SoakError, run_soak
+from repro.soak import main as soak_main
+
+#: Short but real: every epoch still runs the full invariant audit.
+SHORT = dict(epochs=2, ops_per_epoch=6, scale=60)
+
+N_SEEDS = int(os.environ.get("GHOSTDB_SOAK_SEEDS", "5"))
+
+
+class TestInvariants:
+    def test_multi_seed_zero_violations(self):
+        for seed in range(N_SEEDS):
+            run = run_soak(SoakConfig(seed=seed, **SHORT))
+            assert run.ok, (
+                f"seed {seed} violated invariants: {run.violations}"
+            )
+            for record in run.report["epochs_run"]:
+                assert all(
+                    value in ("ok", "CLEAN")
+                    for value in record["invariants"].values()
+                ), record
+
+    def test_clean_profile_runs(self):
+        run = run_soak(
+            SoakConfig(seed=1, fault_profile="none", **SHORT)
+        )
+        assert run.ok
+        assert all(
+            record["faults_injected"] == 0
+            for record in run.report["epochs_run"]
+        )
+
+    def test_mixed_profile_actually_injects(self):
+        run = run_soak(SoakConfig(seed=7, **SHORT))
+        assert run.ok
+        assert (
+            sum(
+                record["faults_injected"]
+                for record in run.report["epochs_run"]
+            )
+            > 0
+        ), "the mixed profile never fired -- the soak soaked nothing"
+
+
+class TestDeterminism:
+    def test_same_seed_is_bit_identical(self):
+        a = run_soak(SoakConfig(seed=3, **SHORT))
+        b = run_soak(SoakConfig(seed=3, **SHORT))
+        assert a.payload == b.payload
+
+    def test_different_seeds_differ(self):
+        a = run_soak(SoakConfig(seed=3, **SHORT))
+        b = run_soak(SoakConfig(seed=4, **SHORT))
+        assert a.payload != b.payload
+
+    def test_no_wall_clock_in_artifact(self):
+        run = run_soak(
+            SoakConfig(seed=6, epochs=1, ops_per_epoch=4, scale=60)
+        )
+        assert b"wall" not in run.payload
+
+
+class TestArtifact:
+    def test_cli_writes_clean_artifact(self, tmp_path, capsys):
+        rc = soak_main(
+            [
+                "--seed", "5", "--epochs", "2", "--ops", "6",
+                "--scale", "60", "--out-dir", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "all invariants held" in out
+        artifact = json.loads((tmp_path / "SOAK_5.json").read_text())
+        assert artifact["kind"] == "ghostdb-soak"
+        assert artifact["leak_check"] == "CLEAN"
+        assert artifact["violations"] == []
+        assert artifact["config"]["fault_profile"] == "mixed"
+        assert len(artifact["epochs_run"]) == 2
+        for record in artifact["epochs_run"]:
+            assert record["invariants"]["leak"] == "CLEAN"
+            assert record["invariants"]["ftl_map"] == "ok"
+
+    def test_hours_target_extends_run(self):
+        run = run_soak(
+            SoakConfig(
+                seed=2, epochs=1, ops_per_epoch=4, scale=60,
+                sim_hours=0.00002,
+            )
+        )
+        assert run.report["config"]["epochs"] > 1
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SoakError, match="unknown fault profile"):
+            SoakConfig(fault_profile="zap")

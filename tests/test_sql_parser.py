@@ -151,5 +151,50 @@ class TestInsert:
 
 
 def test_unknown_statement_rejected():
-    with pytest.raises(ParseError, match="SELECT, CREATE or INSERT"):
-        parse_statement("DELETE FROM t")
+    with pytest.raises(
+        ParseError, match="SELECT, CREATE, INSERT, UPDATE or DELETE"
+    ):
+        parse_statement("DROP TABLE t")
+
+
+class TestUpdateDelete:
+    def test_update_single_assignment(self):
+        stmt = parse_statement(
+            "UPDATE Prescription SET Quantity = 9 WHERE Quantity = 7"
+        )
+        assert isinstance(stmt, ast.Update)
+        assert stmt.table == "Prescription"
+        assert len(stmt.assignments) == 1
+        assert stmt.assignments[0].column.name == "Quantity"
+        assert stmt.assignments[0].value == 9
+        assert len(stmt.where) == 1
+
+    def test_update_multiple_assignments_and_between(self):
+        stmt = parse_statement(
+            "UPDATE T SET a = 1, b = 'x' WHERE id BETWEEN 10 AND 20"
+        )
+        assert [a.column.name for a in stmt.assignments] == ["a", "b"]
+        assert [a.value for a in stmt.assignments] == [1, "x"]
+        assert len(stmt.where) == 2  # BETWEEN desugars to two comparisons
+
+    def test_update_without_where(self):
+        stmt = parse_statement("UPDATE T SET a = 1")
+        assert stmt.where == []
+
+    def test_update_requires_literal_value(self):
+        with pytest.raises(ParseError, match="literal"):
+            parse_statement("UPDATE T SET a = b")
+
+    def test_delete_with_in_list(self):
+        stmt = parse_statement("DELETE FROM T WHERE kind IN ('x', 'y')")
+        assert isinstance(stmt, ast.Delete)
+        assert stmt.table == "T"
+        assert len(stmt.where) == 1
+
+    def test_delete_without_where(self):
+        stmt = parse_statement("DELETE FROM T")
+        assert stmt.where == []
+
+    def test_delete_requires_from(self):
+        with pytest.raises(ParseError):
+            parse_statement("DELETE T WHERE a = 1")
