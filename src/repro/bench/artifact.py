@@ -61,7 +61,7 @@ SIGNATURE_KEYS = frozenset({"leak_request_signature", "request_signature", "sign
 
 def scenario_record(
     metrics, wall_seconds: float, family: str, leak=None,
-    flight_events: int = 0,
+    flight_events: int = 0, extra: dict | None = None,
 ) -> dict:
     """One scenario's measurements as a plain JSON-ready dict.
 
@@ -70,7 +70,10 @@ def scenario_record(
     :class:`~repro.privacy.meter.TrafficProfile` of the traffic that
     execution produced (``None`` leaves the leakage columns at zero,
     for scenarios that never touch the boundary); ``flight_events`` is
-    how many flight-recorder events the scenario journalled.
+    how many flight-recorder events the scenario journalled; ``extra``
+    merges scenario-specific numeric columns (the concurrent scenarios'
+    fairness index / latency percentiles, with ``fairness_floor``
+    making the row self-describing for the comparator's gate).
     """
     record = {
         "family": family,
@@ -109,6 +112,8 @@ def scenario_record(
             leak_shape_entropy_bits=round(leak.shape_entropy_bits, 6),
             leak_request_signature=leak.signature,
         )
+    if extra:
+        record.update(extra)
     return record
 
 

@@ -78,6 +78,11 @@ class ComparisonReport:
     missing_scenarios: list[str] = field(default_factory=list)
     new_scenarios: list[str] = field(default_factory=list)
     config_errors: list[str] = field(default_factory=list)
+    #: Concurrent scenarios whose Jain fairness index landed below the
+    #: floor their own row declares (``fairness_floor``).  An absolute
+    #: gate on the *current* run, baseline or not: scheduling fairness
+    #: is a contract, not a diff.
+    fairness_failures: list[str] = field(default_factory=list)
     #: total host wall seconds summed across compared scenarios --
     #: informational only, never gated (host timing is noisy).
     baseline_wall_s: float = 0.0
@@ -100,6 +105,7 @@ class ComparisonReport:
             or self.signature_changes
             or self.missing_scenarios
             or self.config_errors
+            or self.fairness_failures
         ) and self.recorder_ok
 
     def render(self) -> str:
@@ -118,6 +124,8 @@ class ComparisonReport:
             lines.append(f"  REGRESSION {delta.line()}")
         for line in self.signature_changes:
             lines.append(f"  SIGNATURE CHANGED {line}")
+        for line in self.fairness_failures:
+            lines.append(f"  UNFAIR SCHEDULE {line}")
         for delta in self.improvements:
             lines.append(f"  improved   {delta.line()}")
         for name in self.new_scenarios:
@@ -206,6 +214,19 @@ def compare_artifacts(
         if base_sig != cur_sig:
             report.signature_changes.append(
                 f"{name}: {base_sig or '(none)'} -> {cur_sig or '(none)'}"
+            )
+    # Fairness is self-describing and absolute: every current-run row
+    # carrying a floor is gated, including scenarios too new to have a
+    # baseline entry.
+    for name in sorted(cur_scenarios):
+        row = cur_scenarios[name]
+        floor = row.get("fairness_floor")
+        if floor is None:
+            continue
+        index = float(row.get("fairness_index", 0.0))
+        if index < float(floor):
+            report.fairness_failures.append(
+                f"{name}: fairness index {index:.4f} < floor {floor:g}"
             )
     return report
 

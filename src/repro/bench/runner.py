@@ -24,13 +24,11 @@ from repro.bench.compare import (
 )
 from repro.bench.scenarios import select_scenarios
 from repro.bench.scorecard import build_scorecard, render_scorecard
-from repro.core.ghostdb import GhostDB
+from repro.core.factory import build_session
 from repro.hardware.profiles import PROFILES
 from repro.obs import get_logger
 from repro.privacy.leakcheck import LeakChecker
 from repro.privacy.meter import profile_records
-from repro.workload.datagen import DatasetConfig, MedicalDataGenerator
-from repro.workload.queries import DEMO_SCHEMA_DDL
 
 log = get_logger(__name__)
 
@@ -123,13 +121,9 @@ def run_bench(config: BenchConfig | None = None) -> BenchRun:
         "bench run: %d scenarios at scale %d on %s",
         len(scenarios), config.scale, config.profile,
     )
-    session = GhostDB(profile=PROFILES[config.profile])
-    for ddl in DEMO_SCHEMA_DDL:
-        session.execute(ddl)
-    data = MedicalDataGenerator(
-        DatasetConfig(n_prescriptions=config.scale)
-    ).generate()
-    session.load(data)
+    session, data = build_session(
+        profile=config.profile, scale=config.scale
+    )
 
     lines: list[str] = []
     records: dict[str, dict] = {}
@@ -151,6 +145,7 @@ def run_bench(config: BenchConfig | None = None) -> BenchRun:
         records[scenario.name] = scenario_record(
             result.metrics, wall, scenario.family, leak=leak,
             flight_events=events,
+            extra=getattr(result, "bench_extra", None),
         )
         lines.append(
             f"{scenario.name:<24} "

@@ -428,6 +428,122 @@ def _endurance_update_churn(session):
     return last
 
 
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank-with-interpolation percentile of ``values``."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    position = (len(ordered) - 1) * q
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    return ordered[lower] * (1 - weight) + ordered[upper] * weight
+
+
+def _concurrent(per_session_sql: list[list[str]], fairness_floor=None):
+    """A multi-client scenario: open one leased session per statement
+    list, interleave everything under the DRR scheduler, and fold the
+    per-ticket metrics into one gate-able record.
+
+    The recorded :class:`ExecutionMetrics` sums the per-ticket diffs
+    (``ram_high_water`` sums the per-session partition peaks -- the
+    acceptance bound is that this stays within the secure budget);
+    ``bench_extra`` adds the latency percentiles and the Jain fairness
+    index over per-session mean latency.  ``fairness_floor`` makes the
+    row self-describing: the comparator fails the run when the index
+    lands below it.
+    """
+
+    def run(session):
+        from repro.core.scheduler import Scheduler, jain_index
+        from repro.engine.metrics import ExecutionMetrics
+
+        core = session.core
+        partition = core.profile.ram_bytes // 4
+        clients = [
+            core.open_session(name=f"bench-client-{i}", ram_bytes=partition)
+            for i in range(len(per_session_sql))
+        ]
+        try:
+            scheduler = Scheduler(core)
+            by_session: dict[str, list] = {c.name: [] for c in clients}
+            # Statement-index-major submission: every client's first
+            # statement queues before anyone's second, like clients
+            # arriving together.
+            rounds = max(len(sqls) for sqls in per_session_sql)
+            for i in range(rounds):
+                for client, sqls in zip(clients, per_session_sql):
+                    if i < len(sqls):
+                        by_session[client.name].append(
+                            scheduler.submit(client, sqls[i])
+                        )
+            tickets = [t for ts in by_session.values() for t in ts]
+            scheduler.run()
+
+            total = ExecutionMetrics()
+            for ticket in tickets:
+                if ticket.error is not None:
+                    raise ticket.error
+                metrics = ticket.result.metrics
+                total.time = total.time + metrics.time
+                total.flash_page_reads += metrics.flash_page_reads
+                total.flash_page_writes += metrics.flash_page_writes
+                total.flash_block_erases += metrics.flash_block_erases
+                total.usb_messages += metrics.usb_messages
+                total.usb_bytes_to_device += metrics.usb_bytes_to_device
+                total.usb_bytes_to_host += metrics.usb_bytes_to_host
+                total.result_rows += metrics.result_rows
+                total.cache_hits += metrics.cache_hits
+                total.cache_misses += metrics.cache_misses
+            total.ram_high_water = sum(
+                client.lease.ram.high_water for client in clients
+            )
+            if total.ram_high_water > core.profile.ram_bytes:
+                raise RuntimeError(
+                    "summed session RAM peaks exceed the secure budget"
+                )
+
+            latencies = [t.latency_s for t in tickets]
+            session_means = [
+                sum(t.latency_s for t in ts) / len(ts)
+                for ts in by_session.values()
+                if ts
+            ]
+            extra = {
+                "sessions": len(clients),
+                "queries": len(tickets),
+                "fairness_index": round(jain_index(session_means), 6),
+                "latency_p50_s": round(_percentile(latencies, 0.50), 9),
+                "latency_p95_s": round(_percentile(latencies, 0.95), 9),
+            }
+            if fairness_floor is not None:
+                extra["fairness_floor"] = fairness_floor
+            return _ConcurrentResult(metrics=total, bench_extra=extra)
+        finally:
+            for client in clients:
+                core.close_session(client)
+
+    return run
+
+
+@dataclass
+class _ConcurrentResult:
+    """What a concurrent scenario hands the runner: summed metrics plus
+    the fairness/latency columns to merge into the artifact row."""
+
+    metrics: object
+    bench_extra: dict
+
+
+#: The uniform mix every concurrent client runs: one join-heavy, one
+#: light-visible, one hidden-selection statement.
+_CONCURRENT_MIX = [
+    demo_query(),
+    QUERY_FAMILIES["visible-only"],
+    QUERY_FAMILIES["hidden-only"],
+]
+
+
 SCENARIOS: tuple[Scenario, ...] = (
     # Figure 1 / Section 4: the demo query under the optimizer's plan.
     Scenario("fig1-demo-query", "fig1", _query(demo_query())),
@@ -507,6 +623,30 @@ SCENARIOS: tuple[Scenario, ...] = (
     Scenario("dml-noop-update", "dml", _dml_noop_update),
     Scenario(
         "endurance-update-churn", "endurance", _endurance_update_churn
+    ),
+    # Concurrent clients: four leased sessions interleaved by the DRR
+    # scheduler.  Per-ticket metrics stay bit-identical to serial runs
+    # (the sessions test suite pins that); what these rows gate is the
+    # *scheduling* contract -- total device work, summed partition
+    # peaks within the secure budget and, for the uniform mix, a Jain
+    # fairness index at or above the committed floor.
+    Scenario(
+        "concurrent-uniform-mix",
+        "concurrent",
+        _concurrent([_CONCURRENT_MIX] * 4, fairness_floor=0.9),
+    ),
+    # One tenant runs the heavy join mix three times over while three
+    # light tenants run a single visible selection each: DRR should
+    # keep the light tenants' latency from scaling with the heavy
+    # tenant's appetite.  No floor -- per-session mean latencies are
+    # intentionally skewed; the row records the index so drift shows.
+    Scenario(
+        "concurrent-heavy-tenant",
+        "concurrent",
+        _concurrent(
+            [_CONCURRENT_MIX * 3]
+            + [[QUERY_FAMILIES["visible-only"]]] * 3
+        ),
     ),
 )
 

@@ -62,13 +62,12 @@ import argparse
 import os
 import sys
 
-from repro.core.ghostdb import GhostDB, SessionConfig
-from repro.engine.executor import ExecConfig, QueryResult
+from repro.core.factory import build_session
+from repro.engine.executor import QueryResult
 from repro.hardware.profiles import PROFILES
 from repro.privacy.leakcheck import LeakChecker
 from repro.privacy.spy import SpyView
-from repro.workload.datagen import DatasetConfig, MedicalDataGenerator
-from repro.workload.queries import DEMO_SCHEMA_DDL, demo_query
+from repro.workload.queries import demo_query
 
 
 class Shell:
@@ -87,25 +86,16 @@ class Shell:
         self.trace_out = trace_out
         self.metrics_out = metrics_out
         self.leak_out = leak_out
-        exec_config = None
-        if batch_size is not None:
-            exec_config = ExecConfig(exec_batch=max(1, batch_size))
-        config = SessionConfig(
-            exec_config=exec_config,
+        self.db, self.data = build_session(
+            scale=scale,
+            profile=profile,
+            exec_batch=batch_size,
             cache_pages=cache_pages,
+            fault_profile=fault_profile,
             fault_seed=fault_seed,
             dump_on_fault=dump_on_fault,
             dump_dir=dump_dir,
         )
-        self.db = GhostDB(profile=PROFILES[profile], config=config)
-        for ddl in DEMO_SCHEMA_DDL:
-            self.db.execute(ddl)
-        self.data = MedicalDataGenerator(
-            DatasetConfig(n_prescriptions=scale)
-        ).generate()
-        self.db.load(self.data)
-        if fault_profile and fault_profile != "none":
-            self.db.set_faults(fault_profile, fault_seed)
         self.checker = LeakChecker(self.db.schema, self.data)
         self._print(
             f"GhostDB shell -- {scale} prescriptions on "
@@ -616,15 +606,11 @@ def doctor_main(argv=None) -> int:
     from repro.obs.bundle import load_bundle
 
     ok = True
-    db = GhostDB(config=SessionConfig(fault_seed=args.fault_seed))
-    for ddl in DEMO_SCHEMA_DDL:
-        db.execute(ddl)
-    data = MedicalDataGenerator(
-        DatasetConfig(n_prescriptions=args.scale)
-    ).generate()
-    db.load(data)
-    if args.fault_profile != "none":
-        db.set_faults(args.fault_profile, args.fault_seed)
+    db, data = build_session(
+        scale=args.scale,
+        fault_profile=args.fault_profile,
+        fault_seed=args.fault_seed,
+    )
     print(f"doctor: session up ({args.scale} prescriptions, "
           f"faults={args.fault_profile} seed={args.fault_seed})")
 
@@ -695,6 +681,10 @@ def main(argv=None) -> int:
         from repro.soak import main as soak_main
 
         return soak_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="GhostDB interactive shell"
     )

@@ -1,8 +1,9 @@
-"""The GhostDB session: one object spanning both sides of the boundary.
+"""The GhostDB facade: one device core plus its default session.
 
-A session owns the simulated smart USB device (hidden side), the visible
-site (PC / public server), the USB link between them, the catalog, the
-optimizer and the executor.  The API mirrors how the paper describes use:
+A :class:`GhostDB` spans both sides of the boundary -- the simulated
+smart USB device (hidden side), the visible site (PC / public server),
+the USB link between them, the catalog, the optimizer and the executor.
+The API mirrors how the paper describes use:
 
 * declare the schema with standard ``CREATE TABLE`` statements carrying
   the ``HIDDEN`` keyword,
@@ -11,6 +12,16 @@ optimizer and the executor.  The API mirrors how the paper describes use:
 * issue unchanged SQL; the optimizer picks a Pre/Post/Cross-filtering
   plan, and the result comes back via the secure rendering path, never
   over the observable link.
+
+Since the multi-session split, the facade is thin: everything shared
+(hardware, loaded data, device-wide observability, fault state, session
+admission) lives in a :class:`~repro.core.session.DeviceCore`, and
+everything per-caller (executor/optimizer wiring, leak scorecards,
+traces) lives in a :class:`~repro.core.session.SessionContext`.  The
+facade binds a core to its *default session* -- the classic
+single-caller wiring, bit-identical to the pre-split engine -- and
+:meth:`open_session` admits additional leased sessions that the
+cooperative scheduler can interleave.
 
 Example::
 
@@ -25,39 +36,32 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.catalog.schema import Schema, SchemaError
-from repro.catalog.tree import SchemaTree
-from repro.engine.database import HiddenDatabase
-from repro.engine.executor import DmlResult, ExecConfig, Executor, QueryResult
-from repro.faults import (
-    FAULT_PROFILES,
-    FaultInjector,
-    FaultProfile,
-    GhostDBFaultError,
-    PowerCutError,
+from repro.core.session import (
+    AdmissionError,
+    DeviceCore,
+    SessionConfig,
+    SessionContext,
+    SessionError,
 )
-from repro.engine.plan import DeletePlan, Project, UpdatePlan
-from repro.hardware.device import SmartUsbDevice, default_cache_pages
+from repro.engine.executor import QueryResult
+from repro.faults import FaultInjector, FaultProfile, GhostDBFaultError
+from repro.hardware.device import default_cache_pages
 from repro.hardware.profiles import DEMO_DEVICE, HardwareProfile
-from repro.obs import Observability, get_logger
+from repro.obs import get_logger
 from repro.obs.export import chrome_trace_json, render_tree, write_chrome_trace
 from repro.obs.tracer import Span
-from repro.optimizer.explain import explain_plan
-from repro.privacy.meter import TrafficProfile, profile_records
-from repro.optimizer.optimizer import Optimizer, RankedPlan
-from repro.optimizer.space import PlanBuilder, Strategy
-from repro.sql import ast
-from repro.sql.binder import Binder, BoundQuery
-from repro.sql.ddl import create_table
-from repro.sql.parser import parse_statement
-from repro.visible.link import DeviceLink
-from repro.visible.site import VisibleSite
+from repro.optimizer.space import Strategy
+from repro.privacy.meter import TrafficProfile
+
+__all__ = [
+    "AdmissionError",
+    "GhostDB",
+    "QueryTrace",
+    "SessionConfig",
+    "SessionError",
+]
 
 log = get_logger(__name__)
-
-
-class SessionError(RuntimeError):
-    """The session was used out of order (e.g. query before load)."""
 
 
 @dataclass
@@ -79,35 +83,6 @@ class QueryTrace:
         write_chrome_trace(self.spans, path)
 
 
-@dataclass
-class SessionConfig:
-    """Session-wide tunables."""
-
-    exec_config: ExecConfig | None = None
-    id_batch: int = 256
-    index_columns: list | None = None
-    #: Fault-injection regime to attach after load (a name from
-    #: :data:`repro.faults.FAULT_PROFILES`), or None for a healthy device.
-    fault_profile: str | None = None
-    fault_seed: int = 0
-    #: Device buffer-pool capacity in pages: ``None`` takes the profile
-    #: default (a quarter of RAM), ``0`` disables the pool.
-    cache_pages: int | None = None
-    #: Flight-recorder ring capacity in events (``None`` takes the
-    #: recorder default) and enablement.  The ring is host memory,
-    #: accounted outside the device's secure RAM budget.
-    flight_capacity: int | None = None
-    flight_enabled: bool = True
-    #: Write a postmortem bundle (``DUMP_<seed>.json`` in ``dump_dir``)
-    #: whenever an injected fault aborts a query.
-    dump_on_fault: bool = False
-    dump_dir: str = "."
-
-    def __post_init__(self):
-        if self.exec_config is None:
-            self.exec_config = ExecConfig()
-
-
 class GhostDB:
     """A complete GhostDB instance over a simulated device."""
 
@@ -116,89 +91,79 @@ class GhostDB:
         profile: HardwareProfile = DEMO_DEVICE,
         config: SessionConfig | None = None,
     ):
-        self.profile = profile
         self.config = config or SessionConfig()
-        self.obs = Observability(
-            flight_capacity=self.config.flight_capacity,
-            flight_enabled=self.config.flight_enabled,
+        self.core = DeviceCore(profile, self.config)
+        self.core.owner = self
+        #: The default session: full-RAM, un-leased, bit-identical to
+        #: the pre-split single-caller engine.
+        self.session = SessionContext(
+            core=self.core, name="default", config=self.config, lease=None
         )
-        self.device = SmartUsbDevice(
-            profile,
-            metrics=self.obs.registry,
-            cache_pages=self.config.cache_pages,
-            flight=self.obs.flight,
-        )
-        # Spans and flight events measure simulated time against this
-        # device's clock.
-        self.obs.tracer.clock = self.device.clock
-        self.obs.flight.clock = self.device.clock
-        self.obs.flight.metric = self.obs.registry.counter(
-            "ghostdb_flight_events_total"
-        ).labelled()
-        self.schema = Schema()
-        self.tree: SchemaTree | None = None
-        self.site: VisibleSite | None = None
-        self.hidden: HiddenDatabase | None = None
-        self.link: DeviceLink | None = None
-        self.executor: Executor | None = None
-        self.optimizer: Optimizer | None = None
-        self._pending_inserts: dict[str, list[tuple]] = {}
-        self.fault_injector: FaultInjector | None = None
-        self._needs_remount = False
-        self._last_leak_profile: TrafficProfile | None = None
 
     # ------------------------------------------------------------------
-    # DDL / DML
+    # Shared state (owned by the core)
+    # ------------------------------------------------------------------
+
+    @property
+    def profile(self) -> HardwareProfile:
+        return self.core.profile
+
+    @property
+    def obs(self):
+        return self.core.obs
+
+    @property
+    def device(self):
+        return self.core.device
+
+    @property
+    def schema(self):
+        return self.core.schema
+
+    @property
+    def tree(self):
+        return self.core.tree
+
+    @property
+    def site(self):
+        return self.core.site
+
+    @property
+    def hidden(self):
+        return self.core.hidden
+
+    @property
+    def fault_injector(self) -> FaultInjector | None:
+        return self.core.fault_injector
+
+    # ------------------------------------------------------------------
+    # Default-session state
+    # ------------------------------------------------------------------
+
+    @property
+    def link(self):
+        return self.session.link
+
+    @property
+    def executor(self):
+        return self.session.executor
+
+    @property
+    def optimizer(self):
+        return self.session.optimizer
+
+    @property
+    def _last_leak_profile(self) -> TrafficProfile | None:
+        return self.session._last_leak_profile
+
+    # ------------------------------------------------------------------
+    # DDL / loading
     # ------------------------------------------------------------------
 
     def execute(self, sql: str):
         """Execute one statement: CREATE TABLE, INSERT, SELECT, UPDATE
         or DELETE."""
-        statement = parse_statement(sql)
-        if isinstance(statement, ast.CreateTable):
-            if self.tree is not None:
-                raise SessionError(
-                    "schema is frozen once data is loaded"
-                )
-            return create_table(self.schema, statement)
-        if isinstance(statement, ast.Insert):
-            return self._buffer_insert(statement)
-        if isinstance(statement, ast.Select):
-            return self._run_select(statement, sql)
-        if isinstance(statement, (ast.Update, ast.Delete)):
-            return self._run_dml(statement, sql)
-        raise SessionError(f"unsupported statement {type(statement).__name__}")
-
-    def _buffer_insert(self, statement: ast.Insert) -> int:
-        """INSERTs are buffered; :meth:`load` flushes them.
-
-        The device is loaded once in a secure setting (Section 2), so the
-        session collects inserts and loads them together.
-        """
-        if self.tree is not None:
-            raise SessionError(
-                "data is loaded; GhostDB devices are loaded once, in a "
-                "secure setting"
-            )
-        table = self.schema.table(statement.table)
-        for row in statement.values:
-            if len(row) != len(table.columns):
-                raise SchemaError(
-                    f"{table.name}: INSERT arity {len(row)} != "
-                    f"{len(table.columns)} columns"
-                )
-            normalised = tuple(
-                col.dtype.validate(value)
-                for col, value in zip(table.columns, row)
-            )
-            self._pending_inserts.setdefault(
-                table.name.lower(), []
-            ).append(normalised)
-        return len(statement.values)
-
-    # ------------------------------------------------------------------
-    # Loading
-    # ------------------------------------------------------------------
+        return self.session.execute(sql)
 
     def load(self, rows_by_table: dict[str, list] | None = None) -> None:
         """Split and load the database onto both sides; build indexes.
@@ -206,78 +171,61 @@ class GhostDB:
         ``rows_by_table`` maps table name -> full rows in schema column
         order, sorted by primary key.  Buffered INSERTs are merged in.
         """
-        if self.tree is not None:
-            raise SessionError("data is already loaded")
-        rows_by_table = {
-            name.lower(): list(rows)
-            for name, rows in (rows_by_table or {}).items()
-        }
-        for name, rows in self._pending_inserts.items():
-            rows_by_table.setdefault(name, []).extend(rows)
-            rows_by_table[name].sort(
-                key=lambda r, t=self.schema.table(name): r[
-                    t.column_index(t.pk.name)
-                ]
+        total = self.core.load_data(rows_by_table)
+        self.session.attach()
+        self.core.finish_load(total)
+
+    def append(self, table: str, rows: list[tuple]):
+        """Append rows after the initial load (a re-synchronisation
+        session over the secure channel).
+
+        Splits each full row like the loader does, rebuilds the affected
+        device structures (an out-of-place, GC-feeding operation whose
+        cost shows up in the device counters), and updates the visible
+        site.  Returns the maintenance report.
+        """
+        from repro.engine.maintenance import append_rows
+
+        session = self.session
+        session._require_loaded()
+        session._guard_powered()
+        table_def = self.schema.table(table)
+        validated = [
+            tuple(
+                col.dtype.validate(value)
+                for col, value in zip(table_def.columns, row)
             )
-        self._pending_inserts.clear()
-        for table in self.schema:
-            rows_by_table.setdefault(table.name.lower(), [])
+            for row in rows
+        ]
+        try:
+            report = append_rows(self.hidden, table, validated)
+        except GhostDBFaultError as exc:
+            session._abort_on_fault(exc)
+            raise
+        self.site.append(table, validated)
+        return report
 
-        self.tree = SchemaTree(self.schema)
-        self.site = VisibleSite(self.schema)
-        for name, rows in rows_by_table.items():
-            self.site.load(name, rows)
-        self.hidden = HiddenDatabase.load(
-            self.device,
-            self.tree,
-            rows_by_table,
-            index_columns=self.config.index_columns,
-        )
-        # Batch sizes scale with the chip's RAM: receive buffers are real
-        # allocations, so a 16 KB device cannot afford 64 KB-class batches.
-        id_batch = min(self.config.id_batch, max(32, self.profile.ram_bytes // 256))
-        exec_config = self.config.exec_config
-        fetch_batch = min(
-            exec_config.fetch_batch, max(8, self.profile.ram_bytes // 512)
-        )
-        # exec_batch is deliberately *not* RAM-scaled: batch windows are
-        # host-side lists, invisible to the device's budget.
-        exec_config = ExecConfig(
-            max_fan_in=exec_config.max_fan_in,
-            bloom_fp_target=exec_config.bloom_fp_target,
-            fetch_batch=fetch_batch,
-            exec_batch=exec_config.exec_batch,
-        )
-        self.link = DeviceLink(
-            self.device, self.site, id_batch=id_batch, fetch_batch=fetch_batch
-        )
-        self.executor = Executor(
-            self.device, self.link, self.hidden, exec_config, obs=self.obs
-        )
-        self.optimizer = Optimizer(
-            self.hidden,
-            self.site,
-            self.profile,
-            fan_in=self.config.exec_config.max_fan_in,
-            bloom_fp_target=self.config.exec_config.bloom_fp_target,
-            obs=self.obs,
-            cache_pages=self.device.page_cache.capacity_for_costing,
-        )
-        # Schema identifiers (names, never values) may appear in traces.
-        self.obs.redactor.allow_schema(self.schema)
-        # Loading is not part of any query measurement.
-        self.device.reset_measurements()
-        if self.config.fault_profile:
-            self.set_faults(self.config.fault_profile, self.config.fault_seed)
-        log.info(
-            "session loaded: %d tables, %d rows total",
-            sum(1 for _ in self.schema),
-            sum(len(rows) for rows in rows_by_table.values()),
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+
+    def open_session(
+        self,
+        name: str | None = None,
+        ram_bytes: int | None = None,
+        config: SessionConfig | None = None,
+    ) -> SessionContext:
+        """Admit an additional leased session (its own RAM partition,
+        buffer pool and measurement plane).  Raises
+        :class:`AdmissionError` when the session cap or the secure RAM
+        budget is exhausted."""
+        return self.core.open_session(
+            name=name, ram_bytes=ram_bytes, config=config
         )
 
-    def _require_loaded(self) -> None:
-        if self.tree is None:
-            raise SessionError("load data before querying")
+    def close_session(self, session: SessionContext) -> None:
+        """Release a leased session's partition and admission slot."""
+        self.core.close_session(session)
 
     # ------------------------------------------------------------------
     # Fault injection and recovery
@@ -296,25 +244,21 @@ class GhostDB:
         same (workload, profile, seed) triple always reproduces the
         identical fault schedule.  Returns the injector.
         """
-        if profile is None:
-            self.clear_faults()
-            return None
-        if isinstance(profile, str):
-            try:
-                profile = FAULT_PROFILES[profile]
-            except KeyError:
-                raise SessionError(
-                    f"unknown fault profile {profile!r}; choose from "
-                    f"{sorted(FAULT_PROFILES)}"
-                ) from None
-        self.fault_injector = FaultInjector(profile=profile, seed=seed)
-        self.device.attach_faults(self.fault_injector)
-        return self.fault_injector
+        return self.core.set_faults(profile, seed)
 
     def clear_faults(self) -> None:
         """Detach the fault injector; the device is healthy again."""
-        self.fault_injector = None
-        self.device.detach_faults()
+        self.core.clear_faults()
+
+    @property
+    def needs_remount(self) -> bool:
+        """True after a power cut or unplug, until :meth:`remount`."""
+        return self.core.needs_remount
+
+    def remount(self) -> None:
+        """Plug the key back in after power loss (FTL recovery scan
+        plus the mount-time orphan sweep).  Idempotent."""
+        self.core.remount()
 
     # ------------------------------------------------------------------
     # Buffer pool
@@ -341,263 +285,45 @@ class GhostDB:
     def cache_enabled(self) -> bool:
         return self.device.page_cache.enabled
 
-    @property
-    def needs_remount(self) -> bool:
-        """True after a power cut or unplug, until :meth:`remount`."""
-        return self._needs_remount
-
-    def remount(self) -> None:
-        """Plug the key back in after power loss.
-
-        Rebuilds the FTL map from the flash spare-area journal (rolling
-        back torn writes to the last committed state) and resets the
-        volatile RAM budget.  A mount-time *orphan sweep* then frees
-        every recovered page the catalog no longer references: pages a
-        crashed rebuild had written but never committed, and freed pages
-        the journal resurrected (``ftl.free`` is volatile).  Idempotent;
-        safe to call on a healthy device.
-        """
-        self.device.remount()
-        if self.tree is not None:
-            ftl = self.device.ftl
-            orphans = ftl.mapped_lpages() - self.hidden.referenced_pages()
-            for lpage in orphans:
-                ftl.free(lpage)
-            if orphans:
-                self.obs.registry.counter(
-                    "ghostdb_recovery_orphan_pages_total"
-                ).inc(len(orphans))
-                self.obs.flight.record(
-                    "orphan_sweep", freed=len(orphans)
-                )
-        self._needs_remount = False
-
-    def _guard_powered(self) -> None:
-        if self._needs_remount:
-            raise SessionError(
-                "device lost power mid-operation; call remount() before "
-                "querying again"
-            )
-
-    def _abort_on_fault(self, exc: GhostDBFaultError) -> None:
-        """Record a fault-aborted query; power loss demands a remount."""
-        self.obs.registry.counter(
-            "ghostdb_recovery_aborted_queries_total"
-        ).inc(reason=type(exc).__name__)
-        if isinstance(exc, PowerCutError):
-            self._needs_remount = True
-        if self.config.dump_on_fault:
-            self.dump_bundle(
-                reason=type(exc).__name__,
-                directory=self.config.dump_dir,
-            )
-
-    def append(self, table: str, rows: list[tuple]):
-        """Append rows after the initial load (a re-synchronisation
-        session over the secure channel).
-
-        Splits each full row like the loader does, rebuilds the affected
-        device structures (an out-of-place, GC-feeding operation whose
-        cost shows up in the device counters), and updates the visible
-        site.  Returns the maintenance report.
-        """
-        from repro.engine.maintenance import append_rows
-
-        self._require_loaded()
-        self._guard_powered()
-        table_def = self.schema.table(table)
-        validated = [
-            tuple(
-                col.dtype.validate(value)
-                for col, value in zip(table_def.columns, row)
-            )
-            for row in rows
-        ]
-        try:
-            report = append_rows(self.hidden, table, validated)
-        except GhostDBFaultError as exc:
-            self._abort_on_fault(exc)
-            raise
-        self.site.append(table, validated)
-        return report
-
     # ------------------------------------------------------------------
-    # Queries
+    # Queries (default session)
     # ------------------------------------------------------------------
 
-    def bind(self, sql: str) -> BoundQuery:
+    def bind(self, sql: str):
         """Parse and bind a SELECT without running it."""
-        self._require_loaded()
-        statement = parse_statement(sql)
-        if not isinstance(statement, ast.Select):
-            raise SessionError("bind() expects a SELECT")
-        return Binder(self.tree).bind(statement)
+        return self.session.bind(sql)
 
-    def _announce_query(self, sql: str) -> None:
-        """Ship the query text to the device, as the terminal would.
+    def query(self, sql: str) -> QueryResult:
+        """Optimize and execute a SELECT; returns rows plus metrics."""
+        return self.session.query(sql)
 
-        The paper accepts that the spy learns "the queries he poses";
-        this makes that observable in the captured traffic.
-        """
-        self.link.announce(sql)
+    def query_with_strategy(self, sql: str, strategy: Strategy) -> QueryResult:
+        """Execute with an explicit PRE/POST assignment (the demo GUI's
+        ad-hoc plan building)."""
+        return self.session.query_with_strategy(sql, strategy)
 
-    def _meter_leakage(self, mark: int, span: Span | None = None) -> None:
-        """Profile the boundary traffic one query generated.
+    def execute_plan(self, plan) -> QueryResult:
+        """Execute a hand-built plan (demo phase 2/3)."""
+        return self.session.execute_plan(plan)
 
-        ``mark`` is the USB log length before the query started.  The
-        profile feeds the ``ghostdb_leak_*`` metric families and -- as
-        numbers only, same bar as every span attribute -- annotates the
-        query span, so traces show what each query *looked like* from
-        the spy's side of the boundary.
-        """
-        records = self.device.usb.log[mark:]
-        if not records:
-            return
-        profile = profile_records(records)
-        self._last_leak_profile = profile
-        self.obs.record_leakage(profile)
-        if span is not None:
-            span.set("leak_messages", profile.messages)
-            span.set("leak_bytes", profile.observable_bytes)
-            span.set("leak_ids", profile.ids_observed)
-            span.set(
-                "leak_entropy_bits", round(profile.shape_entropy_bits, 3)
-            )
-            span.set("leak_signature", profile.signature_int)
+    def rank_plans(self, sql: str):
+        """All candidate plans, cheapest estimate first."""
+        return self.session.rank_plans(sql)
+
+    def explain(self, sql: str) -> str:
+        """The chosen plan with per-node estimates."""
+        return self.session.explain(sql)
+
+    def explain_analyze(self, sql: str) -> tuple[str, QueryResult]:
+        """Execute the chosen plan and report estimated vs measured
+        statistics per node (plus the result itself)."""
+        return self.session.explain_analyze(sql)
 
     def leak_scorecard(self) -> TrafficProfile | None:
         """The :class:`~repro.privacy.meter.TrafficProfile` of the last
         metered query, or of the whole captured log when no query ran
         since the last reset.  ``None`` with nothing captured."""
-        if self._last_leak_profile is not None:
-            return self._last_leak_profile
-        records = self.usb_log
-        return profile_records(records) if records else None
-
-    def _run_select(self, statement: ast.Select, sql: str = "") -> QueryResult:
-        self._require_loaded()
-        self._guard_powered()
-        mark = len(self.device.usb.log)
-        with self.obs.tracer.span("query", category="session") as span:
-            if sql:
-                # The SQL text passes the redaction gate: constants (which
-                # may name hidden values) come out as '?', identifiers stay.
-                span.set("sql", " ".join(sql.split()))
-            try:
-                if sql:
-                    self._announce_query(sql)
-                bound = Binder(self.tree).bind(statement)
-                ranked = self.optimizer.optimize(bound)
-                result = self.executor.execute(ranked.plan)
-            except GhostDBFaultError as exc:
-                span.set("aborted", type(exc).__name__)
-                self._abort_on_fault(exc)
-                raise
-            span.set("result_rows", result.row_count)
-            self._meter_leakage(mark, span)
-        return result
-
-    def _run_dml(
-        self, statement: ast.Update | ast.Delete, sql: str = ""
-    ) -> DmlResult:
-        """Run one UPDATE or DELETE as an atomic rebuild transaction.
-
-        DML travels the secure channel like appends do -- its text may
-        name hidden values, so unlike SELECT it is *not* announced over
-        the spied USB link; read-scenario leak signatures are untouched.
-        """
-        self._require_loaded()
-        self._guard_powered()
-        with self.obs.tracer.span("dml", category="session") as span:
-            if sql:
-                # Same redaction bar as queries: constants come out as
-                # '?' on export, identifiers stay.
-                span.set("sql", " ".join(sql.split()))
-            try:
-                if isinstance(statement, ast.Update):
-                    bound = Binder(self.tree).bind_update(statement)
-                    plan = UpdatePlan(bound)
-                else:
-                    bound = Binder(self.tree).bind_delete(statement)
-                    plan = DeletePlan(bound)
-                result = self.executor.execute_dml(plan, self.site)
-            except GhostDBFaultError as exc:
-                span.set("aborted", type(exc).__name__)
-                self._abort_on_fault(exc)
-                raise
-            span.set("matched", result.matched)
-            span.set("changed", result.changed)
-        return result
-
-    def query(self, sql: str) -> QueryResult:
-        """Optimize and execute a SELECT; returns rows plus metrics."""
-        result = self.execute(sql)
-        if not isinstance(result, QueryResult):
-            raise SessionError("query() expects a SELECT statement")
-        return result
-
-    def query_with_strategy(self, sql: str, strategy: Strategy) -> QueryResult:
-        """Execute with an explicit PRE/POST assignment (the demo GUI's
-        ad-hoc plan building)."""
-        self._guard_powered()
-        mark = len(self.device.usb.log)
-        with self.obs.tracer.span("query", category="session") as span:
-            span.set("sql", " ".join(sql.split()))
-            try:
-                self._announce_query(sql)
-                bound = self.bind(sql)
-                span.set("strategy", strategy.label(bound))
-                builder = PlanBuilder(self.hidden, bound)
-                plan = builder.build(strategy)
-                self.optimizer.annotate(plan)
-                result = self.executor.execute(plan)
-            except GhostDBFaultError as exc:
-                span.set("aborted", type(exc).__name__)
-                self._abort_on_fault(exc)
-                raise
-            self._meter_leakage(mark, span)
-        return result
-
-    def execute_plan(self, plan: Project) -> QueryResult:
-        """Execute a hand-built plan (demo phase 2/3)."""
-        self._require_loaded()
-        return self.executor.execute(plan)
-
-    def rank_plans(self, sql: str) -> list[RankedPlan]:
-        """All candidate plans, cheapest estimate first."""
-        bound = self.bind(sql)
-        return self.optimizer.rank(bound)
-
-    def explain(self, sql: str) -> str:
-        """The chosen plan with per-node estimates."""
-        bound = self.bind(sql)
-        best = self.optimizer.optimize(bound)
-        return explain_plan(best.plan, self.optimizer.cost_model)
-
-    def explain_analyze(self, sql: str) -> tuple[str, QueryResult]:
-        """Execute the chosen plan and report estimated vs measured
-        statistics per node (plus the result itself)."""
-        from repro.optimizer.explain import explain_analyze
-
-        self._guard_powered()
-        mark = len(self.device.usb.log)
-        try:
-            self._announce_query(sql)
-            bound = self.bind(sql)
-            best = self.optimizer.optimize(bound)
-            result = self.executor.execute(best.plan)
-        except GhostDBFaultError as exc:
-            self._abort_on_fault(exc)
-            raise
-        self._meter_leakage(mark)
-        report = explain_analyze(best.plan, self.optimizer.cost_model)
-        measured = result.metrics.elapsed_seconds
-        if measured > 1e-9:
-            estimated = self.optimizer.cost_model.estimate(best.plan).seconds
-            self.obs.registry.histogram(
-                "ghostdb_optimizer_est_over_meas"
-            ).observe(estimated / measured)
-        return report, result
+        return self.session.leak_scorecard()
 
     # ------------------------------------------------------------------
     # Persistence (unplug / replug the key)
@@ -699,7 +425,7 @@ class GhostDB:
         self.device.reset_measurements()
         self.obs.registry.reset()
         self.obs.tracer.clear()
-        self._last_leak_profile = None
+        self.session._last_leak_profile = None
 
     @property
     def usb_log(self):

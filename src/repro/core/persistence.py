@@ -37,7 +37,9 @@ from repro.obs.log import get_logger
 log = get_logger(__name__)
 
 MAGIC = b"GHOSTDB-SESSION"
-VERSION = 2
+#: v3: the session pickles as a DeviceCore + SessionContext graph
+#: (multi-session split); v2 monolithic files are refused.
+VERSION = 3
 
 #: Header after MAGIC: version (2 B) + payload length (8 B) + CRC32 (4 B).
 _LEN_BYTES = 8

@@ -1,0 +1,1099 @@
+"""Re-entrant session cores: shared device state vs per-session state.
+
+The paper's deployment story is many client terminals contending for one
+slow USB key.  This module splits what used to be the monolithic
+:class:`~repro.core.ghostdb.GhostDB` blob into the two ownership domains
+that story implies:
+
+* :class:`DeviceCore` -- everything there is exactly **one** of per
+  device: the simulated hardware stack, the FTL and its flash image, the
+  loaded catalog/visible/hidden data, the device-wide observability
+  (metrics registry, flight recorder, redactor), fault injection, and
+  the admission ledger that hands out per-session RAM partitions.
+* :class:`SessionContext` -- everything each open session owns
+  privately: its RAM partition and buffer pool (a :class:`HardwareLease`),
+  its simulated-time account, its USB capture, its tracer and resource
+  ledger, its leak scorecard, and its own executor/optimizer/link wired
+  against a :class:`SessionDevice` view of the shared hardware.
+
+The **default session** (``lease=None``) runs against the real device
+objects with no indirection at all -- it is bit-for-bit the
+single-caller engine every committed baseline was measured on.  Leased
+sessions get a partition of the secure RAM and a private measurement
+plane; the cooperative scheduler (:mod:`repro.core.scheduler`)
+interleaves them at batch-window boundaries by *activating* one lease at
+a time (:meth:`DeviceCore.activated`).
+
+Activation swaps the device's volatile per-session surfaces -- RAM
+budget, buffer pool, flash op counters, USB capture log -- for the
+lease's, tees every simulated-clock charge into the lease's private
+clock, and mirrors every USB record into the device-lifetime log.  The
+result is the invariant the whole refactor hangs on: a session's rows,
+:class:`~repro.engine.metrics.ExecutionMetrics` diffs and leak
+signatures are bit-identical whether its statements ran alone or
+interleaved with any number of other sessions, while the device log
+still shows the spy the full interleaved traffic stream.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, replace
+
+from repro.catalog.schema import Schema, SchemaError
+from repro.catalog.tree import SchemaTree
+from repro.engine.database import HiddenDatabase
+from repro.engine.executor import DmlResult, ExecConfig, Executor, QueryResult
+from repro.engine.plan import DeletePlan, Project, UpdatePlan
+from repro.faults import (
+    FAULT_PROFILES,
+    FaultInjector,
+    FaultProfile,
+    GhostDBFaultError,
+    PowerCutError,
+)
+from repro.hardware.clock import SimClock
+from repro.hardware.device import DeviceCounters, SmartUsbDevice
+from repro.hardware.flash import FlashStats
+from repro.hardware.pagecache import CacheStats, PageCache
+from repro.hardware.profiles import DEMO_DEVICE, HardwareProfile
+from repro.hardware.ram import RamBudget
+from repro.obs import Observability, get_logger
+from repro.optimizer.optimizer import Optimizer, RankedPlan
+from repro.optimizer.space import PlanBuilder, Strategy
+from repro.privacy.meter import TrafficProfile, profile_records
+from repro.sql import ast
+from repro.sql.binder import Binder, BoundQuery
+from repro.sql.ddl import create_table
+from repro.sql.parser import parse_statement
+from repro.visible.link import DeviceLink
+from repro.visible.site import VisibleSite
+
+log = get_logger(__name__)
+
+
+class SessionError(RuntimeError):
+    """The session was used out of order (e.g. query before load)."""
+
+
+class AdmissionError(SessionError):
+    """A session could not be admitted: the device's session cap or
+    secure RAM budget is exhausted.  Callers either surface the
+    rejection or queue the request until a session closes."""
+
+
+@dataclass
+class SessionConfig:
+    """Session-wide tunables."""
+
+    exec_config: ExecConfig | None = None
+    id_batch: int = 256
+    index_columns: list | None = None
+    #: Fault-injection regime to attach after load (a name from
+    #: :data:`repro.faults.FAULT_PROFILES`), or None for a healthy device.
+    fault_profile: str | None = None
+    fault_seed: int = 0
+    #: Device buffer-pool capacity in pages: ``None`` takes the profile
+    #: default (a quarter of RAM), ``0`` disables the pool.
+    cache_pages: int | None = None
+    #: Flight-recorder ring capacity in events (``None`` takes the
+    #: recorder default) and enablement.  The ring is host memory,
+    #: accounted outside the device's secure RAM budget.
+    flight_capacity: int | None = None
+    flight_enabled: bool = True
+    #: Write a postmortem bundle (``DUMP_<seed>.json`` in ``dump_dir``)
+    #: whenever an injected fault aborts a query.
+    dump_on_fault: bool = False
+    dump_dir: str = "."
+    #: Most sessions that may be open against one device at once (the
+    #: default session is the console and is not counted).
+    max_sessions: int = 8
+
+    def __post_init__(self):
+        if self.exec_config is None:
+            self.exec_config = ExecConfig()
+
+
+class HardwareLease:
+    """One session's partition of the device's volatile resources.
+
+    A lease owns the four things that make a session's measurements
+    private: a RAM budget carved out of the secure chip's RAM, a buffer
+    pool over that budget, a simulated clock that starts at zero, and a
+    USB capture log plus flash op counters of its own.  Flash contents,
+    the FTL map and the secure chip are *not* leased -- they are the
+    shared database.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        profile: HardwareProfile,
+        ram_bytes: int,
+        cache_pages: int | None = None,
+        flight=None,
+    ):
+        self.name = name
+        self.capacity = ram_bytes
+        #: Private simulated-time account, fed by the device clock's tee
+        #: while this lease is active.  Starts at zero like a
+        #: single-session device's clock, so per-query time diffs are
+        #: bit-identical to a serial run.
+        self.clock = SimClock()
+        #: The session's RAM partition.  No metrics sink: the device
+        #: gauges track the root budget; per-session peaks surface via
+        #: ``ghostdb_session_ram_high_water_bytes``.
+        self.ram = RamBudget(capacity=ram_bytes, flight=flight)
+        self.flash_stats = FlashStats()
+        if cache_pages is None:
+            # Same shape as the device default: a quarter of (partition)
+            # RAM, so a full-RAM lease behaves exactly like the classic
+            # single-session device.
+            cache_pages = ram_bytes // (4 * profile.page_size)
+        self.cache = PageCache(
+            budget=self.ram,
+            page_size=profile.page_size,
+            capacity_pages=cache_pages,
+        )
+        self.cache.flight = flight
+        self.usb_log: list = []
+        self.bytes_to_device = 0
+        self.bytes_to_host = 0
+
+    @property
+    def firm_ram_used(self) -> int:
+        """Non-reclaimable bytes currently reserved -- the number that
+        must be zero once a session has no query in flight."""
+        return self.ram.used - self.ram.reclaimable_used
+
+
+class SessionDevice:
+    """A leased session's view of the shared device.
+
+    Hardware that exists once (clock, flash, FTL, chip, USB channel,
+    fault injector, flight recorder) resolves to the real device;
+    volatile per-session surfaces (RAM budget, buffer pool) resolve to
+    the lease; and :meth:`counters` is assembled entirely from lease
+    state, so :class:`~repro.engine.metrics.ExecutionMetrics` diffs
+    taken through this view are session-pure no matter what other
+    sessions did in between.
+    """
+
+    def __init__(self, core: "DeviceCore", lease: HardwareLease):
+        self._core = core
+        self._lease = lease
+
+    # -- shared hardware -------------------------------------------------
+    @property
+    def profile(self):
+        return self._core.device.profile
+
+    @property
+    def clock(self):
+        return self._core.device.clock
+
+    @property
+    def flash(self):
+        return self._core.device.flash
+
+    @property
+    def ftl(self):
+        return self._core.device.ftl
+
+    @property
+    def chip(self):
+        return self._core.device.chip
+
+    @property
+    def usb(self):
+        return self._core.device.usb
+
+    @property
+    def faults(self):
+        return self._core.device.faults
+
+    @property
+    def flight(self):
+        return self._core.device.flight
+
+    @property
+    def metrics(self):
+        return self._core.device.metrics
+
+    # -- leased surfaces -------------------------------------------------
+    @property
+    def ram(self):
+        return self._lease.ram
+
+    @property
+    def page_cache(self):
+        return self._lease.cache
+
+    # -- session-pure measurement ---------------------------------------
+    def counters(self) -> DeviceCounters:
+        lease = self._lease
+        if self._core.active_lease is lease:
+            # The live byte totals sit on the channel while activated;
+            # the lease copies are only synced on deactivation.
+            usb = self._core.device.usb
+            to_device, to_host = usb.bytes_to_device, usb.bytes_to_host
+        else:
+            to_device, to_host = lease.bytes_to_device, lease.bytes_to_host
+        return DeviceCounters(
+            time=lease.clock.breakdown(),
+            flash=lease.flash_stats.snapshot(),
+            ram_high_water=lease.ram.high_water,
+            usb_messages=len(lease.usb_log),
+            usb_bytes_to_device=to_device,
+            usb_bytes_to_host=to_host,
+            cache=lease.cache.stats.snapshot(),
+        )
+
+    def reset_measurements(self) -> None:
+        lease = self._lease
+        lease.clock.reset()
+        lease.usb_log.clear()
+        fresh = FlashStats()
+        lease.flash_stats = fresh
+        lease.bytes_to_device = 0
+        lease.bytes_to_host = 0
+        if self._core.active_lease is lease:
+            device = self._core.device
+            device.flash.stats = fresh
+            device.usb.bytes_to_device = 0
+            device.usb.bytes_to_host = 0
+        lease.ram.reset_high_water()
+        lease.cache.clear()
+        lease.cache.stats = CacheStats()
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionDevice(lease={self._lease.name!r}, "
+            f"ram={self._lease.capacity}B)"
+        )
+
+
+class DeviceCore:
+    """Everything there is one of per device, plus session admission.
+
+    Owns the simulated hardware, the device-wide observability bundle,
+    the loaded database (catalog, visible site, hidden side), fault
+    injection and recovery state -- and the multiplexing machinery:
+    the lease ledger that partitions secure RAM across sessions, the
+    peer-cache list the FTL broadcasts invalidations to, and the
+    activation swap the scheduler wraps around every step.
+    """
+
+    def __init__(
+        self,
+        profile: HardwareProfile = DEMO_DEVICE,
+        config: SessionConfig | None = None,
+    ):
+        self.profile = profile
+        self.config = config or SessionConfig()
+        self.obs = Observability(
+            flight_capacity=self.config.flight_capacity,
+            flight_enabled=self.config.flight_enabled,
+        )
+        self.device = SmartUsbDevice(
+            profile,
+            metrics=self.obs.registry,
+            cache_pages=self.config.cache_pages,
+            flight=self.obs.flight,
+        )
+        # Spans and flight events measure simulated time against this
+        # device's clock.
+        self.obs.tracer.clock = self.device.clock
+        self.obs.flight.clock = self.device.clock
+        self.obs.flight.metric = self.obs.registry.counter(
+            "ghostdb_flight_events_total"
+        ).labelled()
+        self.schema = Schema()
+        self.tree: SchemaTree | None = None
+        self.site: VisibleSite | None = None
+        self.hidden: HiddenDatabase | None = None
+        self._pending_inserts: dict[str, list[tuple]] = {}
+        self.fault_injector: FaultInjector | None = None
+        self.needs_remount = False
+        #: Open leased sessions by name (the default session is not
+        #: listed; it is the console, outside the admission ledger).
+        self.sessions: dict[str, SessionContext] = {}
+        self._session_serial = 0
+        #: Every live page cache over this device's FTL, root pool
+        #: included; writes broadcast invalidations across all of them.
+        self._peer_caches: list[PageCache] = [self.device.page_cache]
+        self.device.ftl.peer_caches = self._peer_caches
+        self.active_lease: HardwareLease | None = None
+        #: Facade backref (set by GhostDB) for postmortem bundles.
+        self.owner = None
+
+    # ------------------------------------------------------------------
+    # Shared database lifecycle
+    # ------------------------------------------------------------------
+
+    def create_table(self, statement: ast.CreateTable):
+        if self.tree is not None:
+            raise SessionError("schema is frozen once data is loaded")
+        return create_table(self.schema, statement)
+
+    def buffer_insert(self, statement: ast.Insert) -> int:
+        """INSERTs are buffered; :meth:`load_data` flushes them.
+
+        The device is loaded once in a secure setting (Section 2), so
+        inserts are collected and loaded together.
+        """
+        if self.tree is not None:
+            raise SessionError(
+                "data is loaded; GhostDB devices are loaded once, in a "
+                "secure setting"
+            )
+        table = self.schema.table(statement.table)
+        for row in statement.values:
+            if len(row) != len(table.columns):
+                raise SchemaError(
+                    f"{table.name}: INSERT arity {len(row)} != "
+                    f"{len(table.columns)} columns"
+                )
+            normalised = tuple(
+                col.dtype.validate(value)
+                for col, value in zip(table.columns, row)
+            )
+            self._pending_inserts.setdefault(
+                table.name.lower(), []
+            ).append(normalised)
+        return len(statement.values)
+
+    def load_data(self, rows_by_table: dict[str, list] | None = None) -> int:
+        """Split and load the database onto both sides; build indexes.
+
+        Returns the total row count.  Sessions wire their executors
+        afterwards via :meth:`SessionContext.attach`.
+        """
+        if self.tree is not None:
+            raise SessionError("data is already loaded")
+        rows_by_table = {
+            name.lower(): list(rows)
+            for name, rows in (rows_by_table or {}).items()
+        }
+        for name, rows in self._pending_inserts.items():
+            rows_by_table.setdefault(name, []).extend(rows)
+            rows_by_table[name].sort(
+                key=lambda r, t=self.schema.table(name): r[
+                    t.column_index(t.pk.name)
+                ]
+            )
+        self._pending_inserts.clear()
+        for table in self.schema:
+            rows_by_table.setdefault(table.name.lower(), [])
+
+        self.tree = SchemaTree(self.schema)
+        self.site = VisibleSite(self.schema)
+        for name, rows in rows_by_table.items():
+            self.site.load(name, rows)
+        self.hidden = HiddenDatabase.load(
+            self.device,
+            self.tree,
+            rows_by_table,
+            index_columns=self.config.index_columns,
+        )
+        return sum(len(rows) for rows in rows_by_table.values())
+
+    def finish_load(self, total_rows: int) -> None:
+        """Post-attach load steps: redaction allowances, measurement
+        reset, configured faults."""
+        # Schema identifiers (names, never values) may appear in traces.
+        self.obs.redactor.allow_schema(self.schema)
+        # Loading is not part of any query measurement.
+        self.device.reset_measurements()
+        if self.config.fault_profile:
+            self.set_faults(self.config.fault_profile, self.config.fault_seed)
+        log.info(
+            "session loaded: %d tables, %d rows total",
+            sum(1 for _ in self.schema), total_rows,
+        )
+
+    # ------------------------------------------------------------------
+    # Fault injection and recovery
+    # ------------------------------------------------------------------
+
+    def set_faults(
+        self,
+        profile: str | FaultProfile | None,
+        seed: int = 0,
+    ) -> FaultInjector | None:
+        """Attach a deterministic fault injector to the device.
+
+        ``profile`` is a name from :data:`repro.faults.FAULT_PROFILES`
+        (or a :class:`FaultProfile`); ``None`` or ``"none"``-with-no-rates
+        still attaches, which is useful for scheduled power cuts.  The
+        same (workload, profile, seed) triple always reproduces the
+        identical fault schedule.  Returns the injector.
+        """
+        if profile is None:
+            self.clear_faults()
+            return None
+        if isinstance(profile, str):
+            try:
+                profile = FAULT_PROFILES[profile]
+            except KeyError:
+                raise SessionError(
+                    f"unknown fault profile {profile!r}; choose from "
+                    f"{sorted(FAULT_PROFILES)}"
+                ) from None
+        self.fault_injector = FaultInjector(profile=profile, seed=seed)
+        self.device.attach_faults(self.fault_injector)
+        return self.fault_injector
+
+    def clear_faults(self) -> None:
+        """Detach the fault injector; the device is healthy again."""
+        self.fault_injector = None
+        self.device.detach_faults()
+
+    def remount(self) -> None:
+        """Plug the key back in after power loss.
+
+        Rebuilds the FTL map from the flash spare-area journal (rolling
+        back torn writes to the last committed state) and resets the
+        volatile RAM budget.  A mount-time *orphan sweep* then frees
+        every recovered page the catalog no longer references.
+        Idempotent; safe to call on a healthy device.
+        """
+        if self.active_lease is not None:
+            raise SessionError("cannot remount while a session is active")
+        self.device.remount()
+        # The recovery scan built a fresh FTL: re-point it at the full
+        # peer-cache list or dormant sessions resume with stale pages.
+        self.device.ftl.peer_caches = self._peer_caches
+        if self.tree is not None:
+            ftl = self.device.ftl
+            orphans = ftl.mapped_lpages() - self.hidden.referenced_pages()
+            for lpage in orphans:
+                ftl.free(lpage)
+            if orphans:
+                self.obs.registry.counter(
+                    "ghostdb_recovery_orphan_pages_total"
+                ).inc(len(orphans))
+                self.obs.flight.record(
+                    "orphan_sweep", freed=len(orphans)
+                )
+        self.needs_remount = False
+
+    # ------------------------------------------------------------------
+    # Session admission
+    # ------------------------------------------------------------------
+
+    @property
+    def leased_bytes(self) -> int:
+        """Secure RAM currently partitioned out to open sessions."""
+        return sum(
+            ctx.lease.capacity
+            for ctx in self.sessions.values()
+            if ctx.lease is not None
+        )
+
+    def open_session(
+        self,
+        name: str | None = None,
+        ram_bytes: int | None = None,
+        config: SessionConfig | None = None,
+    ) -> "SessionContext":
+        """Admit a new leased session, or raise :class:`AdmissionError`.
+
+        ``ram_bytes`` is the session's RAM partition (default: a quarter
+        of the device's secure RAM).  Admission fails when the session
+        cap is reached or the requested partition does not fit in the
+        unleased remainder of the secure budget -- callers queue or
+        surface the rejection.
+        """
+        if self.tree is None:
+            raise SessionError("load data before opening sessions")
+        registry = self.obs.registry
+        self._register_session_families()
+        if name is None:
+            self._session_serial += 1
+            name = f"session-{self._session_serial}"
+        if name in self.sessions:
+            registry.counter("ghostdb_session_rejections_total").inc(
+                reason="duplicate_name"
+            )
+            raise AdmissionError(f"session {name!r} is already open")
+        if len(self.sessions) >= self.config.max_sessions:
+            registry.counter("ghostdb_session_rejections_total").inc(
+                reason="session_cap"
+            )
+            raise AdmissionError(
+                f"session cap reached ({self.config.max_sessions} open)"
+            )
+        if ram_bytes is None:
+            ram_bytes = self.profile.ram_bytes // 4
+        if ram_bytes <= 0:
+            raise SessionError(f"unusable RAM partition: {ram_bytes} B")
+        if self.leased_bytes + ram_bytes > self.profile.ram_bytes:
+            registry.counter("ghostdb_session_rejections_total").inc(
+                reason="ram_budget"
+            )
+            raise AdmissionError(
+                f"RAM budget exhausted: {name!r} requested {ram_bytes} B "
+                f"but only {self.profile.ram_bytes - self.leased_bytes} B "
+                f"of the secure budget remain unleased"
+            )
+        session_config = config if config is not None else self.config
+        lease = HardwareLease(
+            name,
+            self.profile,
+            ram_bytes,
+            cache_pages=session_config.cache_pages,
+            flight=self.obs.flight,
+        )
+        ctx = SessionContext(
+            core=self, name=name, config=session_config, lease=lease
+        )
+        ctx.attach()
+        self.sessions[name] = ctx
+        self._peer_caches.append(lease.cache)
+        registry.counter("ghostdb_sessions_opened_total").inc()
+        registry.gauge("ghostdb_sessions_open").set(len(self.sessions))
+        self.obs.flight.record(
+            "session_open", session=name, ram_bytes=ram_bytes
+        )
+        return ctx
+
+    def close_session(self, session: "SessionContext") -> None:
+        """Release a leased session's RAM partition and admission slot."""
+        if self.sessions.get(session.name) is not session:
+            raise SessionError(f"session {session.name!r} is not open")
+        if self.active_lease is session.lease:
+            raise SessionError("cannot close a session mid-step")
+        del self.sessions[session.name]
+        session.closed = True
+        if session.lease.cache in self._peer_caches:
+            self._peer_caches.remove(session.lease.cache)
+        registry = self.obs.registry
+        registry.counter("ghostdb_sessions_closed_total").inc()
+        registry.gauge("ghostdb_sessions_open").set(len(self.sessions))
+        self.obs.flight.record(
+            "session_close",
+            session=session.name,
+            leaked_ram=session.lease.firm_ram_used,
+        )
+
+    def _register_session_families(self) -> None:
+        """Multi-session metric families, registered when the first
+        lease opens (so single-session expositions are unchanged)."""
+        reg = self.obs.registry
+        reg.gauge(
+            "ghostdb_sessions_open", "leased sessions currently open"
+        )
+        reg.counter(
+            "ghostdb_sessions_opened_total", "leased sessions ever admitted"
+        )
+        reg.counter(
+            "ghostdb_sessions_closed_total", "leased sessions ever closed"
+        )
+        reg.counter(
+            "ghostdb_session_rejections_total",
+            "session admissions refused, by reason",
+        )
+        reg.counter(
+            "ghostdb_session_queries_total",
+            "statements completed, by session",
+        )
+        reg.counter(
+            "ghostdb_session_aborts_total",
+            "statements aborted by faults, by session",
+        )
+        reg.counter(
+            "ghostdb_session_sim_seconds_total",
+            "simulated device seconds consumed, by session",
+        )
+        reg.counter(
+            "ghostdb_session_steps_total",
+            "scheduler steps (batch windows) granted, by session",
+        )
+        reg.gauge(
+            "ghostdb_session_ram_high_water_bytes",
+            "largest RAM peak within the session's partition, by session",
+        )
+
+    # ------------------------------------------------------------------
+    # Activation: swap one lease's volatile surfaces into the device
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def activated(self, lease: HardwareLease | None):
+        """Run a block with ``lease``'s volatile surfaces swapped into
+        the shared device.
+
+        ``None`` (the default session) and re-entry with the already
+        active lease are no-ops.  While active: RAM allocations land in
+        the lease's partition, the buffer pool is the lease's, flash op
+        counters and the USB capture are the lease's, every clock charge
+        is teed into the lease's private clock, and every USB record is
+        mirrored into the device-lifetime log -- the spy's interleaved
+        view.  Cooperative, not concurrent: nesting two different
+        leases is a scheduling bug and raises.
+        """
+        if lease is None or self.active_lease is lease:
+            yield
+            return
+        if self.active_lease is not None:
+            raise SessionError(
+                "cannot activate a lease while another is active"
+            )
+        device = self.device
+        usb = device.usb
+        saved = (
+            device.ram,
+            device.page_cache,
+            device.ftl.cache,
+            device.flash.stats,
+            usb.log,
+            usb.bytes_to_device,
+            usb.bytes_to_host,
+        )
+        device.ram = lease.ram
+        device.page_cache = lease.cache
+        device.ftl.cache = lease.cache
+        device.flash.stats = lease.flash_stats
+        usb.log = lease.usb_log
+        usb.bytes_to_device = lease.bytes_to_device
+        usb.bytes_to_host = lease.bytes_to_host
+        usb.mirror = saved[4]
+        device.clock.tee = lease.clock
+        self.active_lease = lease
+        try:
+            yield
+        finally:
+            lease.bytes_to_device = usb.bytes_to_device
+            lease.bytes_to_host = usb.bytes_to_host
+            # The swapped-in stats object may have been replaced by a
+            # mid-step reset; keep whatever is current as the lease's.
+            lease.flash_stats = device.flash.stats
+            (
+                device.ram,
+                device.page_cache,
+                device.ftl.cache,
+                device.flash.stats,
+                usb.log,
+                usb.bytes_to_device,
+                usb.bytes_to_host,
+            ) = saved
+            usb.mirror = None
+            device.clock.tee = None
+            self.active_lease = None
+
+
+class SessionContext:
+    """One session's private state and statement surface.
+
+    The default session (``lease=None``) shares the device-wide
+    observability bundle and talks to the real device -- the classic
+    single-caller wiring.  Leased sessions own a tracer and resource
+    ledger (sharing the registry, flight recorder and redactor), talk
+    to the device through a :class:`SessionDevice` view, and must run
+    under :meth:`DeviceCore.activated` -- which :meth:`execute` does
+    itself, and the scheduler does per step.
+    """
+
+    def __init__(
+        self,
+        core: DeviceCore,
+        name: str,
+        config: SessionConfig,
+        lease: HardwareLease | None = None,
+    ):
+        self.core = core
+        self.name = name
+        self.config = config
+        self.lease = lease
+        self.closed = False
+        if lease is None:
+            self.obs = core.obs
+            self.device = core.device
+        else:
+            self.obs = Observability(
+                clock=core.device.clock,
+                registry=core.obs.registry,
+                flight=core.obs.flight,
+                redactor=core.obs.redactor,
+            )
+            self.device = SessionDevice(core, lease)
+        self.link: DeviceLink | None = None
+        self.executor: Executor | None = None
+        self.optimizer: Optimizer | None = None
+        self._last_leak_profile: TrafficProfile | None = None
+
+    @property
+    def profile(self) -> HardwareProfile:
+        return self.core.profile
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Wire link/executor/optimizer against the loaded database.
+
+        Batch sizes scale with the RAM the session actually has -- the
+        full chip for the default session, the partition for a lease --
+        so a full-RAM lease behaves exactly like the classic device.
+        """
+        core = self.core
+        if core.tree is None:
+            raise SessionError("load data before attaching sessions")
+        ram_bytes = (
+            core.profile.ram_bytes
+            if self.lease is None
+            else self.lease.capacity
+        )
+        # Receive buffers are real allocations, so a 16 KB partition
+        # cannot afford 64 KB-class batches.
+        id_batch = min(self.config.id_batch, max(32, ram_bytes // 256))
+        exec_config = self.config.exec_config
+        fetch_batch = min(
+            exec_config.fetch_batch, max(8, ram_bytes // 512)
+        )
+        # exec_batch is deliberately *not* RAM-scaled: batch windows are
+        # host-side lists, invisible to the device's budget.
+        exec_config = ExecConfig(
+            max_fan_in=exec_config.max_fan_in,
+            bloom_fp_target=exec_config.bloom_fp_target,
+            fetch_batch=fetch_batch,
+            exec_batch=exec_config.exec_batch,
+        )
+        self.link = DeviceLink(
+            self.device, core.site, id_batch=id_batch, fetch_batch=fetch_batch
+        )
+        self.executor = Executor(
+            self.device, self.link, core.hidden, exec_config, obs=self.obs
+        )
+        cost_profile = (
+            core.profile
+            if self.lease is None
+            else replace(core.profile, ram_bytes=ram_bytes)
+        )
+        self.optimizer = Optimizer(
+            core.hidden,
+            core.site,
+            cost_profile,
+            fan_in=self.config.exec_config.max_fan_in,
+            bloom_fp_target=self.config.exec_config.bloom_fp_target,
+            obs=self.obs,
+            cache_pages=self.device.page_cache.capacity_for_costing,
+        )
+
+    def _activated(self):
+        return (
+            nullcontext()
+            if self.lease is None
+            else self.core.activated(self.lease)
+        )
+
+    def _require_loaded(self) -> None:
+        if self.core.tree is None:
+            raise SessionError("load data before querying")
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise SessionError(f"session {self.name!r} is closed")
+
+    def _guard_powered(self) -> None:
+        if self.core.needs_remount:
+            raise SessionError(
+                "device lost power mid-operation; call remount() before "
+                "querying again"
+            )
+
+    def _abort_on_fault(self, exc: GhostDBFaultError) -> None:
+        """Record a fault-aborted query; power loss demands a remount."""
+        self.obs.registry.counter(
+            "ghostdb_recovery_aborted_queries_total"
+        ).inc(reason=type(exc).__name__)
+        if isinstance(exc, PowerCutError):
+            self.core.needs_remount = True
+        if self.config.dump_on_fault and self.core.owner is not None:
+            self.core.owner.dump_bundle(
+                reason=type(exc).__name__,
+                directory=self.config.dump_dir,
+            )
+
+    # ------------------------------------------------------------------
+    # Statement surface
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str):
+        """Execute one statement: CREATE TABLE, INSERT, SELECT, UPDATE
+        or DELETE."""
+        statement = parse_statement(sql)
+        if isinstance(statement, ast.CreateTable):
+            return self.core.create_table(statement)
+        if isinstance(statement, ast.Insert):
+            return self.core.buffer_insert(statement)
+        if isinstance(statement, ast.Select):
+            return self._run_select(statement, sql)
+        if isinstance(statement, (ast.Update, ast.Delete)):
+            return self._run_dml(statement, sql)
+        raise SessionError(f"unsupported statement {type(statement).__name__}")
+
+    def query(self, sql: str) -> QueryResult:
+        """Optimize and execute a SELECT; returns rows plus metrics."""
+        result = self.execute(sql)
+        if not isinstance(result, QueryResult):
+            raise SessionError("query() expects a SELECT statement")
+        return result
+
+    def bind(self, sql: str) -> BoundQuery:
+        """Parse and bind a SELECT without running it."""
+        self._require_loaded()
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.Select):
+            raise SessionError("bind() expects a SELECT")
+        return Binder(self.core.tree).bind(statement)
+
+    def statement_steps(self, sql: str):
+        """The statement as a step generator for the scheduler.
+
+        Yields at every batch-window boundary (SELECT) or not at all
+        (DML runs as one atomic rebuild transaction); the result object
+        is the generator's return value.  The caller owns activation.
+        """
+        statement = parse_statement(sql)
+        if isinstance(statement, ast.Select):
+            return self._select_steps(statement, sql)
+        if isinstance(statement, (ast.Update, ast.Delete)):
+            return self._dml_steps(statement, sql)
+        raise SessionError(
+            "the scheduler runs SELECT, UPDATE and DELETE statements"
+        )
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+
+    def _announce_query(self, sql: str) -> None:
+        """Ship the query text to the device, as the terminal would.
+
+        The paper accepts that the spy learns "the queries he poses";
+        this makes that observable in the captured traffic.
+        """
+        self.link.announce(sql)
+
+    def _run_select(self, statement: ast.Select, sql: str = "") -> QueryResult:
+        return self._drain(self._select_steps(statement, sql))
+
+    def _drain(self, steps):
+        """Run a step generator to completion under activation."""
+        with self._activated():
+            while True:
+                try:
+                    next(steps)
+                except StopIteration as stop:
+                    return stop.value
+
+    def _select_steps(self, statement: ast.Select, sql: str = ""):
+        self._require_loaded()
+        self._require_open()
+        self._guard_powered()
+        mark = len(self.device.usb.log)
+        with self.obs.tracer.span("query", category="session") as span:
+            if sql:
+                # The SQL text passes the redaction gate: constants (which
+                # may name hidden values) come out as '?', identifiers stay.
+                span.set("sql", " ".join(sql.split()))
+            try:
+                if sql:
+                    self._announce_query(sql)
+                bound = Binder(self.core.tree).bind(statement)
+                ranked = self.optimizer.optimize(bound)
+                result = yield from self.executor.execute_steps(ranked.plan)
+            except GhostDBFaultError as exc:
+                span.set("aborted", type(exc).__name__)
+                self._abort_on_fault(exc)
+                raise
+            span.set("result_rows", result.row_count)
+            self._meter_leakage(mark, span)
+        return result
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def _run_dml(
+        self, statement: ast.Update | ast.Delete, sql: str = ""
+    ) -> DmlResult:
+        with self._activated():
+            return self._run_dml_inner(statement, sql)
+
+    def _dml_steps(self, statement, sql: str = ""):
+        return self._run_dml_inner(statement, sql)
+        # A rebuild transaction is not preemptible: the scheduler gets
+        # exactly one (atomic) step.  The unreachable yield makes this
+        # function a generator like _select_steps.
+        yield  # pragma: no cover
+
+    def _run_dml_inner(
+        self, statement: ast.Update | ast.Delete, sql: str = ""
+    ) -> DmlResult:
+        """Run one UPDATE or DELETE as an atomic rebuild transaction.
+
+        DML travels the secure channel like appends do -- its text may
+        name hidden values, so unlike SELECT it is *not* announced over
+        the spied USB link; read-scenario leak signatures are untouched.
+        """
+        self._require_loaded()
+        self._require_open()
+        self._guard_powered()
+        with self.obs.tracer.span("dml", category="session") as span:
+            if sql:
+                # Same redaction bar as queries: constants come out as
+                # '?' on export, identifiers stay.
+                span.set("sql", " ".join(sql.split()))
+            try:
+                if isinstance(statement, ast.Update):
+                    bound = Binder(self.core.tree).bind_update(statement)
+                    plan = UpdatePlan(bound)
+                else:
+                    bound = Binder(self.core.tree).bind_delete(statement)
+                    plan = DeletePlan(bound)
+                result = self.executor.execute_dml(plan, self.core.site)
+            except GhostDBFaultError as exc:
+                span.set("aborted", type(exc).__name__)
+                self._abort_on_fault(exc)
+                raise
+            span.set("matched", result.matched)
+            span.set("changed", result.changed)
+        return result
+
+    # ------------------------------------------------------------------
+    # Plan-level surfaces
+    # ------------------------------------------------------------------
+
+    def query_with_strategy(self, sql: str, strategy: Strategy) -> QueryResult:
+        """Execute with an explicit PRE/POST assignment (the demo GUI's
+        ad-hoc plan building)."""
+        self._guard_powered()
+        with self._activated():
+            mark = len(self.device.usb.log)
+            with self.obs.tracer.span("query", category="session") as span:
+                span.set("sql", " ".join(sql.split()))
+                try:
+                    self._announce_query(sql)
+                    bound = self.bind(sql)
+                    span.set("strategy", strategy.label(bound))
+                    builder = PlanBuilder(self.core.hidden, bound)
+                    plan = builder.build(strategy)
+                    self.optimizer.annotate(plan)
+                    result = self.executor.execute(plan)
+                except GhostDBFaultError as exc:
+                    span.set("aborted", type(exc).__name__)
+                    self._abort_on_fault(exc)
+                    raise
+                self._meter_leakage(mark, span)
+        return result
+
+    def execute_plan(self, plan: Project) -> QueryResult:
+        """Execute a hand-built plan (demo phase 2/3)."""
+        self._require_loaded()
+        with self._activated():
+            return self.executor.execute(plan)
+
+    def rank_plans(self, sql: str) -> list[RankedPlan]:
+        """All candidate plans, cheapest estimate first."""
+        bound = self.bind(sql)
+        return self.optimizer.rank(bound)
+
+    def explain(self, sql: str) -> str:
+        """The chosen plan with per-node estimates."""
+        from repro.optimizer.explain import explain_plan
+
+        bound = self.bind(sql)
+        best = self.optimizer.optimize(bound)
+        return explain_plan(best.plan, self.optimizer.cost_model)
+
+    def explain_analyze(self, sql: str) -> tuple[str, QueryResult]:
+        """Execute the chosen plan and report estimated vs measured
+        statistics per node (plus the result itself)."""
+        from repro.optimizer.explain import explain_analyze
+
+        self._guard_powered()
+        with self._activated():
+            mark = len(self.device.usb.log)
+            try:
+                self._announce_query(sql)
+                bound = self.bind(sql)
+                best = self.optimizer.optimize(bound)
+                result = self.executor.execute(best.plan)
+            except GhostDBFaultError as exc:
+                self._abort_on_fault(exc)
+                raise
+            self._meter_leakage(mark)
+        report = explain_analyze(best.plan, self.optimizer.cost_model)
+        measured = result.metrics.elapsed_seconds
+        if measured > 1e-9:
+            estimated = self.optimizer.cost_model.estimate(best.plan).seconds
+            self.obs.registry.histogram(
+                "ghostdb_optimizer_est_over_meas"
+            ).observe(estimated / measured)
+        return report, result
+
+    # ------------------------------------------------------------------
+    # Leakage
+    # ------------------------------------------------------------------
+
+    def _meter_leakage(self, mark: int, span=None) -> None:
+        """Profile the boundary traffic one query generated.
+
+        ``mark`` is the USB log length before the query started.  The
+        profile feeds the ``ghostdb_leak_*`` metric families and -- as
+        numbers only, same bar as every span attribute -- annotates the
+        query span, so traces show what each query *looked like* from
+        the spy's side of the boundary.
+        """
+        records = self.device.usb.log[mark:]
+        if not records:
+            return
+        profile = profile_records(records)
+        self._last_leak_profile = profile
+        self.obs.record_leakage(profile)
+        if span is not None:
+            span.set("leak_messages", profile.messages)
+            span.set("leak_bytes", profile.observable_bytes)
+            span.set("leak_ids", profile.ids_observed)
+            span.set(
+                "leak_entropy_bits", round(profile.shape_entropy_bits, 3)
+            )
+            span.set("leak_signature", profile.signature_int)
+
+    def leak_scorecard(self) -> TrafficProfile | None:
+        """The :class:`~repro.privacy.meter.TrafficProfile` of the last
+        metered query, or of the whole captured log when no query ran
+        since the last reset.  ``None`` with nothing captured."""
+        if self._last_leak_profile is not None:
+            return self._last_leak_profile
+        records = self.usb_log
+        return profile_records(records) if records else None
+
+    @property
+    def usb_log(self):
+        """This session's captured trust-boundary traffic."""
+        if self.lease is None:
+            return self.core.device.usb.records()
+        return list(self.lease.usb_log)
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+
+    def reset_measurements(self) -> None:
+        """Zero this session's measurement plane (not the shared
+        registry -- other sessions' totals live there too)."""
+        self.device.reset_measurements()
+        self.obs.tracer.clear()
+        self._last_leak_profile = None
+
+    def close(self) -> None:
+        """Release the lease back to the core (leased sessions only)."""
+        if self.lease is None:
+            raise SessionError("the default session cannot be closed")
+        if not self.closed:
+            self.core.close_session(self)

@@ -105,6 +105,26 @@ class Executor:
 
     def execute(self, root: lp.PlanNode) -> QueryResult:
         """Run a plan to completion and collect measurements."""
+        steps = self.execute_steps(root)
+        while True:
+            try:
+                next(steps)
+            except StopIteration as stop:
+                return stop.value
+
+    def execute_steps(self, root: lp.PlanNode):
+        """Generator variant of :meth:`execute` for cooperative scheduling.
+
+        Yields ``None`` once after every drained batch window -- the
+        natural preemption point: between windows no operator is
+        mid-pull, the attribution stack is empty, and foreign work done
+        while suspended is not attributed to this plan's operators.  The
+        :class:`QueryResult` is the generator's return value
+        (``StopIteration.value``); :meth:`execute` drains it inline, so
+        serial behaviour is unchanged.  Closing the generator early
+        (``GeneratorExit``) tears the operator tree down through the
+        same ``finally`` as any abort, releasing RAM reservations.
+        """
         if not isinstance(root, (lp.Project, lp.RowNode)):
             raise PlanExecutionError(
                 "plan root must be a Project (or a row node above one)"
@@ -141,6 +161,7 @@ class Executor:
                 try:
                     for batch in operator.batches():
                         rows.extend(batch)
+                        yield
                 finally:
                     # Deterministic teardown on every exit path: stamps
                     # end times on short-circuited subtrees and releases

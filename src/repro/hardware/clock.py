@@ -52,6 +52,15 @@ class TimeBreakdown:
             cpu=self.cpu - other.cpu,
         )
 
+    def __add__(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        return TimeBreakdown(
+            flash_read=self.flash_read + other.flash_read,
+            flash_write=self.flash_write + other.flash_write,
+            flash_erase=self.flash_erase + other.flash_erase,
+            usb=self.usb + other.usb,
+            cpu=self.cpu + other.cpu,
+        )
+
     def as_dict(self) -> dict[str, float]:
         return {name: getattr(self, name) for name in CATEGORIES}
 
@@ -63,6 +72,13 @@ class SimClock:
     _totals: dict[str, float] = field(
         default_factory=lambda: {name: 0.0 for name in CATEGORIES}
     )
+    #: Optional secondary clock that receives a copy of every charge.
+    #: Session multiplexing points this at the active session's private
+    #: clock, so a leased session accumulates exactly the charge
+    #: sequence it would see running alone (starting from zero) while
+    #: the device clock keeps the global interleaved timeline.  Tees do
+    #: not chain: the teed clock's own ``tee`` is ignored here.
+    tee: "SimClock | None" = None
 
     def advance(self, seconds: float, category: str) -> None:
         """Charge ``seconds`` of simulated time to ``category``.
@@ -75,6 +91,8 @@ class SimClock:
         if seconds < 0:
             raise ValueError(f"negative time charge: {seconds!r}")
         self._totals[category] += seconds
+        if self.tee is not None:
+            self.tee._totals[category] += seconds
 
     @property
     def now(self) -> float:

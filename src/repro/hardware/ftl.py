@@ -99,6 +99,12 @@ class FlashTranslationLayer:
     #: logical->physical map means GC relocations need no invalidation
     #: (content is unchanged); only :meth:`write` and :meth:`free` do.
     cache: PageCache | None = None
+    #: Every session's page cache, active or not.  A write or free by
+    #: one session must invalidate the logical page in *all* caches over
+    #: this FTL, not just the currently-swapped-in one, or a dormant
+    #: session resumes with a stale copy.  The device core maintains the
+    #: list; single-session devices leave it empty.
+    peer_caches: list[PageCache] = field(default_factory=list)
     #: Optional session flight recorder; journals remaps and recovery
     #: scans for postmortems.  Host-side diagnostic state only.
     flight: object | None = None
@@ -139,13 +145,20 @@ class FlashTranslationLayer:
 
     def free(self, lpage: int) -> None:
         """Release a logical page; its physical copy becomes garbage."""
-        if self.cache is not None:
-            self.cache.invalidate(lpage)
+        self._invalidate_everywhere(lpage)
         phys = self._map.pop(lpage, None)
         if phys is not None:
             self._reverse.pop(phys, None)
             self._stale.add(phys)
         self._free_logical.append(lpage)
+
+    def _invalidate_everywhere(self, lpage: int) -> None:
+        """Drop ``lpage`` from the active cache and every peer cache."""
+        if self.cache is not None:
+            self.cache.invalidate(lpage)
+        for peer in self.peer_caches:
+            if peer is not self.cache:
+                peer.invalidate(lpage)
 
     def is_mapped(self, lpage: int) -> bool:
         return lpage in self._map
@@ -205,8 +218,7 @@ class FlashTranslationLayer:
             raise DeviceReadOnlyError(
                 self.read_only_reason or "device is read-only"
             )
-        if self.cache is not None:
-            self.cache.invalidate(lpage)
+        self._invalidate_everywhere(lpage)
         self._charge_throttle()
         self._program_page(lpage, data)
         self.stats.logical_writes += 1

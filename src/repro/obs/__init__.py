@@ -86,24 +86,39 @@ class Observability:
         enabled: bool = True,
         flight_capacity: int | None = None,
         flight_enabled: bool = True,
+        registry: MetricsRegistry | None = None,
+        flight: FlightRecorder | None = None,
+        redactor: Redactor | None = None,
     ):
-        self.redactor = Redactor()
+        """Build a session's observability bundle.
+
+        ``registry``, ``flight`` and ``redactor`` may be injected so
+        several sessions on one device share the device-wide parts (one
+        metrics exposition, one black box) while each keeps a private
+        tracer and ledger.  ``_register_session_metrics`` is a
+        get-or-create pass, so re-running it against a shared registry
+        is a no-op.
+        """
+        self.redactor = redactor if redactor is not None else Redactor()
         self.tracer = Tracer(
             clock=clock, redactor=self.redactor, enabled=enabled
         )
-        self.registry = MetricsRegistry()
+        self.registry = registry if registry is not None else MetricsRegistry()
         # The black box: always-on unless explicitly disabled, host-side
         # memory, shared clock with the tracer (the session re-points
         # both at the device clock once the device exists).
-        self.flight = FlightRecorder(
-            capacity=(
-                flight_capacity
-                if flight_capacity is not None
-                else DEFAULT_CAPACITY
-            ),
-            clock=clock,
-            enabled=flight_enabled,
-        )
+        if flight is not None:
+            self.flight = flight
+        else:
+            self.flight = FlightRecorder(
+                capacity=(
+                    flight_capacity
+                    if flight_capacity is not None
+                    else DEFAULT_CAPACITY
+                ),
+                clock=clock,
+                enabled=flight_enabled,
+            )
         self.ledger = ResourceLedger()
         self._register_session_metrics()
 

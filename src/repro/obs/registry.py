@@ -17,10 +17,19 @@ from __future__ import annotations
 
 import math
 import re
+import threading
 from dataclasses import dataclass, field
 
 _NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: One process-wide lock guarding the *slow* paths only: registering a
+#: new metric family and creating a bound counter child.  The hot paths
+#: (an existing family's dict lookup, a bound child's ``inc``) stay
+#: lock-free.  Module-level rather than per-instance so registries (and
+#: the sessions holding them) stay picklable -- ``threading.Lock`` is
+#: not, and session persistence pickles the whole object graph.
+_SLOW_PATH_LOCK = threading.Lock()
 
 
 class MetricError(ValueError):
@@ -102,6 +111,11 @@ class Counter:
     name: str
     help: str
     _values: dict[tuple, float] = field(default_factory=dict)
+    #: Memoized bound children by label key, so two sessions asking for
+    #: the same child race on a dict *read*, not on construction.
+    _bound: dict[tuple, BoundCounter] = field(
+        default_factory=dict, repr=False
+    )
 
     kind = "counter"
 
@@ -112,8 +126,23 @@ class Counter:
         self._values[key] = self._values.get(key, 0) + amount
 
     def labelled(self, **labels) -> BoundCounter:
-        """A bound child for per-event hot paths (see above)."""
-        return BoundCounter(self, _label_key(labels))
+        """A bound child for per-event hot paths (see above).
+
+        Child creation is the slow path and takes the shared lock; a
+        child that already exists is returned lock-free.  Sessions can
+        therefore resolve the same ``(name, labels)`` child concurrently
+        and always share one object (and one value slot).
+        """
+        key = _label_key(labels)
+        bound = self._bound.get(key)
+        if bound is not None:
+            return bound
+        with _SLOW_PATH_LOCK:
+            bound = self._bound.get(key)
+            if bound is None:
+                bound = BoundCounter(self, key)
+                self._bound[key] = bound
+            return bound
 
     def value(self, **labels) -> float:
         return self._values.get(_label_key(labels), 0)
@@ -294,10 +323,22 @@ class MetricsRegistry:
                     f"{existing.kind}, not a {cls.kind}"
                 )
             return existing
-        _check_name(name)
-        metric = cls(name=name, help=help, **kwargs)
-        self._metrics[name] = metric
-        return metric
+        # Slow path: registration.  Two interleaved sessions asking for
+        # the same family must converge on one object, or the loser's
+        # bound children write into a family nobody exposes.
+        with _SLOW_PATH_LOCK:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise MetricError(
+                        f"{name!r} is already registered as a "
+                        f"{existing.kind}, not a {cls.kind}"
+                    )
+                return existing
+            _check_name(name)
+            metric = cls(name=name, help=help, **kwargs)
+            self._metrics[name] = metric
+            return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get_or_create(Counter, name, help)

@@ -631,11 +631,9 @@ def load_leak_artifact(path: str) -> dict:
 
 def run_leakage_meter(config: LeakMeterConfig | None = None) -> LeakRun:
     """Execute the metering workbook; see the module docstring."""
-    from repro.core.ghostdb import GhostDB
+    from repro.core.factory import build_session
     from repro.hardware.profiles import PROFILES
     from repro.privacy.leakcheck import LeakChecker
-    from repro.workload.datagen import DatasetConfig, MedicalDataGenerator
-    from repro.workload.queries import DEMO_SCHEMA_DDL
 
     config = config or LeakMeterConfig()
     if config.profile not in PROFILES:
@@ -643,13 +641,9 @@ def run_leakage_meter(config: LeakMeterConfig | None = None) -> LeakRun:
             f"unknown profile {config.profile!r}; "
             f"known: {', '.join(sorted(PROFILES))}"
         )
-    session = GhostDB(profile=PROFILES[config.profile])
-    for ddl in DEMO_SCHEMA_DDL:
-        session.execute(ddl)
-    data = MedicalDataGenerator(
-        DatasetConfig(n_prescriptions=config.scale)
-    ).generate()
-    session.load(data)
+    session, data = build_session(
+        profile=config.profile, scale=config.scale
+    )
 
     trials = leakage_workbook()
     traces: list[LabeledTrace] = []

@@ -41,6 +41,7 @@ import random
 from dataclasses import dataclass
 
 from repro.bench.artifact import to_payload
+from repro.core.factory import build_session
 from repro.core.ghostdb import GhostDB
 from repro.faults import FAULT_PROFILES, GhostDBFaultError
 from repro.obs import get_logger
@@ -49,8 +50,6 @@ from repro.reference import evaluate_reference, same_rows
 from repro.sql import ast
 from repro.sql.binder import Binder
 from repro.sql.parser import parse_statement
-from repro.workload.datagen import DatasetConfig, MedicalDataGenerator
-from repro.workload.queries import DEMO_SCHEMA_DDL
 
 log = get_logger(__name__)
 
@@ -394,15 +393,11 @@ def run_soak(config: SoakConfig | None = None) -> SoakRun:
     config = config or SoakConfig()
     rng = random.Random(config.seed)
 
-    db = GhostDB()
-    for ddl in DEMO_SCHEMA_DDL:
-        db.execute(ddl)
-    data = MedicalDataGenerator(
-        DatasetConfig(n_prescriptions=config.scale)
-    ).generate()
-    db.load(data)
+    db, data = build_session(scale=config.scale)
     injector = None
     if config.fault_profile is not None:
+        # Not routed through build_session: soak attaches even
+        # zero-rate profiles so it can schedule its own power cuts.
         injector = db.set_faults(config.fault_profile, seed=config.seed)
 
     ref = {name: list(rows) for name, rows in data.items()}

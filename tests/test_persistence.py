@@ -95,10 +95,10 @@ def test_truncated_file_rejected_before_unpickling(saved_path):
 
 
 def test_truncated_header_rejected(saved_path):
-    from repro.core.persistence import MAGIC
+    from repro.core.persistence import MAGIC, VERSION
 
     _original, path = saved_path
-    open(path, "wb").write(MAGIC + (2).to_bytes(2, "big") + b"\x00\x03")
+    open(path, "wb").write(MAGIC + VERSION.to_bytes(2, "big") + b"\x00\x03")
     with pytest.raises(PersistenceError, match="header"):
         load_session(path)
 
